@@ -1,0 +1,185 @@
+//! Micro-benchmarks of the example nondeterministic services: the
+//! execute/apply costs that the paper's E (execution time) stands for.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gridpaxos_core::request::{Request, RequestId, RequestKind};
+use gridpaxos_core::service::{App, ExecCtx};
+use gridpaxos_core::types::{ClientId, Seq, Time, TxnId};
+use gridpaxos_services::{Broker, BrokerOp, KvOp, KvStore, SchedOp, Scheduler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn req(seq: u64, kind: RequestKind, op: Bytes) -> Request {
+    Request::new(RequestId::new(ClientId(1), Seq(seq)), kind, op)
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvstore");
+    g.throughput(Throughput::Elements(1));
+
+    // A store warmed with 1k keys.
+    let warmed = || {
+        let mut s = KvStore::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..1000 {
+            let r = req(
+                i,
+                RequestKind::Write,
+                KvOp::Put(format!("key-{i}"), format!("value-{i}")).encode(),
+            );
+            let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+            s.execute(&r, &mut ctx);
+        }
+        s
+    };
+
+    g.bench_function("execute_put", |b| {
+        b.iter_batched(
+            warmed,
+            |mut s| {
+                let mut rng = SmallRng::seed_from_u64(2);
+                let r = req(9999, RequestKind::Write, KvOp::Put("hot".into(), "v".into()).encode());
+                let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+                s.execute(&r, &mut ctx)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("execute_get", |b| {
+        let mut s = warmed();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let r = req(9999, RequestKind::Read, KvOp::Get("key-500".into()).encode());
+        b.iter(|| {
+            let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+            s.execute(&r, &mut ctx)
+        })
+    });
+
+    g.bench_function("apply_delta", |b| {
+        let mut leader = warmed();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let r = req(9999, RequestKind::Write, KvOp::Put("hot".into(), "v".into()).encode());
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        let (_, update) = leader.execute(&r, &mut ctx);
+        b.iter_batched(
+            warmed,
+            |mut backup| {
+                backup.apply(&r, &update);
+                backup
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("snapshot_1k_keys", |b| {
+        let s = warmed();
+        b.iter(|| s.snapshot())
+    });
+
+    g.bench_function("txn_execute_volatile", |b| {
+        b.iter_batched(
+            warmed,
+            |mut s| {
+                let mut rng = SmallRng::seed_from_u64(3);
+                let t = TxnId(1);
+                for i in 0..3u64 {
+                    let r = Request::txn_op(
+                        RequestId::new(ClientId(1), Seq(5000 + i)),
+                        RequestKind::Write,
+                        t,
+                        KvOp::Put(format!("t-{i}"), "v".into()).encode(),
+                    );
+                    let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+                    s.txn_execute(t, &r, false, &mut ctx).unwrap();
+                }
+                s.txn_commit(t)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_broker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker");
+    g.throughput(Throughput::Elements(1));
+
+    let warmed = || {
+        let mut s = Broker::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..100 {
+            let r = req(
+                i,
+                RequestKind::Write,
+                BrokerOp::AddResource { name: format!("m-{i}"), capacity: 100 }.encode(),
+            );
+            let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+            s.execute(&r, &mut ctx);
+        }
+        s
+    };
+
+    g.bench_function("randomized_request_100_resources", |b| {
+        b.iter_batched(
+            warmed,
+            |mut s| {
+                let mut rng = SmallRng::seed_from_u64(2);
+                let r = req(
+                    9999,
+                    RequestKind::Write,
+                    BrokerOp::Request { task: 1, units: 1 }.encode(),
+                );
+                let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+                s.execute(&r, &mut ctx)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.throughput(Throughput::Elements(1));
+
+    let warmed = || {
+        let mut s = Scheduler::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let add = req(
+            0,
+            RequestKind::Write,
+            SchedOp::AddMachine { name: "m".into(), slots: 1000 }.encode(),
+        );
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        s.execute(&add, &mut ctx);
+        for i in 0..500u64 {
+            let r = req(
+                i + 1,
+                RequestKind::Write,
+                SchedOp::Submit { job: i, priority: (i % 8) as u32 }.encode(),
+            );
+            let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+            s.execute(&r, &mut ctx);
+        }
+        s
+    };
+
+    g.bench_function("dispatch_from_500_jobs", |b| {
+        b.iter_batched(
+            warmed,
+            |mut s| {
+                let mut rng = SmallRng::seed_from_u64(2);
+                let r = req(9999, RequestKind::Write, SchedOp::Dispatch.encode());
+                let mut ctx = ExecCtx::new(Time(1 << 40), &mut rng);
+                s.execute(&r, &mut ctx)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kv, bench_broker, bench_scheduler);
+criterion_main!(benches);

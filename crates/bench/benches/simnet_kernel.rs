@@ -1,0 +1,44 @@
+//! Simulator kernel throughput: how many virtual protocol events the
+//! discrete-event engine processes per second of wall time. This bounds
+//! how large the paper-reproduction experiments can be.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gridpaxos_core::config::Config;
+use gridpaxos_core::request::RequestKind;
+use gridpaxos_core::service::NoopApp;
+use gridpaxos_core::types::{Dur, Time};
+use gridpaxos_simnet::topology::Topology;
+use gridpaxos_simnet::workload::OpLoop;
+use gridpaxos_simnet::world::{SimOpts, World};
+
+fn run_throughput_sim(clients: usize, per_client: u64) -> u64 {
+    let cfg = Config::cluster(3);
+    let opts = SimOpts::for_topology(Topology::sysnet(3), 1);
+    let mut w = World::new(cfg, opts, Box::new(|| Box::new(NoopApp::new())));
+    for _ in 0..clients {
+        w.add_client(
+            Box::new(OpLoop::new(RequestKind::Write, per_client)),
+            None,
+            Time(Dur::from_millis(50).0),
+        );
+    }
+    assert!(w.run_to_completion(Time(Dur::from_secs(3600).0)));
+    w.metrics.completed_ops
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet_kernel");
+    g.sample_size(10);
+    const OPS: u64 = 2000;
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("sysnet_write_sim_2000ops_8clients", |b| {
+        b.iter(|| {
+            let done = run_throughput_sim(8, OPS / 8);
+            assert_eq!(done, OPS);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the hand-rolled wire codec: the per-message
+//! serialization cost that the CPU model's `send`/`coord_msg` parameters
+//! abstract.
+
+use bytes::{Bytes, BytesMut};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gridpaxos_core::ballot::Ballot;
+use gridpaxos_core::command::{Command, Decree, StateUpdate};
+use gridpaxos_core::msg::Msg;
+use gridpaxos_core::request::{ReplyBody, Request, RequestId, RequestKind};
+use gridpaxos_core::types::{ClientId, Instance, ProcessId, Seq};
+use gridpaxos_transport::wire::{decode_msg, encode_msg, encode_to_bytes};
+
+fn request_msg(payload_len: usize) -> Msg {
+    Msg::Request(Request::new(
+        RequestId::new(ClientId(42), Seq(7)),
+        RequestKind::Write,
+        Bytes::from(vec![0xabu8; payload_len]),
+    ))
+}
+
+fn accept_msg(batch: usize, payload_len: usize) -> Msg {
+    let entries = (0..batch)
+        .map(|i| {
+            (
+                Instance(i as u64 + 1),
+                Decree::single(
+                    Command::Req(Request::new(
+                        RequestId::new(ClientId(i as u64), Seq(1)),
+                        RequestKind::Write,
+                        Bytes::from(vec![1u8; payload_len]),
+                    )),
+                    StateUpdate::Delta(Bytes::from(vec![2u8; payload_len])),
+                    ReplyBody::Ok(Bytes::from(vec![3u8; 8])),
+                ),
+            )
+        })
+        .collect();
+    Msg::Accept {
+        ballot: Ballot::new(3, ProcessId(0)),
+        entries,
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+
+    for (name, msg) in [
+        ("request_64b", request_msg(64)),
+        ("heartbeat", Msg::Heartbeat {
+            ballot: Ballot::new(9, ProcessId(1)),
+            chosen: Instance(1_000_000),
+            hb_seq: 12,
+        }),
+        ("accept_1x64b", accept_msg(1, 64)),
+        ("accept_16x64b", accept_msg(16, 64)),
+        ("accept_64x256b", accept_msg(64, 256)),
+    ] {
+        let encoded = encode_to_bytes(&msg);
+        g.throughput(Throughput::Bytes(encoded.len() as u64));
+
+        g.bench_function(format!("encode/{name}"), |b| {
+            b.iter_batched(
+                || BytesMut::with_capacity(encoded.len()),
+                |mut out| {
+                    encode_msg(&msg, &mut out);
+                    out
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("decode/{name}"), |b| {
+            b.iter_batched(
+                || encoded.clone(),
+                |mut buf| decode_msg(&mut buf).expect("decodes"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

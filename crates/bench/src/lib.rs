@@ -1,0 +1,18 @@
+//! # gridpaxos-bench
+//!
+//! The benchmark harness: library functions that regenerate every table
+//! and figure of the paper's evaluation (§4) on the simulator, plus
+//! Criterion micro-benchmarks (see `benches/`). The `experiments` binary
+//! is the command-line entry point.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    ablation, all, batch_ablation, fig5, fig6, fig7, fig8, fig9, leader_switch, rrt_sysnet,
+    scale_t, state_size, table1,
+};
+pub use table::TableOut;

@@ -1,0 +1,118 @@
+//! Plain-text table rendering and CSV output for experiment results.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One rendered experiment result.
+#[derive(Clone, Debug)]
+pub struct TableOut {
+    /// Experiment identifier (e.g. `fig5`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (paper comparison).
+    pub notes: Vec<String>,
+}
+
+impl TableOut {
+    /// New empty table.
+    #[must_use]
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> TableOut {
+        TableOut {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        println!("\n=== {} — {} ===", self.id, self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for r in &self.rows {
+            line(r);
+        }
+        for n in &self.notes {
+            println!("  note: {n}");
+        }
+    }
+
+    /// Write as CSV under `target/experiments/<id>.csv`. Returns the path.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("target/experiments");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for r in &self.rows {
+            writeln!(f, "{}", r.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Look up a cell by row predicate + column header (test helper).
+    #[must_use]
+    pub fn cell(&self, row_match: &str, col: &str) -> Option<&str> {
+        let ci = self.headers.iter().position(|h| h == col)?;
+        self.rows
+            .iter()
+            .find(|r| r.first().is_some_and(|c| c == row_match))
+            .and_then(|r| r.get(ci))
+            .map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_lookup_by_row_and_column() {
+        let mut t = TableOut::new("x", "test", &["mode", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["b".into(), "2".into()]);
+        assert_eq!(t.cell("b", "value"), Some("2"));
+        assert_eq!(t.cell("c", "value"), None);
+        assert_eq!(t.cell("a", "nope"), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! Ballots and proposal numbers (§3.2–3.3 of the paper).
+//!
+//! A *ballot* identifies one leadership attempt: a `(round, proposer)`
+//! pair, compared lexicographically so that every two ballots are ordered
+//! and ballots from distinct proposers never collide.
+//!
+//! A *proposal number* identifies one accept request: a
+//! `(ballot, instance)` pair, again ordered lexicographically — "first by
+//! the ballot number and then by the instance number" — exactly as §3.3
+//! prescribes for ordering logged proposals.
+
+use crate::types::{Instance, ProcessId};
+use std::fmt;
+
+/// A leadership ballot.
+///
+/// `Ballot::ZERO` is a sentinel smaller than any real ballot; replicas
+/// start with it as their promised ballot so the first real prepare
+/// always succeeds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct Ballot {
+    /// Election round. Incremented each time a process starts a new
+    /// leadership attempt.
+    pub round: u64,
+    /// The process proposing with this ballot. Breaks ties between
+    /// concurrent attempts in the same round.
+    pub proposer: ProcessId,
+}
+
+impl Ballot {
+    /// Sentinel ballot smaller than every ballot any process can issue.
+    pub const ZERO: Ballot = Ballot {
+        round: 0,
+        proposer: ProcessId(0),
+    };
+
+    /// Construct a ballot.
+    #[must_use]
+    pub fn new(round: u64, proposer: ProcessId) -> Ballot {
+        Ballot { round, proposer }
+    }
+
+    /// The ballot process `p` should use to outbid `self`: the next round,
+    /// proposed by `p`. Guaranteed greater than `self` regardless of `p`.
+    #[must_use]
+    pub fn successor(self, p: ProcessId) -> Ballot {
+        Ballot {
+            round: self.round + 1,
+            proposer: p,
+        }
+    }
+
+    /// Whether this is the sentinel (no leader has ever been established).
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Ballot::ZERO
+    }
+}
+
+impl fmt::Debug for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.proposer.0)
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.proposer.0)
+    }
+}
+
+/// A proposal number: the identity of one accept request.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct ProposalNum {
+    /// Ballot under which the proposal is made. Major component.
+    pub ballot: Ballot,
+    /// Consensus instance the proposal targets. Minor component.
+    pub instance: Instance,
+}
+
+impl ProposalNum {
+    /// Construct a proposal number.
+    #[must_use]
+    pub fn new(ballot: Ballot, instance: Instance) -> ProposalNum {
+        ProposalNum { ballot, instance }
+    }
+}
+
+impl fmt::Debug for ProposalNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.ballot, self.instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_lexicographic_order() {
+        let a = Ballot::new(1, ProcessId(0));
+        let b = Ballot::new(1, ProcessId(1));
+        let c = Ballot::new(2, ProcessId(0));
+        assert!(a < b, "same round: higher proposer id wins");
+        assert!(b < c, "higher round dominates proposer id");
+        assert!(Ballot::ZERO < a);
+    }
+
+    #[test]
+    fn successor_always_greater() {
+        let b = Ballot::new(7, ProcessId(9));
+        for p in 0..10 {
+            let s = b.successor(ProcessId(p));
+            assert!(s > b, "successor({p}) must outbid");
+        }
+    }
+
+    #[test]
+    fn proposal_num_order_ballot_major() {
+        // §3.3: "ordered lexicographically, first by the ballot number and
+        // then by the instance number".
+        let low_ballot_high_inst = ProposalNum::new(Ballot::new(1, ProcessId(0)), Instance(100));
+        let high_ballot_low_inst = ProposalNum::new(Ballot::new(2, ProcessId(0)), Instance(1));
+        assert!(low_ballot_high_inst < high_ballot_low_inst);
+
+        let same_ballot_i3 = ProposalNum::new(Ballot::new(2, ProcessId(0)), Instance(3));
+        let same_ballot_i4 = ProposalNum::new(Ballot::new(2, ProcessId(0)), Instance(4));
+        assert!(same_ballot_i3 < same_ballot_i4);
+    }
+
+    #[test]
+    fn zero_sentinel() {
+        assert!(Ballot::ZERO.is_zero());
+        assert!(!Ballot::new(0, ProcessId(1)).is_zero());
+        assert!(Ballot::new(0, ProcessId(1)) > Ballot::ZERO);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ballot::new(3, ProcessId(1)).to_string(), "b3.1");
+        let pn = ProposalNum::new(Ballot::new(3, ProcessId(1)), Instance(9));
+        assert_eq!(format!("{pn:?}"), "b3.1@i9");
+    }
+}

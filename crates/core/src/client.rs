@@ -1,0 +1,426 @@
+//! Client-side protocol core (sans-io).
+//!
+//! Per §3.3, a client sends each request to **all** service replicas (so it
+//! never needs to know who the leader is) and only the leader answers. The
+//! client keeps at most one request outstanding, retransmits on timeout,
+//! and matches replies by request id, which makes retries idempotent end
+//! to end.
+
+use crate::action::{Action, TimerKind};
+use crate::msg::Msg;
+use crate::request::{Reply, ReplyBody, Request, RequestId, RequestKind, TxnCtl};
+use crate::types::{Addr, ClientId, Dur, ProcessId, Seq, Time, TxnId};
+use bytes::Bytes;
+
+/// A finished operation, as reported to the embedding workload driver.
+#[derive(Clone, Debug)]
+pub struct CompletedOp {
+    /// The request that completed.
+    pub req: Request,
+    /// The leader's reply.
+    pub body: ReplyBody,
+    /// Leader that answered.
+    pub leader: ProcessId,
+    /// Round-trip time from first transmission to reply.
+    pub rtt: Dur,
+    /// Number of retransmissions that were needed.
+    pub retries: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Pending {
+    req: Request,
+    first_sent: Time,
+    retries: u32,
+}
+
+/// Sans-io client state machine.
+#[derive(Clone, Debug)]
+pub struct ClientCore {
+    id: ClientId,
+    n_replicas: usize,
+    next_seq: Seq,
+    next_txn: TxnId,
+    retry_timeout: Dur,
+    outstanding: Option<Pending>,
+}
+
+impl ClientCore {
+    /// A client talking to a group of `n_replicas` replicas.
+    #[must_use]
+    pub fn new(id: ClientId, n_replicas: usize, retry_timeout: Dur) -> ClientCore {
+        ClientCore {
+            id,
+            n_replicas,
+            next_seq: Seq(1),
+            next_txn: TxnId(1),
+            retry_timeout,
+            outstanding: None,
+        }
+    }
+
+    /// This client's id.
+    #[must_use]
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Whether a request is currently in flight.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        self.outstanding.is_some()
+    }
+
+    /// Allocate the next request id.
+    pub fn next_request_id(&mut self) -> RequestId {
+        let id = RequestId::new(self.id, self.next_seq);
+        self.next_seq = self.next_seq.next();
+        id
+    }
+
+    /// Allocate a fresh transaction id.
+    pub fn next_txn_id(&mut self) -> TxnId {
+        let t = self.next_txn;
+        self.next_txn = TxnId(t.0 + 1);
+        t
+    }
+
+    /// Build and submit a plain request. Panics if one is already
+    /// outstanding (the closed-loop discipline of the paper's clients:
+    /// "A client will not send a new request until it receives the reply
+    /// associated with the previous one").
+    pub fn submit_op(&mut self, kind: RequestKind, op: Bytes, now: Time) -> Vec<Action> {
+        let id = self.next_request_id();
+        self.submit(Request::new(id, kind, op), now)
+    }
+
+    /// Submit a pre-built request (used for transaction traffic).
+    pub fn submit(&mut self, req: Request, now: Time) -> Vec<Action> {
+        assert!(
+            self.outstanding.is_none(),
+            "client {} already has an outstanding request",
+            self.id
+        );
+        self.outstanding = Some(Pending {
+            req: req.clone(),
+            first_sent: now,
+            retries: 0,
+        });
+        let mut actions = self.broadcast(req);
+        actions.push(Action::timer(TimerKind::ClientRetry, self.retry_timeout));
+        actions
+    }
+
+    fn broadcast(&self, req: Request) -> Vec<Action> {
+        (0..self.n_replicas)
+            .map(|r| Action::send(Addr::Replica(ProcessId(r as u32)), Msg::Request(req.clone())))
+            .collect()
+    }
+
+    /// Handle an incoming message. Returns the completed operation when the
+    /// outstanding request is answered.
+    pub fn on_message(&mut self, msg: Msg, now: Time) -> (Option<CompletedOp>, Vec<Action>) {
+        let Msg::Reply(reply) = msg else {
+            return (None, Vec::new());
+        };
+        self.on_reply(reply, now)
+    }
+
+    fn on_reply(&mut self, reply: Reply, now: Time) -> (Option<CompletedOp>, Vec<Action>) {
+        match &self.outstanding {
+            Some(p) if p.req.id == reply.id => {
+                let p = self.outstanding.take().expect("checked above");
+                let done = CompletedOp {
+                    req: p.req,
+                    body: reply.body,
+                    leader: reply.leader,
+                    rtt: now.since(p.first_sent),
+                    retries: p.retries,
+                };
+                (
+                    Some(done),
+                    vec![Action::CancelTimer {
+                        kind: TimerKind::ClientRetry,
+                    }],
+                )
+            }
+            // Stale duplicate (a retransmitted earlier request answered
+            // twice) or a reply while idle: ignore.
+            _ => (None, Vec::new()),
+        }
+    }
+
+    /// Handle a timer firing: retransmit the outstanding request to all
+    /// replicas and re-arm.
+    pub fn on_timer(&mut self, kind: TimerKind, _now: Time) -> Vec<Action> {
+        if kind != TimerKind::ClientRetry {
+            return Vec::new();
+        }
+        let Some(p) = &mut self.outstanding else {
+            return Vec::new();
+        };
+        p.retries += 1;
+        let req = p.req.clone();
+        let mut actions = self.broadcast(req);
+        actions.push(Action::timer(TimerKind::ClientRetry, self.retry_timeout));
+        actions
+    }
+}
+
+/// Outcome of driving a whole transaction to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// All operations executed and the commit was acknowledged.
+    Committed,
+    /// The transaction aborted (reason attached).
+    Aborted(crate::request::AbortReason),
+}
+
+/// A scripted transaction: the ordered operations to run, then commit.
+#[derive(Clone, Debug)]
+pub struct TxnScript {
+    /// Operations as `(kind, payload)` pairs, e.g. 2 reads + 1 write for
+    /// the paper's 3-request read/write transactions.
+    pub ops: Vec<(RequestKind, Bytes)>,
+}
+
+impl TxnScript {
+    /// The evaluation's read/write transaction shape: `reads` reads
+    /// followed by `writes` writes.
+    #[must_use]
+    pub fn read_write(reads: usize, writes: usize) -> TxnScript {
+        let mut ops = Vec::with_capacity(reads + writes);
+        ops.extend((0..reads).map(|_| (RequestKind::Read, Bytes::new())));
+        ops.extend((0..writes).map(|_| (RequestKind::Write, Bytes::new())));
+        TxnScript { ops }
+    }
+
+    /// The evaluation's write-only transaction shape.
+    #[must_use]
+    pub fn write_only(writes: usize) -> TxnScript {
+        TxnScript {
+            ops: (0..writes).map(|_| (RequestKind::Write, Bytes::new())).collect(),
+        }
+    }
+}
+
+/// Drives one transaction through a [`ClientCore`], one operation at a
+/// time, finishing with the commit.
+#[derive(Clone, Debug)]
+pub struct TxnDriver {
+    script: TxnScript,
+    txn: TxnId,
+    next_op: usize,
+    started: Option<Time>,
+    finished: Option<TxnOutcome>,
+}
+
+impl TxnDriver {
+    /// Start driving `script` as transaction `txn`.
+    #[must_use]
+    pub fn new(script: TxnScript, txn: TxnId) -> TxnDriver {
+        TxnDriver {
+            script,
+            txn,
+            next_op: 0,
+            started: None,
+            finished: None,
+        }
+    }
+
+    /// The transaction id.
+    #[must_use]
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Whether the driver has issued everything and seen the final reply.
+    #[must_use]
+    pub fn outcome(&self) -> Option<&TxnOutcome> {
+        self.finished.as_ref()
+    }
+
+    /// Issue the next step (an operation or the commit) through `client`.
+    /// Returns `None` if the transaction already finished.
+    pub fn step(&mut self, client: &mut ClientCore, now: Time) -> Option<Vec<Action>> {
+        if self.finished.is_some() {
+            return None;
+        }
+        self.started.get_or_insert(now);
+        let id = client.next_request_id();
+        let req = if self.next_op < self.script.ops.len() {
+            let (kind, op) = self.script.ops[self.next_op].clone();
+            Request::txn_op(id, kind, self.txn, op)
+        } else {
+            Request::txn_commit(id, self.txn, self.script.ops.len() as u32)
+        };
+        Some(client.submit(req, now))
+    }
+
+    /// Feed a completed operation back. Returns the outcome once final.
+    pub fn on_complete(&mut self, done: &CompletedOp) -> Option<TxnOutcome> {
+        match &done.body {
+            ReplyBody::TxnAborted { txn, reason } if *txn == self.txn => {
+                self.finished = Some(TxnOutcome::Aborted(*reason));
+            }
+            ReplyBody::TxnCommitted { txn } if *txn == self.txn => {
+                self.finished = Some(TxnOutcome::Committed);
+            }
+            _ => {
+                // An ordinary op reply: move to the next step.
+                if matches!(done.req.txn, Some(TxnCtl::Op { txn }) if txn == self.txn) {
+                    self.next_op += 1;
+                }
+            }
+        }
+        self.finished.clone()
+    }
+
+    /// Total steps (ops + commit) this script issues.
+    #[must_use]
+    pub fn total_steps(&self) -> usize {
+        self.script.ops.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(id: RequestId, body: ReplyBody) -> Msg {
+        Msg::Reply(Reply {
+            id,
+            leader: ProcessId(0),
+            body,
+        })
+    }
+
+    #[test]
+    fn submit_broadcasts_to_all_replicas_and_arms_retry() {
+        let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+        let actions = c.submit_op(RequestKind::Write, Bytes::new(), Time::ZERO);
+        let sends = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { .. }))
+            .count();
+        assert_eq!(sends, 3, "request goes to all replicas");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::ClientRetry, .. })));
+        assert!(c.is_busy());
+    }
+
+    #[test]
+    fn reply_completes_and_measures_rtt() {
+        let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+        let actions = c.submit_op(RequestKind::Read, Bytes::new(), Time(1_000));
+        let id = match &actions[0] {
+            Action::Send {
+                msg: Msg::Request(r),
+                ..
+            } => r.id,
+            other => panic!("unexpected {other:?}"),
+        };
+        let (done, actions) =
+            c.on_message(reply(id, ReplyBody::Ok(Bytes::new())), Time(5_000));
+        let done = done.expect("completed");
+        assert_eq!(done.rtt, Dur(4_000));
+        assert_eq!(done.retries, 0);
+        assert!(!c.is_busy());
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::CancelTimer { kind: TimerKind::ClientRetry })));
+    }
+
+    #[test]
+    fn stale_reply_is_ignored() {
+        let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+        c.submit_op(RequestKind::Read, Bytes::new(), Time::ZERO);
+        let stale = RequestId::new(ClientId(1), Seq(999));
+        let (done, actions) = c.on_message(reply(stale, ReplyBody::Empty), Time(1));
+        assert!(done.is_none());
+        assert!(actions.is_empty());
+        assert!(c.is_busy());
+    }
+
+    #[test]
+    fn retry_rebroadcasts() {
+        let mut c = ClientCore::new(ClientId(1), 5, Dur::from_millis(100));
+        c.submit_op(RequestKind::Write, Bytes::new(), Time::ZERO);
+        let actions = c.on_timer(TimerKind::ClientRetry, Time(1));
+        let sends = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { .. }))
+            .count();
+        assert_eq!(sends, 5);
+        // Completion then reports one retry.
+        let id = RequestId::new(ClientId(1), Seq(1));
+        let (done, _) = c.on_message(reply(id, ReplyBody::Ok(Bytes::new())), Time(2));
+        assert_eq!(done.unwrap().retries, 1);
+    }
+
+    #[test]
+    fn txn_driver_walks_ops_then_commit() {
+        let mut c = ClientCore::new(ClientId(2), 3, Dur::from_millis(100));
+        let mut d = TxnDriver::new(TxnScript::read_write(2, 1), TxnId(1));
+        assert_eq!(d.total_steps(), 4);
+
+        for step in 0..4 {
+            let actions = d.step(&mut c, Time(step)).expect("more steps");
+            let req = match &actions[0] {
+                Action::Send {
+                    msg: Msg::Request(r),
+                    ..
+                } => r.clone(),
+                other => panic!("unexpected {other:?}"),
+            };
+            if step < 3 {
+                assert!(req.is_txn_op());
+            } else {
+                assert!(req.txn.unwrap().is_commit());
+            }
+            let body = if step < 3 {
+                ReplyBody::Ok(Bytes::new())
+            } else {
+                ReplyBody::TxnCommitted { txn: TxnId(1) }
+            };
+            let (done, _) = c.on_message(reply(req.id, body), Time(step + 10));
+            let outcome = d.on_complete(&done.unwrap());
+            if step < 3 {
+                assert!(outcome.is_none());
+            } else {
+                assert_eq!(outcome, Some(TxnOutcome::Committed));
+            }
+        }
+        assert!(d.step(&mut c, Time(99)).is_none(), "finished");
+    }
+
+    #[test]
+    fn txn_driver_reports_abort() {
+        let mut c = ClientCore::new(ClientId(2), 3, Dur::from_millis(100));
+        let mut d = TxnDriver::new(TxnScript::write_only(2), TxnId(4));
+        let actions = d.step(&mut c, Time(0)).unwrap();
+        let req = match &actions[0] {
+            Action::Send {
+                msg: Msg::Request(r),
+                ..
+            } => r.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let (done, _) = c.on_message(
+            reply(
+                req.id,
+                ReplyBody::TxnAborted {
+                    txn: TxnId(4),
+                    reason: crate::request::AbortReason::LeaderSwitch,
+                },
+            ),
+            Time(5),
+        );
+        let outcome = d.on_complete(&done.unwrap()).unwrap();
+        assert_eq!(
+            outcome,
+            TxnOutcome::Aborted(crate::request::AbortReason::LeaderSwitch)
+        );
+    }
+}

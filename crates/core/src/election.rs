@@ -1,0 +1,195 @@
+//! Leader-election support: failure detection and stability pacing.
+//!
+//! Paxos (and, more strongly, X-Paxos and T-Paxos — §3.6) require a leader
+//! that stays leader "long enough". Following the Ω-with-stability line of
+//! work the paper cites (\[22\], Malkhi et al.), we bias the system toward
+//! keeping an incumbent: followers only challenge after a full suspicion
+//! timeout with no sign of life, challengers back off with rank-scaled
+//! jitter so they rarely duel, and any sign of a leader with a ballot at
+//! least as high as a challenger's immediately demotes the challenger.
+
+use crate::ballot::Ballot;
+use crate::types::{Dur, Time};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Tracks evidence of the current leader's liveness.
+#[derive(Clone, Debug)]
+pub struct FailureDetector {
+    suspect_timeout: Dur,
+    /// Ballot of the leadership we are following (== promised ballot).
+    leader_ballot: Ballot,
+    /// Last time we saw any message from that leader.
+    last_sign: Time,
+}
+
+impl FailureDetector {
+    /// New detector with the given suspicion timeout.
+    #[must_use]
+    pub fn new(suspect_timeout: Dur, now: Time) -> FailureDetector {
+        FailureDetector {
+            suspect_timeout,
+            leader_ballot: Ballot::ZERO,
+            last_sign: now,
+        }
+    }
+
+    /// Record a sign of life from the leadership with ballot `b` (only if
+    /// it is the leadership we follow or a higher one).
+    pub fn observe(&mut self, b: Ballot, now: Time) {
+        if b >= self.leader_ballot {
+            self.leader_ballot = b;
+            self.last_sign = now;
+        }
+    }
+
+    /// Forget the current leader (e.g. we are starting an election).
+    pub fn reset(&mut self, now: Time) {
+        self.last_sign = now;
+    }
+
+    /// The ballot of the leadership currently followed.
+    #[must_use]
+    pub fn leader_ballot(&self) -> Ballot {
+        self.leader_ballot
+    }
+
+    /// Whether the leader should be suspected at `now`.
+    #[must_use]
+    pub fn suspects(&self, now: Time) -> bool {
+        now.since(self.last_sign) >= self.suspect_timeout
+    }
+
+    /// When the next suspicion check should run.
+    #[must_use]
+    pub fn next_check(&self, now: Time) -> Dur {
+        let elapsed = now.since(self.last_sign);
+        if elapsed >= self.suspect_timeout {
+            Dur::ZERO
+        } else {
+            Dur(self.suspect_timeout.0 - elapsed.0)
+        }
+    }
+}
+
+/// Computes stability-biased election backoffs.
+///
+/// Each failed attempt lengthens the wait (bounded exponential), each
+/// replica adds a rank-proportional stagger, and a random jitter breaks
+/// remaining ties. The combination makes split elections short-lived,
+/// which is what keeps "long enough" leadership periods (§3.6) the norm.
+#[derive(Clone, Debug)]
+pub struct ElectionPacer {
+    base: Dur,
+    rank: u32,
+    attempts: u32,
+}
+
+impl ElectionPacer {
+    /// `base` is the configured election backoff, `rank` the replica's id
+    /// within the group.
+    #[must_use]
+    pub fn new(base: Dur, rank: u32) -> ElectionPacer {
+        ElectionPacer {
+            base,
+            rank,
+            attempts: 0,
+        }
+    }
+
+    /// Record the start of an attempt.
+    pub fn note_attempt(&mut self) {
+        self.attempts = self.attempts.saturating_add(1);
+    }
+
+    /// Reset after an election settles (either we won or a stable leader
+    /// emerged).
+    pub fn settle(&mut self) {
+        self.attempts = 0;
+    }
+
+    /// Number of attempts since the last settle.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Backoff before (re)trying: `base * 2^min(attempts,6) * rank-stagger`
+    /// plus up to half a base of jitter.
+    #[must_use]
+    pub fn backoff(&self, rng: &mut SmallRng) -> Dur {
+        let exp = 1u64 << self.attempts.min(6);
+        let stagger = 1 + u64::from(self.rank);
+        let fixed = self.base.0.saturating_mul(exp).saturating_mul(stagger) / 2;
+        let jitter = rng.gen_range(0..=self.base.0 / 2);
+        Dur(fixed + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ProcessId;
+    use rand::SeedableRng;
+
+    #[test]
+    fn detector_suspects_after_timeout() {
+        let mut fd = FailureDetector::new(Dur::from_millis(50), Time::ZERO);
+        let b = Ballot::new(1, ProcessId(0));
+        fd.observe(b, Time::ZERO);
+        assert!(!fd.suspects(Time(Dur::from_millis(49).0)));
+        assert!(fd.suspects(Time(Dur::from_millis(50).0)));
+    }
+
+    #[test]
+    fn detector_ignores_lower_ballots() {
+        let mut fd = FailureDetector::new(Dur::from_millis(50), Time::ZERO);
+        fd.observe(Ballot::new(5, ProcessId(1)), Time(0));
+        // A stale sign of life from an older leadership must not refresh.
+        fd.observe(Ballot::new(4, ProcessId(0)), Time(Dur::from_millis(40).0));
+        assert!(fd.suspects(Time(Dur::from_millis(50).0)));
+        assert_eq!(fd.leader_ballot(), Ballot::new(5, ProcessId(1)));
+    }
+
+    #[test]
+    fn detector_next_check_counts_down() {
+        let mut fd = FailureDetector::new(Dur::from_millis(50), Time::ZERO);
+        fd.observe(Ballot::new(1, ProcessId(0)), Time(0));
+        assert_eq!(fd.next_check(Time(0)), Dur::from_millis(50));
+        assert_eq!(
+            fd.next_check(Time(Dur::from_millis(20).0)),
+            Dur::from_millis(30)
+        );
+        assert_eq!(fd.next_check(Time(Dur::from_millis(60).0)), Dur::ZERO);
+    }
+
+    #[test]
+    fn pacer_backoff_grows_with_attempts_and_rank() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut p0 = ElectionPacer::new(Dur::from_millis(10), 0);
+        let b0 = p0.backoff(&mut rng);
+        p0.note_attempt();
+        p0.note_attempt();
+        let b2 = p0.backoff(&mut rng);
+        assert!(b2 > b0, "backoff grows with attempts: {b0:?} vs {b2:?}");
+
+        let p_high_rank = ElectionPacer::new(Dur::from_millis(10), 3);
+        // Deterministic part: rank 3 stagger is 4x rank 0 stagger.
+        let mut rng2 = SmallRng::seed_from_u64(7);
+        let p_low = ElectionPacer::new(Dur::from_millis(10), 0);
+        let low = p_low.backoff(&mut rng2);
+        let mut rng3 = SmallRng::seed_from_u64(7);
+        let high = p_high_rank.backoff(&mut rng3);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn pacer_settles_back_to_zero_attempts() {
+        let mut p = ElectionPacer::new(Dur::from_millis(10), 0);
+        p.note_attempt();
+        p.note_attempt();
+        assert_eq!(p.attempts(), 2);
+        p.settle();
+        assert_eq!(p.attempts(), 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Protocol messages exchanged between clients and replicas.
+//!
+//! One flat enum keeps the transports simple: both the simulator and the
+//! real TCP transport ship `Msg` values end to end.
+
+use crate::ballot::Ballot;
+use crate::command::{AcceptedEntry, Decree, SnapshotBlob};
+use crate::request::{Reply, Request, RequestId};
+use crate::types::Instance;
+
+/// A protocol message.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Msg {
+    // ----- client <-> replicas ------------------------------------------
+    /// Client request; clients send it to **all** replicas (§3.3: "Clients
+    /// send requests to all service replicas so that they do not need to
+    /// know which replica is the current leader").
+    Request(Request),
+    /// Reply from the leader (only the leader replies).
+    Reply(Reply),
+
+    // ----- Paxos: prepare phase -----------------------------------------
+    /// A candidate declares ballot `ballot` and asks for promises. One
+    /// message covers *all* open instances (§3.3): the candidate states the
+    /// prefix it already knows chosen (`chosen_prefix`) and any instances
+    /// above it that it also knows (`known_above`, e.g. the "90" in the
+    /// paper's 88/89/90 example); promisers fill in the rest.
+    Prepare {
+        /// Candidate's ballot.
+        ballot: Ballot,
+        /// All instances `<= chosen_prefix` are known chosen by the candidate.
+        chosen_prefix: Instance,
+        /// Additional instances above the prefix known chosen by the candidate.
+        known_above: Vec<Instance>,
+    },
+    /// Positive answer to a [`Msg::Prepare`].
+    Promise {
+        /// The ballot being promised.
+        ballot: Ballot,
+        /// The promiser's own contiguous chosen prefix.
+        chosen_prefix: Instance,
+        /// Accepted entries the candidate may be missing (only for
+        /// instances not covered by `snapshot` and not known chosen by the
+        /// candidate).
+        accepted: Vec<AcceptedEntry>,
+        /// If the promiser's chosen prefix is ahead of the candidate's, its
+        /// full state so the candidate can catch up — the paper's "it sends
+        /// the leader ... the state of the latest proposal it knows".
+        snapshot: Option<SnapshotBlob>,
+    },
+    /// Negative answer: the receiver already promised a higher ballot.
+    /// Tells the candidate to back off (and who outbid it).
+    PrepareNack {
+        /// Ballot that was rejected.
+        ballot: Ballot,
+        /// The higher ballot the receiver is bound to.
+        promised: Ballot,
+    },
+
+    // ----- Paxos: accept phase ------------------------------------------
+    /// Accept request. Normally a single `(instance, decree)`; during
+    /// recovery one message carries the whole batch of re-proposed and
+    /// gap-filling decrees (§3.3: "executes the accept phases of instances
+    /// 88, 89, and 91 by sending one single message").
+    Accept {
+        /// Leader's ballot.
+        ballot: Ballot,
+        /// Proposals, ordered by instance.
+        entries: Vec<(Instance, Decree)>,
+    },
+    /// Acknowledgement of an [`Msg::Accept`].
+    Accepted {
+        /// Ballot the acceptor accepted under.
+        ballot: Ballot,
+        /// Instances acknowledged.
+        instances: Vec<Instance>,
+    },
+    /// Rejection: the acceptor has promised a higher ballot.
+    AcceptNack {
+        /// Ballot that was rejected.
+        ballot: Ballot,
+        /// The higher ballot the acceptor is bound to.
+        promised: Ballot,
+    },
+    /// Commit notification: every instance `<= upto` proposed under
+    /// `ballot` is chosen. Receivers holding the matching accepted entries
+    /// apply them in order; anyone missing entries requests catch-up.
+    Chosen {
+        /// Leader's ballot.
+        ballot: Ballot,
+        /// Chosen prefix under this leadership.
+        upto: Instance,
+    },
+
+    // ----- X-Paxos (§3.4) -------------------------------------------------
+    /// Confirmation vote for a read: sent by every replica, upon receiving
+    /// a read request from a client, to the process with the highest ballot
+    /// it has accepted. The leader replies to the client only after a
+    /// majority confirms — guaranteeing only the *latest* leader answers.
+    Confirm {
+        /// The ballot the sender believes is the current leadership.
+        ballot: Ballot,
+        /// The read being confirmed.
+        read: RequestId,
+    },
+
+    // ----- liveness / leader election -------------------------------------
+    /// Leader heartbeat; doubles as a `Chosen` retransmission, and its
+    /// absence is what followers' failure detectors time out on.
+    Heartbeat {
+        /// Leader's ballot.
+        ballot: Ballot,
+        /// Leader's chosen prefix.
+        chosen: Instance,
+        /// Monotonic heartbeat number, echoed by lease acks so the leader
+        /// can anchor a lease to the heartbeat's *send* time.
+        hb_seq: u64,
+    },
+    /// A follower's acknowledgement of a heartbeat — only sent in
+    /// [`crate::config::ReadMode::Lease`] mode; a majority of acks for one
+    /// heartbeat grants the leader a read lease.
+    HeartbeatAck {
+        /// The leadership being acknowledged.
+        ballot: Ballot,
+        /// Which heartbeat.
+        hb_seq: u64,
+    },
+
+    // ----- catch-up / state transfer ---------------------------------------
+    /// A lagging replica asks the leader for everything after `have`.
+    CatchUpReq {
+        /// The requester's contiguous chosen prefix.
+        have: Instance,
+    },
+    /// Catch-up payload: either the missing chosen decrees (when the leader
+    /// still has them in its log) or a full snapshot (when truncated).
+    CatchUp {
+        /// Leader's ballot.
+        ballot: Ballot,
+        /// Missing chosen decrees, ordered by instance.
+        entries: Vec<(Instance, Decree)>,
+        /// Full snapshot if the log no longer covers the gap.
+        snapshot: Option<SnapshotBlob>,
+        /// Leader's chosen prefix (entries/snapshot reach this point).
+        upto: Instance,
+    },
+}
+
+impl Msg {
+    /// Short tag for tracing and metrics.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Msg::Request(_) => "request",
+            Msg::Reply(_) => "reply",
+            Msg::Prepare { .. } => "prepare",
+            Msg::Promise { .. } => "promise",
+            Msg::PrepareNack { .. } => "prepare_nack",
+            Msg::Accept { .. } => "accept",
+            Msg::Accepted { .. } => "accepted",
+            Msg::AcceptNack { .. } => "accept_nack",
+            Msg::Chosen { .. } => "chosen",
+            Msg::Confirm { .. } => "confirm",
+            Msg::Heartbeat { .. } => "heartbeat",
+            Msg::HeartbeatAck { .. } => "heartbeat_ack",
+            Msg::CatchUpReq { .. } => "catchup_req",
+            Msg::CatchUp { .. } => "catchup",
+        }
+    }
+
+    /// Whether this message belongs to the replica-to-replica coordination
+    /// traffic (as opposed to client traffic). Used by the metrics layer to
+    /// report replication overhead separately.
+    #[must_use]
+    pub fn is_coordination(&self) -> bool {
+        !matches!(self, Msg::Request(_) | Msg::Reply(_))
+    }
+
+    /// Approximate on-the-wire size in bytes (headers + payloads). Used by
+    /// the simulator's bandwidth model; tracks the transport codec closely
+    /// enough for transmission-delay purposes without depending on it.
+    #[must_use]
+    pub fn approx_wire_len(&self) -> usize {
+        const HDR: usize = 8; // frame length + tag + slack
+        fn req_len(r: &Request) -> usize {
+            16 + 1 + 13 + 4 + r.op.len()
+        }
+        fn reply_body_len(b: &crate::request::ReplyBody) -> usize {
+            match b {
+                crate::request::ReplyBody::Ok(p) => 5 + p.len(),
+                _ => 16,
+            }
+        }
+        fn update_len(u: &crate::command::StateUpdate) -> usize {
+            1 + u.payload_len() + 4
+        }
+        fn decree_len(d: &Decree) -> usize {
+            4 + d
+                .entries
+                .iter()
+                .map(|e| {
+                    let cmd = match &e.cmd {
+                        crate::command::Command::Noop => 1,
+                        crate::command::Command::Req(r) => 1 + req_len(r),
+                        crate::command::Command::TxnCommit { ops, .. } => {
+                            29 + ops.iter().map(req_len).sum::<usize>()
+                        }
+                    };
+                    cmd + update_len(&e.update) + reply_body_len(&e.reply)
+                })
+                .sum::<usize>()
+        }
+        fn snapshot_len(s: &Option<SnapshotBlob>) -> usize {
+            match s {
+                None => 1,
+                Some(s) => 13 + s.app.len() + s.dedup.len() * 34,
+            }
+        }
+        HDR + match self {
+            Msg::Request(r) => req_len(r),
+            Msg::Reply(r) => 20 + reply_body_len(&r.body),
+            Msg::Prepare { known_above, .. } => 20 + 4 + known_above.len() * 8,
+            Msg::Promise {
+                accepted, snapshot, ..
+            } => {
+                24 + accepted
+                    .iter()
+                    .map(|e| 20 + decree_len(&e.decree))
+                    .sum::<usize>()
+                    + snapshot_len(snapshot)
+            }
+            Msg::PrepareNack { .. } | Msg::AcceptNack { .. } => 24,
+            Msg::Accept { entries, .. } => {
+                16 + entries.iter().map(|(_, d)| 8 + decree_len(d)).sum::<usize>()
+            }
+            Msg::Accepted { instances, .. } => 16 + instances.len() * 8,
+            Msg::Chosen { .. } => 20,
+            Msg::Heartbeat { .. } => 28,
+            Msg::HeartbeatAck { .. } => 28,
+            Msg::Confirm { .. } => 28,
+            Msg::CatchUpReq { .. } => 8,
+            Msg::CatchUp {
+                entries, snapshot, ..
+            } => {
+                28 + entries.iter().map(|(_, d)| 8 + decree_len(d)).sum::<usize>()
+                    + snapshot_len(snapshot)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ReplyBody, Request, RequestKind};
+    use crate::types::{ClientId, ProcessId, Seq};
+    use bytes::Bytes;
+
+    #[test]
+    fn tags_are_distinct_for_client_and_coordination() {
+        let req = Msg::Request(Request::new(
+            RequestId::new(ClientId(1), Seq(1)),
+            RequestKind::Read,
+            Bytes::new(),
+        ));
+        assert_eq!(req.tag(), "request");
+        assert!(!req.is_coordination());
+
+        let rep = Msg::Reply(Reply {
+            id: RequestId::new(ClientId(1), Seq(1)),
+            leader: ProcessId(0),
+            body: ReplyBody::Empty,
+        });
+        assert!(!rep.is_coordination());
+
+        let hb = Msg::Heartbeat {
+            ballot: Ballot::ZERO,
+            chosen: Instance::ZERO,
+            hb_seq: 0,
+        };
+        assert!(hb.is_coordination());
+        assert_eq!(hb.tag(), "heartbeat");
+    }
+
+    #[test]
+    fn wire_len_scales_with_payload() {
+        let small = Msg::Request(Request::new(
+            RequestId::new(ClientId(1), Seq(1)),
+            RequestKind::Write,
+            Bytes::from(vec![0u8; 16]),
+        ));
+        let big = Msg::Request(Request::new(
+            RequestId::new(ClientId(1), Seq(1)),
+            RequestKind::Write,
+            Bytes::from(vec![0u8; 64 * 1024]),
+        ));
+        assert!(big.approx_wire_len() > small.approx_wire_len() + 64 * 1024 - 64);
+        // Control messages are small.
+        let hb = Msg::Heartbeat {
+            ballot: Ballot::ZERO,
+            chosen: Instance::ZERO,
+            hb_seq: 0,
+        };
+        assert!(hb.approx_wire_len() < 64);
+    }
+
+    #[test]
+    fn wire_len_counts_accept_state_payloads() {
+        use crate::command::{Command, Decree, StateUpdate};
+        use crate::request::ReplyBody;
+        let accept = |state: usize| Msg::Accept {
+            ballot: Ballot::ZERO,
+            entries: vec![(
+                Instance(1),
+                Decree::single(
+                    Command::Noop,
+                    StateUpdate::Full(Bytes::from(vec![0u8; state])),
+                    ReplyBody::Empty,
+                ),
+            )],
+        };
+        let small = accept(8).approx_wire_len();
+        let big = accept(32 * 1024).approx_wire_len();
+        assert!(big - small >= 32 * 1024 - 8);
+    }
+}

@@ -1,0 +1,811 @@
+//! The replica: one sans-io state machine combining every role.
+//!
+//! A replica is simultaneously an *acceptor* (promise/accept bookkeeping on
+//! stable storage), a *learner* (applying chosen decrees to the service in
+//! instance order) and — at most one at a time — a *leader* or *candidate*.
+//! All I/O is expressed as returned [`Action`]s; all time is passed in.
+//!
+//! The module is split by role: this file holds the shared state, message
+//! dispatch, acceptor duties, the apply pipeline and step-down;
+//! `leader`-role logic (proposals, X-Paxos reads, T-Paxos transactions)
+//! lives in `leader.rs`; election and takeover live in `candidate.rs`.
+
+mod candidate;
+mod leader;
+
+pub use candidate::CandidateState;
+pub use leader::{LeaderState, PendingRead, TxnSession};
+
+use crate::action::{Action, TimerKind};
+use crate::ballot::Ballot;
+use crate::command::{Command, Decree, DedupEntry, SnapshotBlob};
+use crate::config::{Config, ValueMode};
+use crate::election::{ElectionPacer, FailureDetector};
+use crate::log::ReplicaLog;
+use crate::msg::Msg;
+use crate::request::{Reply, ReplyBody};
+use crate::service::{App, ExecCtx};
+use crate::storage::Storage;
+use crate::types::{Addr, ClientId, Dur, Instance, ProcessId, Seq, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The role a replica currently plays.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one Role per replica; size is irrelevant
+pub enum Role {
+    /// Passive: accepts, learns, confirms reads, watches the leader.
+    Follower,
+    /// Running the prepare phase of an election.
+    Candidate(CandidateState),
+    /// Sequencing client requests.
+    Leader(LeaderState),
+}
+
+impl Role {
+    /// Short name for traces.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Role::Follower => "follower",
+            Role::Candidate(_) => "candidate",
+            Role::Leader(_) => "leader",
+        }
+    }
+}
+
+/// Observable counters, used by tests and the benchmark harness.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaStats {
+    /// Consensus instances this replica committed as leader.
+    pub commits_led: u64,
+    /// Reads answered via the X-Paxos fast path.
+    pub xpaxos_reads: u64,
+    /// Reads answered locally under a leader lease (extension).
+    pub lease_reads: u64,
+    /// Reads answered through full consensus.
+    pub consensus_reads: u64,
+    /// "Original" (uncoordinated) requests answered.
+    pub originals: u64,
+    /// Elections started by this replica.
+    pub elections_started: u64,
+    /// Times this replica won an election.
+    pub elections_won: u64,
+    /// Times this replica stepped down from leader/candidate.
+    pub step_downs: u64,
+    /// Decrees applied to the local service.
+    pub applied: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Catch-up requests served.
+    pub catchups_served: u64,
+    /// T-Paxos transactions committed by this replica as leader.
+    pub txns_committed: u64,
+    /// Transactions aborted (any reason) by this replica as leader.
+    pub txns_aborted: u64,
+}
+
+/// A replicated-service process.
+pub struct Replica {
+    pub(crate) id: ProcessId,
+    pub(crate) cfg: Config,
+    pub(crate) app: Box<dyn App>,
+    pub(crate) storage: Box<dyn Storage>,
+    pub(crate) rng: SmallRng,
+    /// Highest ballot promised; never accept or promise below it.
+    pub(crate) promised: Ballot,
+    /// Highest ballot observed anywhere (for outbidding).
+    pub(crate) max_ballot_seen: Ballot,
+    pub(crate) log: ReplicaLog,
+    /// At-most-once table: last executed seq + reply per client.
+    pub(crate) dedup: HashMap<ClientId, (Seq, ReplyBody)>,
+    pub(crate) fd: FailureDetector,
+    pub(crate) pacer: ElectionPacer,
+    pub(crate) role: Role,
+    /// Instance whose decree the local service already reflects because we
+    /// executed it ourselves as leader (skip re-applying on commit).
+    pub(crate) self_executed: Option<Instance>,
+    /// Service snapshot taken just before a tentative leader-side
+    /// execution; restored if leadership is lost before commit.
+    pub(crate) pre_exec: Option<bytes::Bytes>,
+    pub(crate) last_checkpoint: Instance,
+    /// Last catch-up request we sent: `(our prefix then, when)`. Suppresses
+    /// duplicates while one is outstanding, but ages out after a
+    /// retransmission timeout so a lost request or response is retried.
+    pub(crate) catchup_requested_at: Option<(Instance, Time)>,
+    /// Observability counters.
+    pub stats: ReplicaStats,
+}
+
+impl Replica {
+    /// Create a fresh replica (empty log and service).
+    #[must_use]
+    pub fn new(
+        id: ProcessId,
+        cfg: Config,
+        app: Box<dyn App>,
+        storage: Box<dyn Storage>,
+        seed: u64,
+        now: Time,
+    ) -> Replica {
+        let fd = FailureDetector::new(cfg.suspect_timeout, now);
+        let pacer = ElectionPacer::new(cfg.election_backoff, id.0);
+        Replica {
+            id,
+            cfg,
+            app,
+            storage,
+            rng: SmallRng::seed_from_u64(seed ^ (u64::from(id.0) << 32)),
+            promised: Ballot::ZERO,
+            max_ballot_seen: Ballot::ZERO,
+            log: ReplicaLog::new(),
+            dedup: HashMap::new(),
+            fd,
+            pacer,
+            role: Role::Follower,
+            self_executed: None,
+            pre_exec: None,
+            last_checkpoint: Instance::ZERO,
+            catchup_requested_at: None,
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// Recover a replica after a crash: reload durable state, restore the
+    /// service from the last checkpoint and re-apply logged chosen decrees.
+    #[must_use]
+    pub fn recover(
+        id: ProcessId,
+        cfg: Config,
+        mut app: Box<dyn App>,
+        storage: Box<dyn Storage>,
+        seed: u64,
+        now: Time,
+    ) -> Replica {
+        let durable = storage.load();
+        let mut dedup: HashMap<ClientId, (Seq, ReplyBody)> = HashMap::new();
+        let mut replay_from = Instance::ZERO;
+        if let Some(ckpt) = &durable.checkpoint {
+            app.restore(&ckpt.app);
+            for e in &ckpt.dedup {
+                dedup.insert(e.client, (e.seq, e.reply.clone()));
+            }
+            replay_from = ckpt.upto;
+        }
+        let log = ReplicaLog::from_durable(&durable);
+
+        let mut replica = Replica {
+            id,
+            cfg,
+            app,
+            storage,
+            rng: SmallRng::seed_from_u64(seed ^ (u64::from(id.0) << 32) ^ 0x5eed),
+            promised: durable.promised,
+            max_ballot_seen: durable.promised,
+            log,
+            dedup,
+            fd: FailureDetector::new(Dur::ZERO, now), // replaced below
+            pacer: ElectionPacer::new(Dur::ZERO, id.0), // replaced below
+            role: Role::Follower,
+            self_executed: None,
+            pre_exec: None,
+            last_checkpoint: replay_from,
+            catchup_requested_at: None,
+            stats: ReplicaStats::default(),
+        };
+        replica.fd = FailureDetector::new(replica.cfg.suspect_timeout, now);
+        replica.pacer = ElectionPacer::new(replica.cfg.election_backoff, id.0);
+
+        // Re-apply chosen decrees between the checkpoint and the durable
+        // chosen prefix. They are in the log (truncation only happens at
+        // checkpoints) and are guaranteed to be the chosen values (the
+        // prefix is persisted only after applying).
+        let upto = replica.log.chosen_prefix();
+        let mut i = replay_from.next();
+        while i <= upto {
+            let decree = replica
+                .log
+                .get(i)
+                .map(|(_, d)| d.clone())
+                .expect("log covers (checkpoint, chosen_prefix]");
+            replica.apply_to_service(i, &decree);
+            i = i.next();
+        }
+        replica
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors (tests, harness)
+    // ------------------------------------------------------------------
+
+    /// This replica's id.
+    #[must_use]
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The replica's configuration.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Current role.
+    #[must_use]
+    pub fn role(&self) -> &Role {
+        &self.role
+    }
+
+    /// Whether this replica currently leads.
+    #[must_use]
+    pub fn is_leader(&self) -> bool {
+        matches!(self.role, Role::Leader(_))
+    }
+
+    /// Highest promised ballot.
+    #[must_use]
+    pub fn promised(&self) -> Ballot {
+        self.promised
+    }
+
+    /// Contiguous chosen-and-applied prefix.
+    #[must_use]
+    pub fn chosen_prefix(&self) -> Instance {
+        self.log.chosen_prefix()
+    }
+
+    /// Snapshot of the service state (for consistency assertions).
+    #[must_use]
+    pub fn service_snapshot(&self) -> bytes::Bytes {
+        self.app.snapshot()
+    }
+
+    /// The replica's view of who leads (the proposer of the ballot it
+    /// follows), if any leadership was ever observed.
+    #[must_use]
+    pub fn leader_hint(&self) -> Option<ProcessId> {
+        let b = self.fd.leader_ballot().max(self.promised);
+        if b.is_zero() {
+            None
+        } else {
+            Some(b.proposer)
+        }
+    }
+
+    /// Immutable access to the service (tests downcast).
+    #[must_use]
+    pub fn app(&self) -> &dyn App {
+        self.app.as_ref()
+    }
+
+    /// Number of log entries currently retained.
+    #[must_use]
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Consume the replica (a crash) and keep only what survives: the
+    /// stable storage. A later [`Replica::recover`] resumes from it.
+    #[must_use]
+    pub fn into_storage(self) -> Box<dyn Storage> {
+        self.storage
+    }
+
+    // ------------------------------------------------------------------
+    // Entry points
+    // ------------------------------------------------------------------
+
+    /// Called once when the process starts (fresh or recovered).
+    pub fn on_start(&mut self, now: Time) -> Vec<Action> {
+        let mut out = Vec::new();
+        // Everyone watches for a leader. Jitter the first check so
+        // leaderless bootstraps don't produce simultaneous candidacies.
+        let jitter = Dur(self.rng.gen_range(0..=self.cfg.election_backoff.0));
+        out.push(Action::timer(
+            TimerKind::LeaderCheck,
+            self.cfg.suspect_timeout + jitter,
+        ));
+        if self.cfg.bootstrap_leader == Some(self.id) {
+            self.start_election(now, &mut out);
+        }
+        out
+    }
+
+    /// Handle an incoming message.
+    pub fn on_message(&mut self, from: Addr, msg: Msg, now: Time) -> Vec<Action> {
+        let mut out = Vec::new();
+        match msg {
+            Msg::Request(req) => self.handle_request(req, now, &mut out),
+            Msg::Prepare {
+                ballot,
+                chosen_prefix,
+                known_above,
+            } => self.handle_prepare(from, ballot, chosen_prefix, &known_above, now, &mut out),
+            Msg::Promise {
+                ballot,
+                chosen_prefix,
+                accepted,
+                snapshot,
+            } => self.handle_promise(from, ballot, chosen_prefix, accepted, snapshot, now, &mut out),
+            Msg::PrepareNack { ballot, promised } => {
+                self.handle_prepare_nack(ballot, promised, now, &mut out)
+            }
+            Msg::Accept { ballot, entries } => {
+                self.handle_accept(from, ballot, entries, now, &mut out)
+            }
+            Msg::Accepted { ballot, instances } => {
+                self.handle_accepted(from, ballot, &instances, now, &mut out)
+            }
+            Msg::AcceptNack { promised, .. } => {
+                self.note_ballot(promised);
+                if self.leading_ballot().is_some_and(|b| b < promised) {
+                    self.step_down(promised, now, &mut out);
+                }
+            }
+            Msg::Chosen { ballot, upto } => self.handle_chosen(ballot, upto, now, &mut out),
+            Msg::Confirm { ballot, read } => {
+                self.handle_confirm(from, ballot, read, now, &mut out)
+            }
+            Msg::Heartbeat { ballot, chosen, hb_seq } => {
+                self.handle_chosen(ballot, chosen, now, &mut out);
+                // Lease mode: grant the leader a lease vote by acking.
+                if self.cfg.read_mode == crate::config::ReadMode::Lease
+                    && ballot >= self.promised
+                    && !self.is_leader()
+                {
+                    out.push(Action::send(
+                        Addr::Replica(ballot.proposer),
+                        Msg::HeartbeatAck { ballot, hb_seq },
+                    ));
+                }
+            }
+            Msg::HeartbeatAck { ballot, hb_seq } => {
+                self.handle_heartbeat_ack(from, ballot, hb_seq, now)
+            }
+            Msg::CatchUpReq { have } => self.handle_catchup_req(from, have, &mut out),
+            Msg::CatchUp {
+                ballot,
+                entries,
+                snapshot,
+                upto,
+            } => self.handle_catchup(ballot, entries, snapshot, upto, now, &mut out),
+            Msg::Reply(_) => {} // replicas never receive replies
+        }
+        out
+    }
+
+    /// Handle a timer firing.
+    pub fn on_timer(&mut self, kind: TimerKind, now: Time) -> Vec<Action> {
+        let mut out = Vec::new();
+        match kind {
+            TimerKind::LeaderCheck => {
+                if matches!(self.role, Role::Follower) && self.fd.suspects(now) {
+                    self.start_election(now, &mut out);
+                    out.push(Action::timer(TimerKind::LeaderCheck, self.cfg.suspect_timeout));
+                } else {
+                    let next = match self.role {
+                        Role::Follower => self.fd.next_check(now).max(Dur(1)),
+                        _ => self.cfg.suspect_timeout,
+                    };
+                    out.push(Action::timer(TimerKind::LeaderCheck, next));
+                }
+            }
+            TimerKind::Heartbeat => self.on_heartbeat_timer(now, &mut out),
+            TimerKind::Retransmit => self.on_retransmit_timer(now, &mut out),
+            TimerKind::Election => self.on_election_timer(now, &mut out),
+            TimerKind::BatchWindow => self.on_batch_window_timer(now, &mut out),
+            TimerKind::ClientRetry => {} // client-only timer
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Acceptor duties
+    // ------------------------------------------------------------------
+
+    pub(crate) fn note_ballot(&mut self, b: Ballot) {
+        if b > self.max_ballot_seen {
+            self.max_ballot_seen = b;
+        }
+    }
+
+    /// The ballot under which this replica is leading or campaigning.
+    pub(crate) fn leading_ballot(&self) -> Option<Ballot> {
+        match &self.role {
+            Role::Leader(l) => Some(l.ballot),
+            Role::Candidate(c) => Some(c.ballot),
+            Role::Follower => None,
+        }
+    }
+
+    fn handle_prepare(
+        &mut self,
+        from: Addr,
+        ballot: Ballot,
+        cand_prefix: Instance,
+        known_above: &[Instance],
+        now: Time,
+        out: &mut Vec<Action>,
+    ) {
+        self.note_ballot(ballot);
+        if ballot < self.promised {
+            out.push(Action::send(
+                from,
+                Msg::PrepareNack {
+                    ballot,
+                    promised: self.promised,
+                },
+            ));
+            return;
+        }
+        // A higher (or re-sent equal) ballot: yield to it.
+        if self.leading_ballot().is_some_and(|b| b < ballot) {
+            self.step_down(ballot, now, out);
+        }
+        if ballot > self.promised {
+            self.promised = ballot;
+            self.storage.save_promised(ballot);
+        }
+        // Grant the candidate failure-detection grace to finish.
+        self.fd.observe(ballot, now);
+
+        let my_prefix = self.log.chosen_prefix();
+        let snapshot = if my_prefix > cand_prefix {
+            Some(self.make_snapshot())
+        } else {
+            None
+        };
+        let floor = my_prefix.max(cand_prefix);
+        let accepted = self.log.entries_above(floor, known_above);
+        out.push(Action::send(
+            from,
+            Msg::Promise {
+                ballot,
+                chosen_prefix: my_prefix,
+                accepted,
+                snapshot,
+            },
+        ));
+    }
+
+    fn handle_accept(
+        &mut self,
+        from: Addr,
+        ballot: Ballot,
+        entries: Vec<(Instance, Decree)>,
+        now: Time,
+        out: &mut Vec<Action>,
+    ) {
+        self.note_ballot(ballot);
+        if ballot < self.promised {
+            out.push(Action::send(
+                from,
+                Msg::AcceptNack {
+                    ballot,
+                    promised: self.promised,
+                },
+            ));
+            return;
+        }
+        if self.leading_ballot().is_some_and(|b| b < ballot) {
+            self.step_down(ballot, now, out);
+        }
+        if ballot > self.promised {
+            self.promised = ballot;
+            self.storage.save_promised(ballot);
+        }
+        self.fd.observe(ballot, now);
+
+        let mut acked = Vec::with_capacity(entries.len());
+        for (i, d) in entries {
+            if i > self.log.chosen_prefix() {
+                self.storage.save_accepted(i, ballot, &d);
+                self.log.record_accept(i, ballot, d);
+            }
+            // Instances at or below the prefix were already applied; the
+            // acceptance is vacuously satisfied, so still acknowledge.
+            acked.push(i);
+        }
+        out.push(Action::send(
+            from,
+            Msg::Accepted {
+                ballot,
+                instances: acked,
+            },
+        ));
+    }
+
+    /// Shared handler for `Chosen` and `Heartbeat`: both certify that every
+    /// instance `<= upto` proposed under `ballot` is chosen.
+    fn handle_chosen(&mut self, ballot: Ballot, upto: Instance, now: Time, out: &mut Vec<Action>) {
+        self.note_ballot(ballot);
+        if ballot < self.promised {
+            return; // stale leadership
+        }
+        if self.leading_ballot().is_some_and(|b| b < ballot) {
+            self.step_down(ballot, now, out);
+        }
+        if ballot > self.promised {
+            // A leader we never promised (we missed the prepare); a
+            // majority promised it, so following it is safe.
+            self.promised = ballot;
+            self.storage.save_promised(ballot);
+        }
+        self.fd.observe(ballot, now);
+        if self.leading_ballot() == Some(ballot) {
+            return; // our own leadership; we track commits directly
+        }
+
+        // Mark chosen every instance we hold the matching-ballot entry for.
+        // An entry accepted under a *different* ballot is not necessarily
+        // the chosen value, so it requires catch-up instead.
+        let mut need_catchup = false;
+        let mut i = self.log.chosen_prefix().next();
+        while i <= upto {
+            if !self.log.is_known_chosen(i) {
+                match self.log.get(i) {
+                    Some((b, _)) if *b == ballot => self.log.mark_chosen(i),
+                    _ => need_catchup = true,
+                }
+            }
+            i = i.next();
+        }
+        self.drain_apply(now, out);
+
+        if need_catchup || self.log.chosen_prefix() < upto {
+            let have = self.log.chosen_prefix();
+            // Suppress duplicates while a request for this prefix is out,
+            // but retry once the previous one has plausibly been lost.
+            let fresh = matches!(
+                self.catchup_requested_at,
+                Some((h, t)) if h == have
+                    && now.since(t) < self.cfg.retransmit_timeout
+            );
+            if !fresh {
+                self.catchup_requested_at = Some((have, now));
+                out.push(Action::send(
+                    Addr::Replica(ballot.proposer),
+                    Msg::CatchUpReq { have },
+                ));
+            }
+        }
+    }
+
+    fn handle_catchup_req(&mut self, from: Addr, have: Instance, out: &mut Vec<Action>) {
+        let Role::Leader(l) = &self.role else {
+            return; // only the leader serves catch-up
+        };
+        let ballot = l.ballot;
+        let upto = self.log.chosen_prefix();
+        if upto <= have {
+            return;
+        }
+        self.stats.catchups_served += 1;
+        let msg = match self.log.chosen_range(have, upto) {
+            Some(entries) => Msg::CatchUp {
+                ballot,
+                entries,
+                snapshot: None,
+                upto,
+            },
+            None => Msg::CatchUp {
+                ballot,
+                entries: Vec::new(),
+                snapshot: Some(self.make_snapshot()),
+                upto,
+            },
+        };
+        out.push(Action::send(from, msg));
+    }
+
+    fn handle_catchup(
+        &mut self,
+        ballot: Ballot,
+        entries: Vec<(Instance, Decree)>,
+        snapshot: Option<SnapshotBlob>,
+        _upto: Instance,
+        now: Time,
+        out: &mut Vec<Action>,
+    ) {
+        self.note_ballot(ballot);
+        if ballot < self.promised {
+            return;
+        }
+        self.fd.observe(ballot, now);
+        self.catchup_requested_at = None;
+
+        if let Some(snap) = snapshot {
+            if snap.upto > self.log.chosen_prefix() {
+                self.install_snapshot(&snap);
+            }
+        }
+        for (i, d) in entries {
+            if i > self.log.chosen_prefix() && !self.log.is_known_chosen(i) {
+                self.storage.save_accepted(i, ballot, &d);
+                self.log.record_accept(i, ballot, d);
+                self.log.mark_chosen(i);
+            }
+        }
+        self.drain_apply(now, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Learner: the apply pipeline
+    // ------------------------------------------------------------------
+
+    /// Apply every contiguously-chosen decree to the service, advancing the
+    /// prefix, persisting it, replying to clients (leader only) and taking
+    /// checkpoints.
+    pub(crate) fn drain_apply(&mut self, now: Time, out: &mut Vec<Action>) {
+        while let Some((i, d)) = self.log.next_applicable() {
+            let decree = d.clone();
+            self.apply_to_service(i, &decree);
+            self.log.advance_applied(i);
+            self.storage.save_chosen_prefix(i);
+
+            // Only the leader replies (and a re-elected leader re-replies
+            // for recovered decrees whose clients may still be waiting).
+            if matches!(self.role, Role::Leader(_)) {
+                for entry in &decree.entries {
+                    if let Some(rid) = entry.cmd.request_id() {
+                        out.push(Action::send(
+                            Addr::Client(rid.client),
+                            Msg::Reply(Reply {
+                                id: rid,
+                                leader: self.id,
+                                body: entry.reply.clone(),
+                            }),
+                        ));
+                    }
+                }
+            }
+            self.maybe_checkpoint(i);
+        }
+        // Leader: an advance may unblock deferred reads and queued writes.
+        if matches!(self.role, Role::Leader(_)) {
+            self.leader_after_advance(now, out);
+        }
+    }
+
+    /// Apply one chosen decree (all of its entries, in order) to the
+    /// service and the dedup table.
+    fn apply_to_service(&mut self, i: Instance, decree: &Decree) {
+        self.stats.applied += 1;
+        let skip_app = self.self_executed == Some(i);
+        if skip_app {
+            self.self_executed = None;
+            self.pre_exec = None;
+        }
+        for entry in &decree.entries {
+            match &entry.cmd {
+                Command::Noop => {}
+                Command::Req(req) => {
+                    let duplicate = self
+                        .dedup
+                        .get(&req.id.client)
+                        .is_some_and(|(s, _)| *s >= req.id.seq);
+                    if !duplicate {
+                        if !skip_app {
+                            match self.cfg.value_mode {
+                                ValueMode::ReqState => self.app.apply(req, &entry.update),
+                                ValueMode::ReqOnly => {
+                                    // Classic SMR: every replica executes.
+                                    // Only sound for deterministic services.
+                                    let mut ctx = ExecCtx::new(Time::ZERO, &mut self.rng);
+                                    let _ = self.app.execute(req, &mut ctx);
+                                }
+                            }
+                        }
+                        self.dedup
+                            .insert(req.id.client, (req.id.seq, entry.reply.clone()));
+                    }
+                }
+                Command::TxnCommit { id, txn, ops } => {
+                    let duplicate = self
+                        .dedup
+                        .get(&id.client)
+                        .is_some_and(|(s, _)| *s >= id.seq);
+                    if !duplicate {
+                        if !skip_app {
+                            self.app.apply_txn_commit(*txn, ops, &entry.update);
+                        }
+                        self.dedup.insert(id.client, (id.seq, entry.reply.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    fn maybe_checkpoint(&mut self, prefix: Instance) {
+        if self.cfg.checkpoint_every == 0 {
+            return;
+        }
+        if prefix.0 - self.last_checkpoint.0 >= self.cfg.checkpoint_every {
+            let snap = self.make_snapshot();
+            self.storage.save_checkpoint(&snap);
+            self.storage.truncate_upto(snap.upto);
+            self.log.truncate_upto(snap.upto);
+            self.last_checkpoint = snap.upto;
+            self.stats.checkpoints += 1;
+        }
+    }
+
+    pub(crate) fn make_snapshot(&self) -> SnapshotBlob {
+        SnapshotBlob {
+            upto: self.log.chosen_prefix(),
+            app: self.app.snapshot(),
+            dedup: self
+                .dedup
+                .iter()
+                .map(|(c, (s, r))| DedupEntry {
+                    client: *c,
+                    seq: *s,
+                    reply: r.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn install_snapshot(&mut self, snap: &SnapshotBlob) {
+        debug_assert!(snap.upto >= self.log.chosen_prefix());
+        self.app.restore(&snap.app);
+        self.dedup.clear();
+        for e in &snap.dedup {
+            self.dedup.insert(e.client, (e.seq, e.reply.clone()));
+        }
+        self.log.truncate_upto(snap.upto);
+        self.log.force_prefix(snap.upto);
+        self.storage.save_checkpoint(snap);
+        self.storage.truncate_upto(snap.upto);
+        self.storage.save_chosen_prefix(snap.upto);
+        self.last_checkpoint = snap.upto;
+        self.self_executed = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Step-down
+    // ------------------------------------------------------------------
+
+    /// Yield to a higher ballot: abort leader/candidate state, roll back
+    /// any tentative execution, and return to following.
+    pub(crate) fn step_down(&mut self, higher: Ballot, now: Time, out: &mut Vec<Action>) {
+        self.note_ballot(higher);
+        match std::mem::replace(&mut self.role, Role::Follower) {
+            Role::Leader(l) => {
+                self.stats.step_downs += 1;
+                // T-Paxos sessions die with the leadership (§3.6): staged
+                // effects are discarded; clients learn via LeaderSwitch
+                // aborts when they try to commit at the new leader.
+                for ((_, txn), _) in l.txns {
+                    self.app.txn_abort(txn);
+                    self.stats.txns_aborted += 1;
+                }
+                // Roll back a tentative execution that never committed.
+                if let Some(snap) = self.pre_exec.take() {
+                    if self.self_executed.take().is_some() {
+                        self.app.restore(&snap);
+                    }
+                }
+                out.push(Action::CancelTimer {
+                    kind: TimerKind::Heartbeat,
+                });
+                out.push(Action::CancelTimer {
+                    kind: TimerKind::Retransmit,
+                });
+            }
+            Role::Candidate(_) => {
+                self.stats.step_downs += 1;
+                out.push(Action::CancelTimer {
+                    kind: TimerKind::Election,
+                });
+            }
+            Role::Follower => {}
+        }
+        self.fd.reset(now);
+        self.pacer.settle();
+    }
+}
+
+#[cfg(test)]
+mod tests;

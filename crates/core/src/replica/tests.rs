@@ -1,0 +1,965 @@
+//! Unit tests for the replica roles, driven by a zero-latency in-memory
+//! shuttle (failure-free runs need no timers; tests fire timers manually
+//! where a scenario depends on them).
+
+use super::*;
+use crate::client::ClientCore;
+use crate::config::{ReadMode, TxnMode};
+use crate::msg::Msg;
+use crate::request::{AbortReason, RequestKind};
+use crate::service::NoopApp;
+use crate::storage::MemStorage;
+use crate::types::{Addr, ClientId, Dur, ProcessId, Time, TxnId};
+use bytes::Bytes;
+
+/// Zero-latency network: delivers every queued message immediately, in
+/// FIFO order. Timer actions are recorded but fired only on demand.
+struct Shuttle {
+    replicas: Vec<Option<Replica>>,
+    queue: std::collections::VecDeque<(Addr, Addr, Msg)>, // (from, to, msg)
+    client_inbox: Vec<(ClientId, Msg)>,
+    now: Time,
+}
+
+impl Shuttle {
+    fn new(n: usize, cfg: Config) -> Shuttle {
+        let mut s = Shuttle {
+            replicas: (0..n)
+                .map(|i| {
+                    Some(Replica::new(
+                        ProcessId(i as u32),
+                        cfg.clone(),
+                        Box::new(NoopApp::new()),
+                        Box::new(MemStorage::new()),
+                        7 + i as u64,
+                        Time::ZERO,
+                    ))
+                })
+                .collect(),
+            queue: Default::default(),
+            client_inbox: Vec::new(),
+            now: Time::ZERO,
+        };
+        for i in 0..n {
+            let actions = s.replicas[i].as_mut().unwrap().on_start(Time::ZERO);
+            s.enqueue(Addr::Replica(ProcessId(i as u32)), actions);
+        }
+        s.run();
+        s
+    }
+
+    fn n(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn enqueue(&mut self, from: Addr, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => self.queue.push_back((from, to, msg)),
+                Action::ToAllReplicas { msg } => {
+                    for i in 0..self.n() {
+                        let to = Addr::Replica(ProcessId(i as u32));
+                        if to != from {
+                            self.queue.push_back((from, to, msg.clone()));
+                        }
+                    }
+                }
+                Action::SetTimer { .. } | Action::CancelTimer { .. } => {}
+            }
+        }
+    }
+
+    /// Deliver until quiescent.
+    fn run(&mut self) {
+        let mut hops = 0;
+        while let Some((from, to, msg)) = self.queue.pop_front() {
+            hops += 1;
+            assert!(hops < 100_000, "message storm");
+            match to {
+                Addr::Replica(p) => {
+                    if let Some(r) = self.replicas[p.0 as usize].as_mut() {
+                        let actions = r.on_message(from, msg, self.now);
+                        self.enqueue(to, actions);
+                    }
+                }
+                Addr::Client(c) => self.client_inbox.push((c, msg)),
+            }
+        }
+    }
+
+    fn fire(&mut self, p: u32, kind: TimerKind) {
+        if let Some(r) = self.replicas[p as usize].as_mut() {
+            let actions = r.on_timer(kind, self.now);
+            self.enqueue(Addr::Replica(ProcessId(p)), actions);
+        }
+        self.run();
+    }
+
+    fn replica(&self, p: u32) -> &Replica {
+        self.replicas[p as usize].as_ref().unwrap()
+    }
+
+    fn crash(&mut self, p: u32) -> Box<dyn crate::storage::Storage> {
+        let r = self.replicas[p as usize].take().unwrap();
+        r.storage
+    }
+
+    fn leader(&self) -> Option<u32> {
+        (0..self.n() as u32).find(|p| {
+            self.replicas[*p as usize]
+                .as_ref()
+                .is_some_and(|r| r.is_leader())
+        })
+    }
+
+    fn submit(&mut self, client: &mut ClientCore, kind: RequestKind) -> crate::client::CompletedOp {
+        let actions = client.submit_op(kind, Bytes::new(), self.now);
+        self.drive_client(client, actions)
+    }
+
+    fn drive_client(
+        &mut self,
+        client: &mut ClientCore,
+        actions: Vec<Action>,
+    ) -> crate::client::CompletedOp {
+        let from = Addr::Client(client.id());
+        self.enqueue(from, actions);
+        self.run();
+        let mut result = None;
+        let inbox = std::mem::take(&mut self.client_inbox);
+        for (c, msg) in inbox {
+            if c == client.id() {
+                let (done, acts) = client.on_message(msg, self.now);
+                self.enqueue(from, acts);
+                if let Some(d) = done {
+                    result = Some(d);
+                }
+            }
+        }
+        self.run();
+        result.expect("request must complete in a failure-free run")
+    }
+
+    fn assert_replica_states_converged(&mut self) {
+        // Let stragglers catch up via a heartbeat round first.
+        if let Some(lead) = self.leader() {
+            self.fire(lead, TimerKind::Heartbeat);
+        }
+        let snaps: Vec<_> = self
+            .replicas
+            .iter()
+            .flatten()
+            .map(|r| (r.chosen_prefix(), r.service_snapshot()))
+            .collect();
+        for w in snaps.windows(2) {
+            assert_eq!(w[0], w[1], "replica states diverged");
+        }
+    }
+}
+
+fn cluster_cfg(n: usize) -> Config {
+    Config::cluster(n)
+}
+
+#[test]
+fn bootstrap_elects_the_configured_leader() {
+    let s = Shuttle::new(3, cluster_cfg(3));
+    assert_eq!(s.leader(), Some(0));
+    assert!(s.replica(1).promised() == s.replica(0).promised());
+    assert_eq!(s.replica(0).promised().proposer, ProcessId(0));
+}
+
+#[test]
+fn write_commits_on_all_replicas() {
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    let done = s.submit(&mut c, RequestKind::Write);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    assert_eq!(done.leader, ProcessId(0));
+    s.assert_replica_states_converged();
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(1));
+    // All three no-op services counted the write.
+    for p in 0..3 {
+        let snap = s.replica(p).service_snapshot();
+        assert_eq!(u64::from_le_bytes(snap[..8].try_into().unwrap()), 1);
+    }
+}
+
+#[test]
+fn xpaxos_read_completes_without_consensus_instance() {
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+    let before = s.replica(0).chosen_prefix();
+    let done = s.submit(&mut c, RequestKind::Read);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    // Reads consume no instance.
+    assert_eq!(s.replica(0).chosen_prefix(), before);
+    assert_eq!(s.replica(0).stats.xpaxos_reads, 1);
+}
+
+#[test]
+fn consensus_read_mode_runs_full_instance() {
+    let cfg = cluster_cfg(3).with_read_mode(ReadMode::Consensus);
+    let mut s = Shuttle::new(3, cfg);
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    let done = s.submit(&mut c, RequestKind::Read);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(1));
+    assert_eq!(s.replica(0).stats.consensus_reads, 1);
+}
+
+#[test]
+fn original_requests_bypass_coordination() {
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    let done = s.submit(&mut c, RequestKind::Original);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    assert_eq!(s.replica(0).chosen_prefix(), Instance::ZERO);
+    assert_eq!(s.replica(0).stats.originals, 1);
+}
+
+#[test]
+fn duplicate_request_is_answered_from_dedup() {
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    let done = s.submit(&mut c, RequestKind::Write);
+    let req = done.req.clone();
+    // Replay the identical request straight at the leader.
+    s.enqueue(
+        Addr::Client(c.id()),
+        vec![Action::send(Addr::Replica(ProcessId(0)), Msg::Request(req))],
+    );
+    s.run();
+    // Exactly one more reply arrives, no new instance is consumed.
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(1));
+    let replies = s
+        .client_inbox
+        .iter()
+        .filter(|(cid, _)| *cid == c.id())
+        .count();
+    assert_eq!(replies, 1);
+}
+
+#[test]
+fn many_writes_from_many_clients_stay_consistent() {
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut clients: Vec<ClientCore> = (0..4)
+        .map(|i| ClientCore::new(ClientId(i), 3, Dur::from_millis(100)))
+        .collect();
+    for round in 0..5 {
+        for c in clients.iter_mut() {
+            let done = s.submit(c, RequestKind::Write);
+            assert!(matches!(done.body, ReplyBody::Ok(_)), "round {round}");
+        }
+    }
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(20));
+    s.assert_replica_states_converged();
+}
+
+#[test]
+fn leader_crash_failover_and_continued_service() {
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+    s.crash(0);
+    // r1 suspects and takes over.
+    s.now = Time(Dur::from_secs(10).0);
+    s.fire(1, TimerKind::LeaderCheck);
+    assert_eq!(s.leader(), Some(1));
+    // The new leader must know the first write.
+    assert_eq!(s.replica(1).chosen_prefix(), Instance(1));
+    // And keep serving.
+    let done = s.submit(&mut c, RequestKind::Write);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    assert_eq!(done.leader, ProcessId(1));
+    assert_eq!(s.replica(1).chosen_prefix(), Instance(2));
+}
+
+#[test]
+fn deposed_leader_rolls_back_tentative_execution() {
+    // Drive r0 to execute a write tentatively but never commit it, by
+    // dropping its outbound accept.
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+
+    // Detach r0: feed it a request directly and drop its outbound traffic.
+    let req = crate::request::Request::new(
+        crate::request::RequestId::new(ClientId(9), crate::types::Seq(1)),
+        RequestKind::Write,
+        Bytes::new(),
+    );
+    let r0 = s.replicas[0].as_mut().unwrap();
+    let _dropped = r0.on_message(Addr::Client(ClientId(9)), Msg::Request(req), s.now);
+    // r0 executed tentatively: its service saw the write...
+    let snap = s.replica(0).service_snapshot();
+    assert_eq!(u64::from_le_bytes(snap[..8].try_into().unwrap()), 2);
+
+    // ...and a higher-ballot prepare, delivered synchronously, forces the
+    // rollback at the moment of step-down.
+    let higher = crate::ballot::Ballot::new(99, ProcessId(1));
+    let r0 = s.replicas[0].as_mut().unwrap();
+    let _promise = r0.on_message(
+        Addr::Replica(ProcessId(1)),
+        Msg::Prepare {
+            ballot: higher,
+            chosen_prefix: Instance(1),
+            known_above: vec![],
+        },
+        s.now,
+    );
+    assert!(!s.replica(0).is_leader());
+    let snap = s.replica(0).service_snapshot();
+    assert_eq!(
+        u64::from_le_bytes(snap[..8].try_into().unwrap()),
+        1,
+        "tentative write must be rolled back on step-down"
+    );
+}
+
+#[test]
+fn tentative_proposal_resurfaces_through_new_leader() {
+    // A deposed leader's accepted-but-uncommitted decree is learned via
+    // promises and legitimately completed by the new leader.
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+
+    let req = crate::request::Request::new(
+        crate::request::RequestId::new(ClientId(9), crate::types::Seq(1)),
+        RequestKind::Write,
+        Bytes::new(),
+    );
+    let r0 = s.replicas[0].as_mut().unwrap();
+    let _dropped = r0.on_message(Addr::Client(ClientId(9)), Msg::Request(req), s.now);
+
+    // r1 takes over; its prepare majority includes r0, so the tentative
+    // decree is re-proposed under the new ballot and commits everywhere.
+    s.now = Time(Dur::from_secs(10).0);
+    s.fire(1, TimerKind::LeaderCheck);
+    assert_eq!(s.leader(), Some(1));
+    assert_eq!(s.replica(1).chosen_prefix(), Instance(2));
+    s.assert_replica_states_converged();
+    for p in 0..3 {
+        let snap = s.replica(p).service_snapshot();
+        assert_eq!(u64::from_le_bytes(snap[..8].try_into().unwrap()), 2);
+    }
+    // The waiting client was answered by the new leader.
+    assert!(s
+        .client_inbox
+        .iter()
+        .any(|(cid, m)| *cid == ClientId(9) && matches!(m, Msg::Reply(r) if r.leader == ProcessId(1))));
+}
+
+#[test]
+fn tpaxos_ops_reply_immediately_commit_coordinates() {
+    let cfg = cluster_cfg(3).with_txn_mode(TxnMode::TPaxos);
+    let mut s = Shuttle::new(3, cfg);
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    let txn = TxnId(1);
+
+    for i in 0..3u64 {
+        let id = c.next_request_id();
+        let req = crate::request::Request::txn_op(id, RequestKind::Write, txn, Bytes::new());
+        let actions = c.submit(req, s.now);
+        let done = s.drive_client(&mut c, actions);
+        assert!(matches!(done.body, ReplyBody::Ok(_)), "op {i}");
+        // No consensus yet.
+        assert_eq!(s.replica(0).chosen_prefix(), Instance::ZERO);
+    }
+    let id = c.next_request_id();
+    let commit = crate::request::Request::txn_commit(id, txn, 3);
+    let actions = c.submit(commit, s.now);
+    let done = s.drive_client(&mut c, actions);
+    assert_eq!(done.body, ReplyBody::TxnCommitted { txn });
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(1));
+    s.assert_replica_states_converged();
+    assert_eq!(s.replica(0).stats.txns_committed, 1);
+}
+
+#[test]
+fn tpaxos_commit_after_leader_switch_aborts() {
+    let cfg = cluster_cfg(3).with_txn_mode(TxnMode::TPaxos);
+    let mut s = Shuttle::new(3, cfg);
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    let txn = TxnId(1);
+    // Two ops land at r0.
+    for _ in 0..2 {
+        let id = c.next_request_id();
+        let req = crate::request::Request::txn_op(id, RequestKind::Write, txn, Bytes::new());
+        let actions = c.submit(req, s.now);
+        let done = s.drive_client(&mut c, actions);
+        assert!(matches!(done.body, ReplyBody::Ok(_)));
+    }
+    // Leader dies; r1 takes over with no session for the txn.
+    s.crash(0);
+    s.now = Time(Dur::from_secs(10).0);
+    s.fire(1, TimerKind::LeaderCheck);
+    assert_eq!(s.leader(), Some(1));
+
+    let id = c.next_request_id();
+    let commit = crate::request::Request::txn_commit(id, txn, 2);
+    let actions = c.submit(commit, s.now);
+    let done = s.drive_client(&mut c, actions);
+    assert_eq!(
+        done.body,
+        ReplyBody::TxnAborted {
+            txn,
+            reason: AbortReason::LeaderSwitch
+        }
+    );
+    // Nothing of the transaction is visible anywhere.
+    s.assert_replica_states_converged();
+    for p in 1..3 {
+        let snap = s.replica(p).service_snapshot();
+        assert_eq!(u64::from_le_bytes(snap[..8].try_into().unwrap()), 0);
+    }
+}
+
+#[test]
+fn tpaxos_client_abort_discards_staged_ops() {
+    let cfg = cluster_cfg(3).with_txn_mode(TxnMode::TPaxos);
+    let mut s = Shuttle::new(3, cfg);
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    let txn = TxnId(1);
+    let id = c.next_request_id();
+    let req = crate::request::Request::txn_op(id, RequestKind::Write, txn, Bytes::new());
+    let actions = c.submit(req, s.now);
+    s.drive_client(&mut c, actions);
+
+    let id = c.next_request_id();
+    let abort = crate::request::Request::txn_abort(id, txn);
+    let actions = c.submit(abort, s.now);
+    let done = s.drive_client(&mut c, actions);
+    assert_eq!(
+        done.body,
+        ReplyBody::TxnAborted {
+            txn,
+            reason: AbortReason::ClientAbort
+        }
+    );
+    assert_eq!(s.replica(0).chosen_prefix(), Instance::ZERO);
+    s.assert_replica_states_converged();
+}
+
+#[test]
+fn crashed_replica_recovers_from_storage() {
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    for _ in 0..3 {
+        s.submit(&mut c, RequestKind::Write);
+    }
+    // r2 crashes and recovers from its own storage.
+    let storage = s.crash(2);
+    let recovered = Replica::recover(
+        ProcessId(2),
+        cluster_cfg(3),
+        Box::new(NoopApp::new()),
+        storage,
+        99,
+        s.now,
+    );
+    assert_eq!(recovered.chosen_prefix(), Instance(3));
+    let snap = recovered.service_snapshot();
+    assert_eq!(u64::from_le_bytes(snap[..8].try_into().unwrap()), 3);
+    s.replicas[2] = Some(recovered);
+    // It keeps participating.
+    let done = s.submit(&mut c, RequestKind::Write);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    s.assert_replica_states_converged();
+}
+
+#[test]
+fn checkpointing_truncates_the_log() {
+    let cfg = cluster_cfg(3).with_checkpoint_every(4);
+    let mut s = Shuttle::new(3, cfg);
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    for _ in 0..10 {
+        s.submit(&mut c, RequestKind::Write);
+    }
+    assert!(s.replica(0).stats.checkpoints >= 2);
+    assert!(
+        s.replica(0).log_len() < 10,
+        "log must shrink after checkpoints: {}",
+        s.replica(0).log_len()
+    );
+    s.assert_replica_states_converged();
+}
+
+#[test]
+fn lagging_replica_catches_up_via_heartbeat() {
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+
+    // r2 crashes, misses traffic, then a *fresh* r2 rejoins (empty state).
+    s.crash(2);
+    for _ in 0..3 {
+        s.submit(&mut c, RequestKind::Write);
+    }
+    s.replicas[2] = Some(Replica::new(
+        ProcessId(2),
+        cluster_cfg(3),
+        Box::new(NoopApp::new()),
+        Box::new(MemStorage::new()),
+        123,
+        s.now,
+    ));
+    let actions = s.replicas[2].as_mut().unwrap().on_start(s.now);
+    s.enqueue(Addr::Replica(ProcessId(2)), actions);
+    s.run();
+    // Heartbeat announces the chosen prefix; r2 requests catch-up.
+    s.fire(0, TimerKind::Heartbeat);
+    assert_eq!(s.replica(2).chosen_prefix(), Instance(4));
+    s.assert_replica_states_converged();
+}
+
+#[test]
+fn n5_tolerates_two_crashes() {
+    let mut s = Shuttle::new(5, cluster_cfg(5));
+    let mut c = ClientCore::new(ClientId(1), 5, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+    s.crash(3);
+    s.crash(4);
+    let done = s.submit(&mut c, RequestKind::Write);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(2));
+}
+
+#[test]
+fn lagging_candidate_adopts_promise_snapshot() {
+    // §3.3: "If the replica knows any instance greater than 90, it sends
+    // the leader not only all the requests ... but also the state of the
+    // latest proposal it knows." A *behind* candidate must adopt the most
+    // advanced snapshot from its promises before leading.
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+
+    // r2 crashes; the group commits more writes without it.
+    let storage = s.crash(2);
+    for _ in 0..4 {
+        s.submit(&mut c, RequestKind::Write);
+    }
+    // r2 recovers with only instance 1 applied...
+    let recovered = Replica::recover(
+        ProcessId(2),
+        cluster_cfg(3),
+        Box::new(NoopApp::new()),
+        storage,
+        7,
+        s.now,
+    );
+    assert_eq!(recovered.chosen_prefix(), Instance(1), "r2 is behind");
+    s.replicas[2] = Some(recovered);
+
+    // ...the leader dies before any heartbeat can catch r2 up, and r2
+    // campaigns first (we control the timers).
+    s.crash(0);
+    s.now = Time(Dur::from_secs(10).0);
+    s.fire(2, TimerKind::LeaderCheck);
+
+    assert_eq!(s.leader(), Some(2), "the lagging replica won");
+    // The promise from r1 carried a snapshot at instance 5; r2 adopted it.
+    assert_eq!(s.replica(2).chosen_prefix(), Instance(5));
+    let snap = s.replica(2).service_snapshot();
+    assert_eq!(u64::from_le_bytes(snap[..8].try_into().unwrap()), 5);
+
+    // And it keeps serving correctly.
+    let done = s.submit(&mut c, RequestKind::Write);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    assert_eq!(s.replica(2).chosen_prefix(), Instance(6));
+}
+
+#[test]
+fn xpaxos_read_defers_behind_tentative_write() {
+    // §3.4's consistency requirement: "the value that the service returns
+    // as a response to a read must reflect the latest update". A read
+    // arriving while a write is tentatively executed but uncommitted must
+    // wait for the commit — and then observe it.
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write); // instance 1 committed
+
+    // Feed the leader a write directly and withhold its accept traffic:
+    // the write is now tentative (inflight, uncommitted).
+    let w = crate::request::Request::new(
+        crate::request::RequestId::new(ClientId(8), crate::types::Seq(1)),
+        RequestKind::Write,
+        Bytes::new(),
+    );
+    let r0 = s.replicas[0].as_mut().unwrap();
+    let withheld = r0.on_message(Addr::Client(ClientId(8)), Msg::Request(w), s.now);
+    assert!(
+        withheld
+            .iter()
+            .any(|a| matches!(a, Action::ToAllReplicas { msg: Msg::Accept { .. } })),
+        "the write was proposed"
+    );
+
+    // A read arrives; the leader must NOT reply yet (no execution against
+    // tentative state), even with majority confirms.
+    let read = crate::request::Request::new(
+        crate::request::RequestId::new(ClientId(9), crate::types::Seq(1)),
+        RequestKind::Read,
+        Bytes::new(),
+    );
+    let r0 = s.replicas[0].as_mut().unwrap();
+    let ballot = r0.promised();
+    let a1 = r0.on_message(Addr::Client(ClientId(9)), Msg::Request(read.clone()), s.now);
+    let a2 = r0.on_message(
+        Addr::Replica(ProcessId(1)),
+        Msg::Confirm { ballot, read: read.id },
+        s.now,
+    );
+    let a3 = r0.on_message(
+        Addr::Replica(ProcessId(2)),
+        Msg::Confirm { ballot, read: read.id },
+        s.now,
+    );
+    for a in a1.iter().chain(&a2).chain(&a3) {
+        assert!(
+            !matches!(a, Action::Send { to: Addr::Client(_), msg: Msg::Reply(_) }),
+            "read must not be answered before the tentative write resolves"
+        );
+    }
+
+    // Now let the write commit: deliver the accepted acks.
+    let instance = Instance(2);
+    let r0 = s.replicas[0].as_mut().unwrap();
+    let mut actions = r0.on_message(
+        Addr::Replica(ProcessId(1)),
+        Msg::Accepted { ballot, instances: vec![instance] },
+        s.now,
+    );
+    actions.extend(r0.on_message(
+        Addr::Replica(ProcessId(2)),
+        Msg::Accepted { ballot, instances: vec![instance] },
+        s.now,
+    ));
+    // The commit unblocks the deferred read, which already has its
+    // majority of confirms — the reply must reflect the committed write.
+    let reply = actions.iter().find_map(|a| match a {
+        Action::Send {
+            to: Addr::Client(ClientId(9)),
+            msg: Msg::Reply(r),
+        } => Some(r.clone()),
+        _ => None,
+    });
+    let reply = reply.expect("deferred read answered on commit");
+    let payload = reply.body.payload().expect("ok reply");
+    assert_eq!(
+        u64::from_le_bytes(payload[..8].try_into().unwrap()),
+        2,
+        "the read observes both committed writes"
+    );
+}
+
+#[test]
+fn dueling_candidates_resolve_to_one_leader() {
+    // Two replicas suspect the (never-started) leader at the same moment
+    // and campaign concurrently; ballot ordering + stability must leave
+    // exactly one leader.
+    let cfg = cluster_cfg(3).with_bootstrap_leader(None);
+    let mut s = Shuttle::new(3, cfg);
+    assert_eq!(s.leader(), None, "nobody leads initially");
+
+    s.now = Time(Dur::from_secs(10).0);
+    // Collect both candidacies BEFORE delivering anything: a real duel.
+    let a1 = s.replicas[1]
+        .as_mut()
+        .unwrap()
+        .on_timer(TimerKind::LeaderCheck, s.now);
+    let a2 = s.replicas[2]
+        .as_mut()
+        .unwrap()
+        .on_timer(TimerKind::LeaderCheck, s.now);
+    s.enqueue(Addr::Replica(ProcessId(1)), a1);
+    s.enqueue(Addr::Replica(ProcessId(2)), a2);
+    s.run();
+
+    let leaders: Vec<u32> = (0..3)
+        .filter(|p| s.replicas[*p as usize].as_ref().unwrap().is_leader())
+        .collect();
+    assert_eq!(leaders.len(), 1, "exactly one leader after the duel");
+    // Same-round duels resolve toward the higher proposer id.
+    assert_eq!(leaders[0], 2);
+
+    // The group serves requests normally afterwards.
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    let done = s.submit(&mut c, RequestKind::Write);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    s.assert_replica_states_converged();
+}
+
+#[test]
+fn confirm_outracing_read_request_is_buffered() {
+    // A follower's Confirm can reach the leader before the client's own
+    // request (latency variance); the vote must not be lost.
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let read = crate::request::Request::new(
+        crate::request::RequestId::new(ClientId(5), crate::types::Seq(1)),
+        RequestKind::Read,
+        Bytes::new(),
+    );
+    let r0 = s.replicas[0].as_mut().unwrap();
+    let ballot = r0.promised();
+    // Confirms arrive first...
+    let a = r0.on_message(
+        Addr::Replica(ProcessId(1)),
+        Msg::Confirm { ballot, read: read.id },
+        s.now,
+    );
+    assert!(a.is_empty(), "nothing to do yet");
+    // ...then the request: it must complete immediately using the
+    // buffered vote (majority = self + r1).
+    let actions = r0.on_message(Addr::Client(ClientId(5)), Msg::Request(read.clone()), s.now);
+    assert!(
+        actions.iter().any(|act| matches!(
+            act,
+            Action::Send { to: Addr::Client(ClientId(5)), msg: Msg::Reply(_) }
+        )),
+        "buffered early confirm must complete the read"
+    );
+}
+
+#[test]
+fn stale_leader_cannot_answer_reads_after_deposition() {
+    // §3.4: "only the leader with the highest accepted ballot number can
+    // receive confirms from a majority and respond to read requests."
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+
+    // Depose r0 via a direct higher-ballot prepare (it answers with a
+    // promise, which we drop — r0 now believes in ballot b99).
+    let higher = crate::ballot::Ballot::new(99, ProcessId(1));
+    let r0 = s.replicas[0].as_mut().unwrap();
+    let _ = r0.on_message(
+        Addr::Replica(ProcessId(1)),
+        Msg::Prepare { ballot: higher, chosen_prefix: Instance(1), known_above: vec![] },
+        s.now,
+    );
+    assert!(!s.replica(0).is_leader());
+
+    // A client read reaching the deposed r0 produces no reply and no
+    // stale confirms counted toward itself.
+    let read = crate::request::Request::new(
+        crate::request::RequestId::new(ClientId(9), crate::types::Seq(1)),
+        RequestKind::Read,
+        Bytes::new(),
+    );
+    let r0 = s.replicas[0].as_mut().unwrap();
+    let actions = r0.on_message(Addr::Client(ClientId(9)), Msg::Request(read.clone()), s.now);
+    for a in &actions {
+        assert!(
+            !matches!(a, Action::Send { msg: Msg::Reply(_), .. }),
+            "a deposed leader must not answer reads"
+        );
+    }
+    // As a follower it confirms toward the new leadership instead.
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Send { to: Addr::Replica(ProcessId(1)), msg: Msg::Confirm { ballot, .. } }
+            if *ballot == higher
+    )));
+}
+
+#[test]
+fn lease_read_is_answered_locally() {
+    let cfg = cluster_cfg(3).with_read_mode(ReadMode::Lease);
+    let mut s = Shuttle::new(3, cfg);
+    // The bootstrap heartbeat was acked during Shuttle::new's run, so the
+    // leader holds a lease anchored at t=0.
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+    let done = s.submit(&mut c, RequestKind::Read);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    assert_eq!(s.replica(0).stats.lease_reads, 1, "served under the lease");
+    assert_eq!(s.replica(0).stats.xpaxos_reads, 0);
+    assert_eq!(s.replica(0).stats.consensus_reads, 0);
+    // No extra consensus instance for the read.
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(1));
+}
+
+#[test]
+fn expired_lease_falls_back_to_consensus_reads() {
+    let cfg = cluster_cfg(3).with_read_mode(ReadMode::Lease);
+    let mut s = Shuttle::new(3, cfg);
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    // Let the lease (25 ms) lapse without any further heartbeats.
+    s.now = Time(Dur::from_secs(10).0);
+    let done = s.submit(&mut c, RequestKind::Read);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    assert_eq!(s.replica(0).stats.lease_reads, 0);
+    assert_eq!(
+        s.replica(0).stats.consensus_reads,
+        1,
+        "leaseless reads take the safe consensus path"
+    );
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(1));
+
+    // A fresh heartbeat round re-arms the lease; reads go local again.
+    s.fire(0, TimerKind::Heartbeat);
+    let done = s.submit(&mut c, RequestKind::Read);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    assert_eq!(s.replica(0).stats.lease_reads, 1);
+}
+
+#[test]
+fn lease_mode_followers_do_not_confirm_reads() {
+    let cfg = cluster_cfg(3).with_read_mode(ReadMode::Lease);
+    let mut s = Shuttle::new(3, cfg);
+    let read = crate::request::Request::new(
+        crate::request::RequestId::new(ClientId(5), crate::types::Seq(1)),
+        RequestKind::Read,
+        Bytes::new(),
+    );
+    let r1 = s.replicas[1].as_mut().unwrap();
+    let actions = r1.on_message(Addr::Client(ClientId(5)), Msg::Request(read), s.now);
+    assert!(
+        actions.is_empty(),
+        "lease mode saves the per-read confirm traffic entirely"
+    );
+}
+
+#[test]
+fn retransmitted_tpaxos_op_replays_cached_reply_without_restaging() {
+    let cfg = cluster_cfg(3).with_txn_mode(TxnMode::TPaxos);
+    let mut s = Shuttle::new(3, cfg);
+    let txn = TxnId(1);
+    let op = crate::request::Request::txn_op(
+        crate::request::RequestId::new(ClientId(1), crate::types::Seq(1)),
+        RequestKind::Write,
+        txn,
+        Bytes::new(),
+    );
+    // Deliver the same op twice (a client retransmission).
+    for _ in 0..2 {
+        s.enqueue(
+            Addr::Client(ClientId(1)),
+            vec![Action::send(Addr::Replica(ProcessId(0)), Msg::Request(op.clone()))],
+        );
+        s.run();
+    }
+    // Two replies (original + replay), but committing with n_ops = 1 must
+    // succeed — proving the op was staged exactly once.
+    let replies = s
+        .client_inbox
+        .iter()
+        .filter(|(c, _)| *c == ClientId(1))
+        .count();
+    assert_eq!(replies, 2, "both deliveries answered");
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    c.next_request_id(); // burn seq 1, used manually above
+    let commit = crate::request::Request::txn_commit(c.next_request_id(), txn, 1);
+    let actions = c.submit(commit, s.now);
+    let done = s.drive_client(&mut c, actions);
+    assert_eq!(done.body, ReplyBody::TxnCommitted { txn });
+    s.assert_replica_states_converged();
+}
+
+#[test]
+fn perop_txn_abort_discards_replicated_staging() {
+    // In per-op mode the abort itself is a consensus operation, so the
+    // backups discard their replicated staging too.
+    let cfg = cluster_cfg(3); // PerOp is the default
+    let mut s = Shuttle::new(3, cfg);
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    let txn = TxnId(1);
+    // One staged write through consensus (NoopApp stages nothing but the
+    // instance is consumed).
+    let id = c.next_request_id();
+    let op = crate::request::Request::txn_op(id, RequestKind::Write, txn, Bytes::new());
+    let actions = c.submit(op, s.now);
+    let done = s.drive_client(&mut c, actions);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(1), "op coordinated");
+
+    let id = c.next_request_id();
+    let abort = crate::request::Request::txn_abort(id, txn);
+    let actions = c.submit(abort, s.now);
+    let done = s.drive_client(&mut c, actions);
+    assert_eq!(
+        done.body,
+        ReplyBody::TxnAborted {
+            txn,
+            reason: AbortReason::ClientAbort
+        }
+    );
+    assert_eq!(
+        s.replica(0).chosen_prefix(),
+        Instance(2),
+        "the abort is coordinated in per-op mode"
+    );
+    s.assert_replica_states_converged();
+    // Nothing committed.
+    for p in 0..3 {
+        let snap = s.replica(p).service_snapshot();
+        assert_eq!(u64::from_le_bytes(snap[..8].try_into().unwrap()), 0);
+    }
+}
+
+#[test]
+fn candidate_restarts_election_with_higher_ballot_on_timeout() {
+    // Isolate r1 as a candidate whose prepares go nowhere; its election
+    // timer must produce a fresh, strictly higher ballot each attempt.
+    let cfg = cluster_cfg(3).with_bootstrap_leader(None);
+    let mut s = Shuttle::new(3, cfg);
+    s.now = Time(Dur::from_secs(10).0);
+    let r1 = s.replicas[1].as_mut().unwrap();
+    let _dropped = r1.on_timer(TimerKind::LeaderCheck, s.now);
+    let b1 = r1.promised();
+    assert!(matches!(r1.role(), Role::Candidate(_)));
+    let _dropped = r1.on_timer(TimerKind::Election, s.now);
+    let b2 = r1.promised();
+    assert!(b2 > b1, "retry must outbid the previous attempt: {b1} -> {b2}");
+    assert!(matches!(r1.role(), Role::Candidate(_)));
+    assert!(r1.stats.elections_started >= 2);
+}
+
+#[test]
+fn duplicate_accepted_acks_do_not_double_commit() {
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+    let before = s.replica(0).stats.commits_led;
+    // Replay a stale Accepted for the already-committed instance.
+    let ballot = s.replica(0).promised();
+    let r0 = s.replicas[0].as_mut().unwrap();
+    let _ = r0.on_message(
+        Addr::Replica(ProcessId(1)),
+        Msg::Accepted { ballot, instances: vec![Instance(1)] },
+        s.now,
+    );
+    assert_eq!(s.replica(0).stats.commits_led, before, "no double commit");
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(1));
+}
+
+#[test]
+fn heartbeats_propagate_chosen_to_slow_followers() {
+    // A follower that missed the Chosen message learns commitment from the
+    // next heartbeat (heartbeats double as Chosen retransmissions).
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+    // Followers applied via the Chosen broadcast in the shuttle run.
+    assert_eq!(s.replica(1).chosen_prefix(), Instance(1));
+    // Heartbeat on top is harmless and idempotent.
+    s.fire(0, TimerKind::Heartbeat);
+    assert_eq!(s.replica(1).chosen_prefix(), Instance(1));
+    s.assert_replica_states_converged();
+}
+
+#[test]
+fn singleton_group_commits_alone() {
+    let mut s = Shuttle::new(1, cluster_cfg(1));
+    assert_eq!(s.leader(), Some(0));
+    let mut c = ClientCore::new(ClientId(1), 1, Dur::from_millis(100));
+    let done = s.submit(&mut c, RequestKind::Write);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    let done = s.submit(&mut c, RequestKind::Read);
+    assert!(matches!(done.body, ReplyBody::Ok(_)));
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(1));
+}

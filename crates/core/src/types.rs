@@ -1,0 +1,348 @@
+//! Fundamental identifier and time newtypes shared by every layer.
+//!
+//! All identifiers are small `Copy` newtypes so they can be passed by value
+//! in hot paths without allocation, and so the type system prevents mixing
+//! up e.g. a consensus instance with a client sequence number.
+
+use std::fmt;
+
+/// Identifier of a service process (a replica). Replicas are numbered
+/// `0..n` within a replica group.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a client process.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct ClientId(pub u64);
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Per-client monotonically increasing request sequence number. Together
+/// with [`ClientId`] it uniquely identifies a request, which is what makes
+/// retransmissions idempotent (at-most-once execution).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Seq(pub u64);
+
+impl Seq {
+    /// The next sequence number.
+    #[must_use]
+    pub fn next(self) -> Seq {
+        Seq(self.0 + 1)
+    }
+}
+
+/// A consensus instance number. The decree chosen by instance `i` is the
+/// `i`-th command executed by the replicated service. Instances start at 1;
+/// instance 0 is a sentinel meaning "nothing chosen yet".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct Instance(pub u64);
+
+impl Instance {
+    /// Sentinel: no instance has been decided yet.
+    pub const ZERO: Instance = Instance(0);
+
+    /// The next instance.
+    #[must_use]
+    pub fn next(self) -> Instance {
+        Instance(self.0 + 1)
+    }
+
+    /// The previous instance; saturates at zero.
+    #[must_use]
+    pub fn prev(self) -> Instance {
+        Instance(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Identifier of a client transaction (T-Paxos). Unique per client; the
+/// pair `(ClientId, TxnId)` is globally unique.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, serde::Serialize, serde::Deserialize)]
+pub struct TxnId(pub u64);
+
+/// Absolute time in nanoseconds since an arbitrary epoch.
+///
+/// The discrete-event simulator owns a virtual clock measured in these
+/// units; the real transport maps `std::time::Instant` onto the same type.
+/// The protocol core never reads a wall clock — it is always *told* the
+/// current time, which is what keeps it deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The epoch.
+    pub const ZERO: Time = Time(0);
+
+    /// Time advanced by `d`.
+    #[must_use]
+    pub fn after(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+
+    /// Duration elapsed since `earlier`; saturates at zero if `earlier`
+    /// is in the future.
+    #[must_use]
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Seconds since the epoch, as a float (for reporting only).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}ns", self.0)
+    }
+}
+
+/// A span of time in nanoseconds.
+///
+/// Named `Dur` to avoid clashing with `std::time::Duration`, which the
+/// real transport converts to and from at its boundary.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct Dur(pub u64);
+
+impl Dur {
+    /// Zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// From whole nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Dur {
+        Dur(ns)
+    }
+
+    /// From whole microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// From whole milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// From whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Dur {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// From fractional milliseconds (convenient for latency models quoted
+    /// in ms in the paper).
+    #[must_use]
+    pub fn from_millis_f64(ms: f64) -> Dur {
+        Dur((ms.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// As fractional milliseconds.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub fn saturating_add(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_add(other.0))
+    }
+
+    /// Multiply by an integer factor (saturating; distinct from
+    /// `std::ops::Mul`, which would panic on overflow).
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, k: u64) -> Dur {
+        Dur(self.0.saturating_mul(k))
+    }
+
+    /// Halve (used for timeout backoff midpoints).
+    #[must_use]
+    pub fn half(self) -> Dur {
+        Dur(self.0 / 2)
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl std::ops::Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        self.after(rhs)
+    }
+}
+
+impl std::ops::Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        self.saturating_add(rhs)
+    }
+}
+
+impl std::ops::Sub for Time {
+    type Output = Dur;
+    fn sub(self, rhs: Time) -> Dur {
+        self.since(rhs)
+    }
+}
+
+/// Network address of a protocol participant. The simulator and the real
+/// transports route messages by `Addr`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Addr {
+    /// A service replica.
+    Replica(ProcessId),
+    /// A client process.
+    Client(ClientId),
+}
+
+impl Addr {
+    /// The replica id, if this address is a replica.
+    #[must_use]
+    pub fn as_replica(self) -> Option<ProcessId> {
+        match self {
+            Addr::Replica(p) => Some(p),
+            Addr::Client(_) => None,
+        }
+    }
+
+    /// The client id, if this address is a client.
+    #[must_use]
+    pub fn as_client(self) -> Option<ClientId> {
+        match self {
+            Addr::Client(c) => Some(c),
+            Addr::Replica(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Replica(p) => write!(f, "{p}"),
+            Addr::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Number of processes that constitutes a majority of `n` replicas:
+/// `floor(n/2) + 1`. The protocols tolerate `floor((n-1)/2)` crashes.
+#[must_use]
+pub fn majority(n: usize) -> usize {
+    n / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_sizes() {
+        assert_eq!(majority(1), 1);
+        assert_eq!(majority(2), 2);
+        assert_eq!(majority(3), 2);
+        assert_eq!(majority(4), 3);
+        assert_eq!(majority(5), 3);
+        assert_eq!(majority(7), 4);
+    }
+
+    #[test]
+    fn instance_ordering_and_step() {
+        assert!(Instance(3) < Instance(4));
+        assert_eq!(Instance(3).next(), Instance(4));
+        assert_eq!(Instance::ZERO.prev(), Instance::ZERO);
+        assert_eq!(Instance(9).prev(), Instance(8));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time(1_000);
+        let t2 = t + Dur::from_nanos(500);
+        assert_eq!(t2, Time(1_500));
+        assert_eq!(t2 - t, Dur(500));
+        // Saturating: earlier.since(later) is zero, not underflow.
+        assert_eq!(t - t2, Dur::ZERO);
+    }
+
+    #[test]
+    fn dur_conversions() {
+        assert_eq!(Dur::from_micros(90), Dur(90_000));
+        assert_eq!(Dur::from_millis(3), Dur(3_000_000));
+        assert_eq!(Dur::from_secs(1), Dur(1_000_000_000));
+        assert!((Dur::from_millis_f64(0.181).as_millis_f64() - 0.181).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seq_next_increments() {
+        assert_eq!(Seq(0).next(), Seq(1));
+        assert_eq!(Seq(41).next(), Seq(42));
+    }
+
+    #[test]
+    fn addr_projections() {
+        assert_eq!(Addr::Replica(ProcessId(2)).as_replica(), Some(ProcessId(2)));
+        assert_eq!(Addr::Replica(ProcessId(2)).as_client(), None);
+        assert_eq!(Addr::Client(ClientId(7)).as_client(), Some(ClientId(7)));
+        assert_eq!(Addr::Client(ClientId(7)).as_replica(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId(3).to_string(), "r3");
+        assert_eq!(ClientId(12).to_string(), "c12");
+        assert_eq!(Instance(5).to_string(), "i5");
+        assert_eq!(Addr::Replica(ProcessId(1)).to_string(), "r1");
+    }
+}

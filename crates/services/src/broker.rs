@@ -1,0 +1,465 @@
+//! The distributed grid resource broker (§2 of the paper).
+//!
+//! "A common way to perform such selections is to use a randomized
+//! algorithm to balance the load between resources" — the broker picks
+//! among feasible resources with the classic *power-of-two-choices*
+//! randomized policy, so replicas executing the same request sequence
+//! would diverge. Replication therefore ships the nondeterministic choice
+//! itself: the leader records the chosen resource in a
+//! [`StateUpdate::Reproduce`] update and backups re-execute the request
+//! deterministically from that record — the first state-size reduction of
+//! §3.3.
+
+use crate::codec::{get_str, get_u32, get_u64, get_u8, put_str};
+use bytes::{BufMut, Bytes, BytesMut};
+use gridpaxos_core::command::StateUpdate;
+use gridpaxos_core::request::Request;
+use gridpaxos_core::service::{App, ExecCtx};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A client-visible broker operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BrokerOp {
+    /// Register a resource with a unit capacity. Write.
+    AddResource {
+        /// Resource name.
+        name: String,
+        /// Capacity in units.
+        capacity: u32,
+    },
+    /// Request `units` for task `task`; the broker picks a resource. Write
+    /// (nondeterministic).
+    Request {
+        /// Task identifier.
+        task: u64,
+        /// Units required.
+        units: u32,
+    },
+    /// Release the allocation of `task`. Write.
+    Release {
+        /// Task identifier.
+        task: u64,
+    },
+    /// Query the resource a task was placed on. Read.
+    Placement {
+        /// Task identifier.
+        task: u64,
+    },
+    /// Query total free units. Read.
+    FreeUnits,
+}
+
+impl BrokerOp {
+    /// Encode to a request payload.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        match self {
+            BrokerOp::AddResource { name, capacity } => {
+                out.put_u8(0);
+                put_str(&mut out, name);
+                out.put_u32_le(*capacity);
+            }
+            BrokerOp::Request { task, units } => {
+                out.put_u8(1);
+                out.put_u64_le(*task);
+                out.put_u32_le(*units);
+            }
+            BrokerOp::Release { task } => {
+                out.put_u8(2);
+                out.put_u64_le(*task);
+            }
+            BrokerOp::Placement { task } => {
+                out.put_u8(3);
+                out.put_u64_le(*task);
+            }
+            BrokerOp::FreeUnits => out.put_u8(4),
+        }
+        out.freeze()
+    }
+
+    /// Decode a request payload.
+    #[must_use]
+    pub fn decode(mut b: Bytes) -> Option<BrokerOp> {
+        match get_u8(&mut b)? {
+            0 => Some(BrokerOp::AddResource {
+                name: get_str(&mut b)?,
+                capacity: get_u32(&mut b)?,
+            }),
+            1 => Some(BrokerOp::Request {
+                task: get_u64(&mut b)?,
+                units: get_u32(&mut b)?,
+            }),
+            2 => Some(BrokerOp::Release { task: get_u64(&mut b)? }),
+            3 => Some(BrokerOp::Placement { task: get_u64(&mut b)? }),
+            4 => Some(BrokerOp::FreeUnits),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Resource {
+    capacity: u32,
+    used: u32,
+}
+
+impl Resource {
+    fn free(&self) -> u32 {
+        self.capacity.saturating_sub(self.used)
+    }
+}
+
+/// The broker service.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Broker {
+    resources: BTreeMap<String, Resource>,
+    allocations: BTreeMap<u64, (String, u32)>,
+}
+
+impl Broker {
+    /// Empty broker.
+    #[must_use]
+    pub fn new() -> Broker {
+        Broker::default()
+    }
+
+    /// Where a task is placed (tests / examples).
+    #[must_use]
+    pub fn placement(&self, task: u64) -> Option<&str> {
+        self.allocations.get(&task).map(|(r, _)| r.as_str())
+    }
+
+    /// Total free units across resources.
+    #[must_use]
+    pub fn free_units(&self) -> u64 {
+        self.resources.values().map(|r| u64::from(r.free())).sum()
+    }
+
+    /// Load (used/capacity) of a resource.
+    #[must_use]
+    pub fn load_of(&self, name: &str) -> Option<(u32, u32)> {
+        self.resources.get(name).map(|r| (r.used, r.capacity))
+    }
+
+    /// The randomized selection: power-of-two-choices among feasible
+    /// resources. Returns the chosen resource name.
+    fn choose(&self, units: u32, ctx: &mut ExecCtx<'_>) -> Option<String> {
+        let feasible: Vec<&String> = self
+            .resources
+            .iter()
+            .filter(|(_, r)| r.free() >= units)
+            .map(|(n, _)| n)
+            .collect();
+        match feasible.len() {
+            0 => None,
+            1 => Some(feasible[0].clone()),
+            n => {
+                let a = feasible[ctx.rng.gen_range(0..n)];
+                let b = feasible[ctx.rng.gen_range(0..n)];
+                let la = self.resources[a].used as f64 / self.resources[a].capacity.max(1) as f64;
+                let lb = self.resources[b].used as f64 / self.resources[b].capacity.max(1) as f64;
+                Some(if la <= lb { a.clone() } else { b.clone() })
+            }
+        }
+    }
+
+    /// Deterministically apply a placement decision.
+    fn place(&mut self, task: u64, units: u32, resource: &str) {
+        if let Some(r) = self.resources.get_mut(resource) {
+            r.used += units;
+            self.allocations.insert(task, (resource.to_owned(), units));
+        }
+    }
+
+    fn apply_op(&mut self, op: &BrokerOp, decided: Option<&str>) {
+        match op {
+            BrokerOp::AddResource { name, capacity } => {
+                self.resources
+                    .entry(name.clone())
+                    .or_default()
+                    .capacity += capacity;
+            }
+            BrokerOp::Request { task, units } => {
+                if let Some(r) = decided {
+                    self.place(*task, *units, r);
+                }
+            }
+            BrokerOp::Release { task } => {
+                if let Some((name, units)) = self.allocations.remove(task) {
+                    if let Some(r) = self.resources.get_mut(&name) {
+                        r.used = r.used.saturating_sub(units);
+                    }
+                }
+            }
+            BrokerOp::Placement { .. } | BrokerOp::FreeUnits => {}
+        }
+    }
+
+    fn encode_state(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        out.put_u32_le(self.resources.len() as u32);
+        for (n, r) in &self.resources {
+            put_str(&mut out, n);
+            out.put_u32_le(r.capacity);
+            out.put_u32_le(r.used);
+        }
+        out.put_u32_le(self.allocations.len() as u32);
+        for (t, (n, u)) in &self.allocations {
+            out.put_u64_le(*t);
+            put_str(&mut out, n);
+            out.put_u32_le(*u);
+        }
+        out.freeze()
+    }
+
+    fn decode_state(mut b: Bytes) -> Option<Broker> {
+        let mut s = Broker::new();
+        let n = get_u32(&mut b)? as usize;
+        for _ in 0..n {
+            let name = get_str(&mut b)?;
+            let capacity = get_u32(&mut b)?;
+            let used = get_u32(&mut b)?;
+            s.resources.insert(name, Resource { capacity, used });
+        }
+        let na = get_u32(&mut b)? as usize;
+        for _ in 0..na {
+            let t = get_u64(&mut b)?;
+            let name = get_str(&mut b)?;
+            let u = get_u32(&mut b)?;
+            s.allocations.insert(t, (name, u));
+        }
+        Some(s)
+    }
+}
+
+/// Reply for a request that could not be satisfied.
+const NO_RESOURCE: &[u8] = b"\0NO_RESOURCE";
+
+impl App for Broker {
+    fn execute(&mut self, req: &Request, ctx: &mut ExecCtx<'_>) -> (Bytes, StateUpdate) {
+        let Some(op) = BrokerOp::decode(req.op.clone()) else {
+            return (Bytes::from_static(b"\0BAD_OP"), StateUpdate::None);
+        };
+        match &op {
+            BrokerOp::Placement { task } => (
+                self.placement(*task)
+                    .map_or(Bytes::from_static(NO_RESOURCE), |r| {
+                        Bytes::from(r.to_owned().into_bytes())
+                    }),
+                StateUpdate::None,
+            ),
+            BrokerOp::FreeUnits => (
+                Bytes::from(self.free_units().to_string().into_bytes()),
+                StateUpdate::None,
+            ),
+            BrokerOp::Request { units, .. } => {
+                // The nondeterministic step: a randomized choice the
+                // backups could never reproduce on their own.
+                match self.choose(*units, ctx) {
+                    None => (Bytes::from_static(NO_RESOURCE), StateUpdate::None),
+                    Some(chosen) => {
+                        self.apply_op(&op, Some(&chosen));
+                        // Ship request + choice, not the whole state.
+                        let mut aux = BytesMut::new();
+                        put_str(&mut aux, &chosen);
+                        (
+                            Bytes::from(chosen.into_bytes()),
+                            StateUpdate::Reproduce(aux.freeze()),
+                        )
+                    }
+                }
+            }
+            _ => {
+                self.apply_op(&op, None);
+                // Deterministic writes replicate as themselves: backups
+                // re-derive the effect from the request alone.
+                (Bytes::from_static(b"ok"), StateUpdate::Reproduce(Bytes::new()))
+            }
+        }
+    }
+
+    fn apply(&mut self, req: &Request, update: &StateUpdate) {
+        let Some(op) = BrokerOp::decode(req.op.clone()) else {
+            return;
+        };
+        match update {
+            StateUpdate::Reproduce(aux) => {
+                let decided = if aux.is_empty() {
+                    None
+                } else {
+                    get_str(&mut aux.clone())
+                };
+                self.apply_op(&op, decided.as_deref());
+            }
+            StateUpdate::Full(b) => {
+                if let Some(s) = Broker::decode_state(b.clone()) {
+                    *self = s;
+                }
+            }
+            StateUpdate::None | StateUpdate::Delta(_) => {}
+        }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        self.encode_state()
+    }
+
+    fn restore(&mut self, snap: &[u8]) {
+        if let Some(s) = Broker::decode_state(Bytes::copy_from_slice(snap)) {
+            *self = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridpaxos_core::request::{RequestId, RequestKind};
+    use gridpaxos_core::types::{ClientId, Seq, Time};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn req(seq: u64, kind: RequestKind, op: &BrokerOp) -> Request {
+        Request::new(RequestId::new(ClientId(1), Seq(seq)), kind, op.encode())
+    }
+
+    fn exec_seeded(b: &mut Broker, r: &Request, seed: u64) -> (Bytes, StateUpdate) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        b.execute(r, &mut ctx)
+    }
+
+    fn setup() -> Broker {
+        let mut b = Broker::new();
+        for (i, cap) in [("m1", 4), ("m2", 4), ("m3", 4)] {
+            exec_seeded(
+                &mut b,
+                &req(0, RequestKind::Write, &BrokerOp::AddResource {
+                    name: i.into(),
+                    capacity: cap,
+                }),
+                0,
+            );
+        }
+        b
+    }
+
+    #[test]
+    fn ops_roundtrip_encoding() {
+        for op in [
+            BrokerOp::AddResource { name: "m".into(), capacity: 3 },
+            BrokerOp::Request { task: 9, units: 2 },
+            BrokerOp::Release { task: 9 },
+            BrokerOp::Placement { task: 9 },
+            BrokerOp::FreeUnits,
+        ] {
+            assert_eq!(BrokerOp::decode(op.encode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn request_allocates_and_release_frees() {
+        let mut b = setup();
+        assert_eq!(b.free_units(), 12);
+        let r = req(1, RequestKind::Write, &BrokerOp::Request { task: 1, units: 2 });
+        let (reply, up) = exec_seeded(&mut b, &r, 7);
+        assert!(matches!(up, StateUpdate::Reproduce(_)));
+        let chosen = String::from_utf8(reply.to_vec()).unwrap();
+        assert_eq!(b.placement(1), Some(chosen.as_str()));
+        assert_eq!(b.free_units(), 10);
+
+        exec_seeded(
+            &mut b,
+            &req(2, RequestKind::Write, &BrokerOp::Release { task: 1 }),
+            7,
+        );
+        assert_eq!(b.free_units(), 12);
+        assert_eq!(b.placement(1), None);
+    }
+
+    #[test]
+    fn replicas_with_different_seeds_diverge_without_reproduce() {
+        // The motivation for the whole paper: independent execution of the
+        // same requests yields different states.
+        let mut diverged = false;
+        for task in 0..20u64 {
+            let mut a = setup();
+            let mut b = setup();
+            let r = req(1, RequestKind::Write, &BrokerOp::Request { task, units: 1 });
+            exec_seeded(&mut a, &r, 1000 + task);
+            exec_seeded(&mut b, &r, 2000 + task);
+            if a.placement(task) != b.placement(task) {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "randomized selection never diverged across seeds");
+    }
+
+    #[test]
+    fn reproduce_update_converges_backups() {
+        let mut leader = setup();
+        let mut backup = setup();
+        for task in 0..8u64 {
+            let r = req(task + 1, RequestKind::Write, &BrokerOp::Request { task, units: 1 });
+            let (_, up) = exec_seeded(&mut leader, &r, 0xfeed + task);
+            backup.apply(&r, &up);
+        }
+        assert_eq!(backup, leader, "Reproduce updates must converge replicas");
+    }
+
+    #[test]
+    fn infeasible_request_is_refused() {
+        let mut b = setup();
+        let r = req(1, RequestKind::Write, &BrokerOp::Request { task: 1, units: 99 });
+        let (reply, up) = exec_seeded(&mut b, &r, 1);
+        assert_eq!(reply.as_ref(), NO_RESOURCE);
+        assert!(up.is_none());
+        assert_eq!(b.free_units(), 12);
+    }
+
+    #[test]
+    fn two_choices_balances_load() {
+        let mut b = Broker::new();
+        exec_seeded(&mut b, &req(0, RequestKind::Write, &BrokerOp::AddResource { name: "a".into(), capacity: 100 }), 0);
+        exec_seeded(&mut b, &req(0, RequestKind::Write, &BrokerOp::AddResource { name: "b".into(), capacity: 100 }), 0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for task in 0..100u64 {
+            let r = req(task, RequestKind::Write, &BrokerOp::Request { task, units: 1 });
+            let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+            b.execute(&r, &mut ctx);
+        }
+        let (ua, _) = b.load_of("a").unwrap();
+        let (ub, _) = b.load_of("b").unwrap();
+        assert_eq!(ua + ub, 100);
+        // Power-of-two-choices keeps the split near even.
+        assert!((40..=60).contains(&ua), "a={ua} b={ub}");
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut b = setup();
+        exec_seeded(&mut b, &req(1, RequestKind::Write, &BrokerOp::Request { task: 5, units: 3 }), 11);
+        let snap = b.snapshot();
+        let mut restored = Broker::new();
+        restored.restore(&snap);
+        assert_eq!(restored, b);
+    }
+
+    #[test]
+    fn reads_do_not_change_state() {
+        let mut b = setup();
+        let before = b.clone();
+        let (_, up) = exec_seeded(&mut b, &req(1, RequestKind::Read, &BrokerOp::FreeUnits), 1);
+        assert!(up.is_none());
+        let (_, up) = exec_seeded(
+            &mut b,
+            &req(2, RequestKind::Read, &BrokerOp::Placement { task: 77 }),
+            1,
+        );
+        assert!(up.is_none());
+        assert_eq!(b, before);
+    }
+}

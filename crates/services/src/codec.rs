@@ -1,0 +1,102 @@
+//! Tiny encoding helpers shared by the services' operation and state
+//! formats (little-endian integers, length-prefixed strings).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Append a length-prefixed string.
+pub fn put_str(out: &mut BytesMut, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+/// Read a length-prefixed string; `None` on malformed input.
+pub fn get_str(buf: &mut Bytes) -> Option<String> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > (1 << 24) || buf.remaining() < len {
+        return None;
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).ok()
+}
+
+/// Read a `u8`; `None` at end of input.
+pub fn get_u8(buf: &mut Bytes) -> Option<u8> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    Some(buf.get_u8())
+}
+
+/// Read a little-endian `u32`.
+pub fn get_u32(buf: &mut Bytes) -> Option<u32> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    Some(buf.get_u32_le())
+}
+
+/// Read a little-endian `u64`.
+pub fn get_u64(buf: &mut Bytes) -> Option<u64> {
+    if buf.remaining() < 8 {
+        return None;
+    }
+    Some(buf.get_u64_le())
+}
+
+/// Read a little-endian `i64`.
+pub fn get_i64(buf: &mut Bytes) -> Option<i64> {
+    if buf.remaining() < 8 {
+        return None;
+    }
+    Some(buf.get_i64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_roundtrip() {
+        let mut out = BytesMut::new();
+        put_str(&mut out, "hello");
+        put_str(&mut out, "");
+        put_str(&mut out, "päxos");
+        let mut b = out.freeze();
+        assert_eq!(get_str(&mut b).unwrap(), "hello");
+        assert_eq!(get_str(&mut b).unwrap(), "");
+        assert_eq!(get_str(&mut b).unwrap(), "päxos");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn malformed_strings_return_none() {
+        let mut b = Bytes::from_static(&[5, 0, 0, 0, b'h']); // claims 5, has 1
+        assert!(get_str(&mut b).is_none());
+        let mut b = Bytes::from_static(&[1, 2]); // truncated length
+        assert!(get_str(&mut b).is_none());
+        // Invalid UTF-8.
+        let mut out = BytesMut::new();
+        out.put_u32_le(2);
+        out.put_slice(&[0xff, 0xfe]);
+        let mut b = out.freeze();
+        assert!(get_str(&mut b).is_none());
+    }
+
+    #[test]
+    fn integers_roundtrip() {
+        let mut out = BytesMut::new();
+        out.put_u8(7);
+        out.put_u32_le(42);
+        out.put_u64_le(1 << 40);
+        out.put_i64_le(-5);
+        let mut b = out.freeze();
+        assert_eq!(get_u8(&mut b), Some(7));
+        assert_eq!(get_u32(&mut b), Some(42));
+        assert_eq!(get_u64(&mut b), Some(1 << 40));
+        assert_eq!(get_i64(&mut b), Some(-5));
+        assert_eq!(get_u8(&mut b), None);
+    }
+}

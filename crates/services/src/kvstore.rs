@@ -1,0 +1,746 @@
+//! A transactional key-value store.
+//!
+//! The service behind the T-Paxos evaluation scenarios: it supports plain
+//! reads/writes, *and* transactions with write-locking and staged effects,
+//! in both coordination modes:
+//!
+//! * **durable staging** (per-operation coordination): staged writes and
+//!   locks are part of replicated state — they ride each op's decree, are
+//!   included in snapshots and survive leader switches;
+//! * **volatile staging** (T-Paxos): staged writes live only on the
+//!   current leader; the commit decree carries the full write batch so
+//!   backups can apply it in one step. Volatile staging is excluded from
+//!   snapshots and cleared by `restore`, matching the
+//!   [`gridpaxos_core::service::App`] contract.
+//!
+//! Conflicting transactions (a write lock held by another transaction) are
+//! refused with [`AbortReason::Conflict`] — "any service that supports
+//! transactions needs to deal with concurrency of this type using locks or
+//! other mechanisms" (§3.5).
+
+use crate::codec::{get_i64, get_str, get_u32, get_u64, get_u8, put_str};
+use bytes::{BufMut, Bytes, BytesMut};
+use gridpaxos_core::command::StateUpdate;
+use gridpaxos_core::request::{AbortReason, Request, TxnCtl};
+use gridpaxos_core::service::{App, ExecCtx};
+use gridpaxos_core::types::TxnId;
+use std::collections::BTreeMap;
+
+/// A client-visible operation on the store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read a key. `kind` must be `Read`.
+    Get(String),
+    /// Write a key.
+    Put(String, String),
+    /// Delete a key.
+    Del(String),
+    /// Add `delta` to the integer value of a key (missing = 0).
+    Add(String, i64),
+}
+
+impl KvOp {
+    /// Encode to an opaque request payload.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        match self {
+            KvOp::Get(k) => {
+                out.put_u8(0);
+                put_str(&mut out, k);
+            }
+            KvOp::Put(k, v) => {
+                out.put_u8(1);
+                put_str(&mut out, k);
+                put_str(&mut out, v);
+            }
+            KvOp::Del(k) => {
+                out.put_u8(2);
+                put_str(&mut out, k);
+            }
+            KvOp::Add(k, d) => {
+                out.put_u8(3);
+                put_str(&mut out, k);
+                out.put_i64_le(*d);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Decode a request payload.
+    #[must_use]
+    pub fn decode(mut b: Bytes) -> Option<KvOp> {
+        match get_u8(&mut b)? {
+            0 => Some(KvOp::Get(get_str(&mut b)?)),
+            1 => Some(KvOp::Put(get_str(&mut b)?, get_str(&mut b)?)),
+            2 => Some(KvOp::Del(get_str(&mut b)?)),
+            3 => Some(KvOp::Add(get_str(&mut b)?, get_i64(&mut b)?)),
+            _ => None,
+        }
+    }
+
+    fn key(&self) -> &str {
+        match self {
+            KvOp::Get(k) | KvOp::Put(k, _) | KvOp::Del(k) | KvOp::Add(k, _) => k,
+        }
+    }
+
+    fn is_write(&self) -> bool {
+        !matches!(self, KvOp::Get(_))
+    }
+}
+
+/// One staged or committed mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum KvWrite {
+    Put(String, String),
+    Del(String),
+}
+
+impl KvWrite {
+    fn encode_into(&self, out: &mut BytesMut) {
+        match self {
+            KvWrite::Put(k, v) => {
+                out.put_u8(0);
+                put_str(out, k);
+                put_str(out, v);
+            }
+            KvWrite::Del(k) => {
+                out.put_u8(1);
+                put_str(out, k);
+            }
+        }
+    }
+
+    fn decode(b: &mut Bytes) -> Option<KvWrite> {
+        match get_u8(b)? {
+            0 => Some(KvWrite::Put(get_str(b)?, get_str(b)?)),
+            1 => Some(KvWrite::Del(get_str(b)?)),
+            _ => None,
+        }
+    }
+
+    fn key(&self) -> &str {
+        match self {
+            KvWrite::Put(k, _) | KvWrite::Del(k) => k,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Staging {
+    /// Staged writes per transaction, in execution order.
+    writes: BTreeMap<u64, Vec<KvWrite>>,
+    /// Write locks: key → owning transaction.
+    locks: BTreeMap<String, u64>,
+}
+
+impl Staging {
+    fn lock_conflicts(&self, key: &str, txn: u64) -> bool {
+        self.locks.get(key).is_some_and(|owner| *owner != txn)
+    }
+
+    fn stage(&mut self, txn: u64, w: KvWrite) {
+        self.locks.insert(w.key().to_owned(), txn);
+        self.writes.entry(txn).or_default().push(w);
+    }
+
+    fn discard(&mut self, txn: u64) {
+        self.writes.remove(&txn);
+        self.locks.retain(|_, owner| *owner != txn);
+    }
+
+    fn take(&mut self, txn: u64) -> Vec<KvWrite> {
+        let ws = self.writes.remove(&txn).unwrap_or_default();
+        self.locks.retain(|_, owner| *owner != txn);
+        ws
+    }
+
+    fn staged_value<'a>(&'a self, txn: u64, key: &str) -> Option<Option<&'a str>> {
+        // Last staged write for the key within the transaction wins.
+        let ws = self.writes.get(&txn)?;
+        ws.iter().rev().find(|w| w.key() == key).map(|w| match w {
+            KvWrite::Put(_, v) => Some(v.as_str()),
+            KvWrite::Del(_) => None,
+        })
+    }
+}
+
+/// Replicated state-update payloads.
+enum KvDelta {
+    /// Apply writes to committed state (plain writes, T-Paxos commits).
+    ApplyWrites(Vec<KvWrite>),
+    /// Record a durable staged write (per-op coordinated transactions).
+    Stage(u64, KvWrite),
+    /// Merge a transaction's durable staging into committed state.
+    CommitTxn(u64),
+    /// Discard a transaction's durable staging.
+    AbortTxn(u64),
+}
+
+impl KvDelta {
+    fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        match self {
+            KvDelta::ApplyWrites(ws) => {
+                out.put_u8(0);
+                out.put_u32_le(ws.len() as u32);
+                for w in ws {
+                    w.encode_into(&mut out);
+                }
+            }
+            KvDelta::Stage(txn, w) => {
+                out.put_u8(1);
+                out.put_u64_le(*txn);
+                w.encode_into(&mut out);
+            }
+            KvDelta::CommitTxn(txn) => {
+                out.put_u8(2);
+                out.put_u64_le(*txn);
+            }
+            KvDelta::AbortTxn(txn) => {
+                out.put_u8(3);
+                out.put_u64_le(*txn);
+            }
+        }
+        out.freeze()
+    }
+
+    fn decode(mut b: Bytes) -> Option<KvDelta> {
+        match get_u8(&mut b)? {
+            0 => {
+                let n = get_u32(&mut b)? as usize;
+                let mut ws = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    ws.push(KvWrite::decode(&mut b)?);
+                }
+                Some(KvDelta::ApplyWrites(ws))
+            }
+            1 => Some(KvDelta::Stage(get_u64(&mut b)?, KvWrite::decode(&mut b)?)),
+            2 => Some(KvDelta::CommitTxn(get_u64(&mut b)?)),
+            3 => Some(KvDelta::AbortTxn(get_u64(&mut b)?)),
+            _ => None,
+        }
+    }
+}
+
+/// The store.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvStore {
+    committed: BTreeMap<String, String>,
+    /// Replicated staging (per-op coordinated transactions).
+    durable: Staging,
+    /// Leader-local staging (T-Paxos). Never snapshotted.
+    volatile: Staging,
+}
+
+/// Reply payload for a missing key.
+const NOT_FOUND: &[u8] = b"\0NOT_FOUND";
+
+impl KvStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> KvStore {
+        KvStore::default()
+    }
+
+    /// Committed value of `key` (tests / examples).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.committed.get(key).map(String::as_str)
+    }
+
+    /// Number of committed keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Whether the committed map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.committed.is_empty()
+    }
+
+    /// Decode a reply payload produced by this service.
+    #[must_use]
+    pub fn decode_reply(payload: &Bytes) -> Option<String> {
+        if payload.as_ref() == NOT_FOUND {
+            None
+        } else {
+            String::from_utf8(payload.to_vec()).ok()
+        }
+    }
+
+    fn apply_write(&mut self, w: &KvWrite) {
+        match w {
+            KvWrite::Put(k, v) => {
+                self.committed.insert(k.clone(), v.clone());
+            }
+            KvWrite::Del(k) => {
+                self.committed.remove(k);
+            }
+        }
+    }
+
+    fn read_through(&self, txn: Option<u64>, key: &str) -> Option<String> {
+        if let Some(t) = txn {
+            for staging in [&self.volatile, &self.durable] {
+                if let Some(v) = staging.staged_value(t, key) {
+                    return v.map(str::to_owned);
+                }
+            }
+        }
+        self.committed.get(key).cloned()
+    }
+
+    fn reply_for(value: Option<String>) -> Bytes {
+        match value {
+            Some(v) => Bytes::from(v.into_bytes()),
+            None => Bytes::from_static(NOT_FOUND),
+        }
+    }
+
+    /// Resolve an op to the write it implies, reading through staged state
+    /// (needed by `Add`).
+    fn write_of(&self, txn: Option<u64>, op: &KvOp) -> Option<(KvWrite, Bytes)> {
+        match op {
+            KvOp::Get(_) => None,
+            KvOp::Put(k, v) => Some((
+                KvWrite::Put(k.clone(), v.clone()),
+                Bytes::from(v.clone().into_bytes()),
+            )),
+            KvOp::Del(k) => Some((KvWrite::Del(k.clone()), Bytes::new())),
+            KvOp::Add(k, d) => {
+                let cur: i64 = self
+                    .read_through(txn, k)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
+                let new = cur + d;
+                Some((
+                    KvWrite::Put(k.clone(), new.to_string()),
+                    Bytes::from(new.to_string().into_bytes()),
+                ))
+            }
+        }
+    }
+
+    fn encode_state(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        out.put_u32_le(self.committed.len() as u32);
+        for (k, v) in &self.committed {
+            put_str(&mut out, k);
+            put_str(&mut out, v);
+        }
+        out.put_u32_le(self.durable.writes.len() as u32);
+        for (txn, ws) in &self.durable.writes {
+            out.put_u64_le(*txn);
+            out.put_u32_le(ws.len() as u32);
+            for w in ws {
+                w.encode_into(&mut out);
+            }
+        }
+        out.put_u32_le(self.durable.locks.len() as u32);
+        for (k, t) in &self.durable.locks {
+            put_str(&mut out, k);
+            out.put_u64_le(*t);
+        }
+        out.freeze()
+    }
+
+    fn decode_state(mut b: Bytes) -> Option<KvStore> {
+        let mut s = KvStore::new();
+        let n = get_u32(&mut b)? as usize;
+        for _ in 0..n {
+            let k = get_str(&mut b)?;
+            let v = get_str(&mut b)?;
+            s.committed.insert(k, v);
+        }
+        let nt = get_u32(&mut b)? as usize;
+        for _ in 0..nt {
+            let txn = get_u64(&mut b)?;
+            let nw = get_u32(&mut b)? as usize;
+            let mut ws = Vec::with_capacity(nw.min(1024));
+            for _ in 0..nw {
+                ws.push(KvWrite::decode(&mut b)?);
+            }
+            s.durable.writes.insert(txn, ws);
+        }
+        let nl = get_u32(&mut b)? as usize;
+        for _ in 0..nl {
+            let k = get_str(&mut b)?;
+            let t = get_u64(&mut b)?;
+            s.durable.locks.insert(k, t);
+        }
+        Some(s)
+    }
+}
+
+impl App for KvStore {
+    fn execute(&mut self, req: &Request, _ctx: &mut ExecCtx<'_>) -> (Bytes, StateUpdate) {
+        let Some(op) = KvOp::decode(req.op.clone()) else {
+            return (Bytes::from_static(b"\0BAD_OP"), StateUpdate::None);
+        };
+        match op {
+            KvOp::Get(k) => (
+                Self::reply_for(self.read_through(None, &k)),
+                StateUpdate::None,
+            ),
+            other => {
+                // A non-transactional write still respects transaction
+                // locks: refuse to clobber a key a transaction holds.
+                if self.durable.lock_conflicts(other.key(), u64::MAX)
+                    || self.volatile.lock_conflicts(other.key(), u64::MAX)
+                {
+                    return (Bytes::from_static(b"\0LOCKED"), StateUpdate::None);
+                }
+                let (w, reply) = self.write_of(None, &other).expect("write op");
+                self.apply_write(&w);
+                (reply, StateUpdate::Delta(KvDelta::ApplyWrites(vec![w]).encode()))
+            }
+        }
+    }
+
+    fn apply(&mut self, req: &Request, update: &StateUpdate) {
+        match update {
+            StateUpdate::None => {
+                // A coordinated abort ships no payload; the transaction
+                // control on the request tells us what to discard.
+                if let Some(TxnCtl::Abort { txn }) = req.txn {
+                    self.durable.discard(txn.0);
+                }
+            }
+            StateUpdate::Full(b) => {
+                if let Some(s) = KvStore::decode_state(b.clone()) {
+                    *self = s;
+                }
+            }
+            StateUpdate::Delta(b) => match KvDelta::decode(b.clone()) {
+                Some(KvDelta::ApplyWrites(ws)) => {
+                    for w in &ws {
+                        self.apply_write(w);
+                    }
+                }
+                Some(KvDelta::Stage(txn, w)) => self.durable.stage(txn, w),
+                Some(KvDelta::CommitTxn(txn)) => {
+                    for w in self.durable.take(txn) {
+                        self.apply_write(&w);
+                    }
+                }
+                Some(KvDelta::AbortTxn(txn)) => self.durable.discard(txn),
+                None => {}
+            },
+            StateUpdate::Reproduce(_) => {
+                // The KV store never emits Reproduce updates.
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        // Volatile staging deliberately excluded (leader-local only).
+        self.encode_state()
+    }
+
+    fn restore(&mut self, snap: &[u8]) {
+        if let Some(s) = KvStore::decode_state(Bytes::copy_from_slice(snap)) {
+            *self = s; // volatile staging cleared by construction
+        }
+    }
+
+    fn txn_begin(&mut self, _txn: TxnId) {}
+
+    fn txn_execute(
+        &mut self,
+        txn: TxnId,
+        req: &Request,
+        durable: bool,
+        _ctx: &mut ExecCtx<'_>,
+    ) -> Result<(Bytes, StateUpdate), AbortReason> {
+        let Some(op) = KvOp::decode(req.op.clone()) else {
+            return Err(AbortReason::Conflict);
+        };
+        let t = txn.0;
+        // Write locks: conflict with any other transaction in either
+        // staging area aborts this operation.
+        if op.is_write()
+            && (self.durable.lock_conflicts(op.key(), t)
+                || self.volatile.lock_conflicts(op.key(), t))
+        {
+            return Err(AbortReason::Conflict);
+        }
+        match op {
+            KvOp::Get(k) => Ok((
+                Self::reply_for(self.read_through(Some(t), &k)),
+                StateUpdate::None,
+            )),
+            other => {
+                let (w, reply) = self.write_of(Some(t), &other).expect("write op");
+                let staging = if durable {
+                    &mut self.durable
+                } else {
+                    &mut self.volatile
+                };
+                staging.stage(t, w.clone());
+                let update = if durable {
+                    StateUpdate::Delta(KvDelta::Stage(t, w).encode())
+                } else {
+                    StateUpdate::None // volatile staging is not replicated
+                };
+                Ok((reply, update))
+            }
+        }
+    }
+
+    fn txn_commit(&mut self, txn: TxnId) -> StateUpdate {
+        let t = txn.0;
+        if self.volatile.writes.contains_key(&t) {
+            // T-Paxos: ship the whole batch; backups have no staging.
+            let ws = self.volatile.take(t);
+            for w in &ws {
+                self.apply_write(w);
+            }
+            StateUpdate::Delta(KvDelta::ApplyWrites(ws).encode())
+        } else if self.durable.writes.contains_key(&t) {
+            // Per-op coordination: backups hold identical staging; a
+            // commit marker suffices.
+            for w in self.durable.take(t) {
+                self.apply_write(&w);
+            }
+            StateUpdate::Delta(KvDelta::CommitTxn(t).encode())
+        } else {
+            StateUpdate::None // empty transaction
+        }
+    }
+
+    fn txn_abort(&mut self, txn: TxnId) {
+        self.volatile.discard(txn.0);
+        self.durable.discard(txn.0);
+    }
+
+    fn apply_txn_commit(&mut self, _txn: TxnId, _ops: &[Request], update: &StateUpdate) {
+        if let StateUpdate::Delta(b) = update {
+            if let Some(KvDelta::ApplyWrites(ws)) = KvDelta::decode(b.clone()) {
+                for w in &ws {
+                    self.apply_write(w);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridpaxos_core::request::{RequestId, RequestKind};
+    use gridpaxos_core::types::{ClientId, Seq, Time};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn req(seq: u64, kind: RequestKind, op: &KvOp) -> Request {
+        Request::new(RequestId::new(ClientId(1), Seq(seq)), kind, op.encode())
+    }
+
+    fn txn_req(seq: u64, kind: RequestKind, txn: TxnId, op: &KvOp) -> Request {
+        Request::txn_op(RequestId::new(ClientId(1), Seq(seq)), kind, txn, op.encode())
+    }
+
+    fn exec(store: &mut KvStore, r: &Request) -> (Bytes, StateUpdate) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        store.execute(r, &mut ctx)
+    }
+
+    #[test]
+    fn ops_roundtrip_their_encoding() {
+        for op in [
+            KvOp::Get("k".into()),
+            KvOp::Put("k".into(), "v".into()),
+            KvOp::Del("k".into()),
+            KvOp::Add("k".into(), -7),
+        ] {
+            assert_eq!(KvOp::decode(op.encode()), Some(op));
+        }
+        assert_eq!(KvOp::decode(Bytes::from_static(&[9])), None);
+    }
+
+    #[test]
+    fn put_get_del_roundtrip_with_backup_convergence() {
+        let mut leader = KvStore::new();
+        let mut backup = KvStore::new();
+
+        let put = req(1, RequestKind::Write, &KvOp::Put("a".into(), "1".into()));
+        let (_, up) = exec(&mut leader, &put);
+        backup.apply(&put, &up);
+        assert_eq!(leader.get("a"), Some("1"));
+        assert_eq!(backup, leader);
+
+        let get = req(2, RequestKind::Read, &KvOp::Get("a".into()));
+        let (reply, up) = exec(&mut leader, &get);
+        assert!(up.is_none());
+        assert_eq!(KvStore::decode_reply(&reply), Some("1".into()));
+
+        let del = req(3, RequestKind::Write, &KvOp::Del("a".into()));
+        let (_, up) = exec(&mut leader, &del);
+        backup.apply(&del, &up);
+        assert_eq!(leader.get("a"), None);
+        assert_eq!(backup, leader);
+    }
+
+    #[test]
+    fn add_reads_through_and_increments() {
+        let mut s = KvStore::new();
+        let (r1, _) = exec(&mut s, &req(1, RequestKind::Write, &KvOp::Add("n".into(), 5)));
+        assert_eq!(KvStore::decode_reply(&r1), Some("5".into()));
+        let (r2, _) = exec(&mut s, &req(2, RequestKind::Write, &KvOp::Add("n".into(), -2)));
+        assert_eq!(KvStore::decode_reply(&r2), Some("3".into()));
+        assert_eq!(s.get("n"), Some("3"));
+    }
+
+    #[test]
+    fn missing_key_reply_decodes_to_none() {
+        let mut s = KvStore::new();
+        let (reply, _) = exec(&mut s, &req(1, RequestKind::Read, &KvOp::Get("nope".into())));
+        assert_eq!(KvStore::decode_reply(&reply), None);
+    }
+
+    #[test]
+    fn volatile_txn_commit_ships_full_batch() {
+        let mut leader = KvStore::new();
+        let mut backup = KvStore::new();
+        let t = TxnId(1);
+        let mut rng = SmallRng::seed_from_u64(1);
+
+        leader.txn_begin(t);
+        for (i, op) in [
+            KvOp::Put("x".into(), "1".into()),
+            KvOp::Add("x".into(), 2),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let r = txn_req(i as u64 + 1, RequestKind::Write, t, op);
+            let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+            let (_, up) = leader.txn_execute(t, &r, false, &mut ctx).unwrap();
+            assert!(up.is_none(), "volatile staging is not replicated");
+        }
+        // Staged, not committed; and invisible to snapshots.
+        assert_eq!(leader.get("x"), None);
+        assert_eq!(leader.snapshot(), backup.snapshot());
+
+        let update = leader.txn_commit(t);
+        assert_eq!(leader.get("x"), Some("3"), "read-through Add saw staged 1");
+        backup.apply_txn_commit(t, &[], &update);
+        assert_eq!(backup, leader);
+    }
+
+    #[test]
+    fn durable_txn_staging_replicates_and_commits_by_marker() {
+        let mut leader = KvStore::new();
+        let mut backup = KvStore::new();
+        let t = TxnId(2);
+        let mut rng = SmallRng::seed_from_u64(1);
+
+        let r = txn_req(1, RequestKind::Write, t, &KvOp::Put("y".into(), "9".into()));
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        let (_, up) = leader.txn_execute(t, &r, true, &mut ctx).unwrap();
+        backup.apply(&r, &up); // staging record replicated
+        assert_eq!(leader.snapshot(), backup.snapshot(), "durable staging in snapshot");
+
+        let commit_update = leader.txn_commit(t);
+        let commit_req = Request::txn_commit(RequestId::new(ClientId(1), Seq(2)), t, 1);
+        backup.apply(&commit_req, &commit_update);
+        assert_eq!(backup, leader);
+        assert_eq!(backup.get("y"), Some("9"));
+    }
+
+    #[test]
+    fn conflicting_txn_is_refused() {
+        let mut s = KvStore::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (t1, t2) = (TxnId(1), TxnId(2));
+        let r1 = txn_req(1, RequestKind::Write, t1, &KvOp::Put("k".into(), "a".into()));
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        s.txn_execute(t1, &r1, false, &mut ctx).unwrap();
+
+        let r2 = txn_req(2, RequestKind::Write, t2, &KvOp::Put("k".into(), "b".into()));
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        assert_eq!(
+            s.txn_execute(t2, &r2, false, &mut ctx).unwrap_err(),
+            AbortReason::Conflict
+        );
+        // Reads are not blocked.
+        let r3 = txn_req(3, RequestKind::Read, t2, &KvOp::Get("k".into()));
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        assert!(s.txn_execute(t2, &r3, false, &mut ctx).is_ok());
+
+        // Abort releases the lock.
+        s.txn_abort(t1);
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        assert!(s.txn_execute(t2, &r2, false, &mut ctx).is_ok());
+    }
+
+    #[test]
+    fn plain_write_respects_txn_locks() {
+        let mut s = KvStore::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = TxnId(1);
+        let r = txn_req(1, RequestKind::Write, t, &KvOp::Put("k".into(), "a".into()));
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        s.txn_execute(t, &r, false, &mut ctx).unwrap();
+
+        let (reply, up) = exec(&mut s, &req(2, RequestKind::Write, &KvOp::Put("k".into(), "x".into())));
+        assert_eq!(reply.as_ref(), b"\0LOCKED");
+        assert!(up.is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_drops_volatile() {
+        let mut s = KvStore::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        exec(&mut s, &req(1, RequestKind::Write, &KvOp::Put("a".into(), "1".into())));
+        // Durable staging present.
+        let t = TxnId(7);
+        let r = txn_req(2, RequestKind::Write, t, &KvOp::Put("b".into(), "2".into()));
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        s.txn_execute(t, &r, true, &mut ctx).unwrap();
+        // Volatile staging present.
+        let tv = TxnId(8);
+        let rv = txn_req(3, RequestKind::Write, tv, &KvOp::Put("c".into(), "3".into()));
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        s.txn_execute(tv, &rv, false, &mut ctx).unwrap();
+
+        let snap = s.snapshot();
+        let mut restored = KvStore::new();
+        restored.restore(&snap);
+        assert_eq!(restored.get("a"), Some("1"));
+        assert!(restored.durable.writes.contains_key(&7));
+        assert!(restored.volatile.writes.is_empty(), "volatile dropped");
+
+        // The original's committed+durable state matches the restored one.
+        let mut original_clean = s.clone();
+        original_clean.volatile = Staging::default();
+        assert_eq!(restored, original_clean);
+    }
+
+    #[test]
+    fn txn_read_sees_own_staged_writes_only() {
+        let mut s = KvStore::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        exec(&mut s, &req(1, RequestKind::Write, &KvOp::Put("k".into(), "old".into())));
+
+        let (t1, t2) = (TxnId(1), TxnId(2));
+        let w = txn_req(2, RequestKind::Write, t1, &KvOp::Put("k".into(), "new".into()));
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        s.txn_execute(t1, &w, false, &mut ctx).unwrap();
+
+        let own = txn_req(3, RequestKind::Read, t1, &KvOp::Get("k".into()));
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        let (reply, _) = s.txn_execute(t1, &own, false, &mut ctx).unwrap();
+        assert_eq!(KvStore::decode_reply(&reply), Some("new".into()));
+
+        let other = txn_req(4, RequestKind::Read, t2, &KvOp::Get("k".into()));
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        let (reply, _) = s.txn_execute(t2, &other, false, &mut ctx).unwrap();
+        assert_eq!(KvStore::decode_reply(&reply), Some("old".into()), "no dirty reads");
+    }
+}

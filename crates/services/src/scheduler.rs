@@ -1,0 +1,518 @@
+//! The grid scheduling service (§2 of the paper — the NILE Global Planner
+//! example).
+//!
+//! Jobs are served First-Come-First-Serve, *overridden by priorities*. The
+//! nondeterminism is timing-dependent, exactly as the paper describes: a
+//! dispatch decision only considers jobs that became **visible** to the
+//! scheduler before it examined the queue — job B with a higher priority
+//! arriving "just after" job A is scheduled first only if the scheduler
+//! happens to look at the queue late enough. Since visibility depends on
+//! the executing machine's clock (`ExecCtx::now`), independent replicas
+//! would diverge; the leader therefore replicates its *decision* as a
+//! [`StateUpdate::Delta`] — "the primary only need to send the state of
+//! its queue when it selects a new request" (§3.3).
+
+use crate::codec::{get_str, get_u32, get_u64, get_u8, put_str};
+use bytes::{BufMut, Bytes, BytesMut};
+use gridpaxos_core::command::StateUpdate;
+use gridpaxos_core::request::Request;
+use gridpaxos_core::service::{App, ExecCtx};
+use gridpaxos_core::types::Dur;
+use std::collections::BTreeMap;
+
+/// How long after submission a job becomes visible to dispatch decisions —
+/// models the scheduler's queue-examination latency from the paper's
+/// t1/t2 narrative.
+pub const VISIBILITY_DELAY: Dur = Dur::from_millis(1);
+
+/// A client-visible scheduler operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedOp {
+    /// Register a worker machine with a number of slots. Write.
+    AddMachine {
+        /// Machine name.
+        name: String,
+        /// Parallel job slots.
+        slots: u32,
+    },
+    /// Submit a job with a priority (higher = more urgent). Write.
+    Submit {
+        /// Job identifier.
+        job: u64,
+        /// Priority; FCFS within equal priorities.
+        priority: u32,
+    },
+    /// Ask the scheduler to dispatch the next eligible job. Write
+    /// (nondeterministic — time-dependent).
+    Dispatch,
+    /// A job finished; free its slot. Write.
+    Complete {
+        /// Job identifier.
+        job: u64,
+    },
+    /// Read the queue length.
+    QueueLen,
+    /// Read where a job is running (or whether it waits).
+    Status {
+        /// Job identifier.
+        job: u64,
+    },
+}
+
+impl SchedOp {
+    /// Encode to a request payload.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        match self {
+            SchedOp::AddMachine { name, slots } => {
+                out.put_u8(0);
+                put_str(&mut out, name);
+                out.put_u32_le(*slots);
+            }
+            SchedOp::Submit { job, priority } => {
+                out.put_u8(1);
+                out.put_u64_le(*job);
+                out.put_u32_le(*priority);
+            }
+            SchedOp::Dispatch => out.put_u8(2),
+            SchedOp::Complete { job } => {
+                out.put_u8(3);
+                out.put_u64_le(*job);
+            }
+            SchedOp::QueueLen => out.put_u8(4),
+            SchedOp::Status { job } => {
+                out.put_u8(5);
+                out.put_u64_le(*job);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Decode a request payload.
+    #[must_use]
+    pub fn decode(mut b: Bytes) -> Option<SchedOp> {
+        match get_u8(&mut b)? {
+            0 => Some(SchedOp::AddMachine {
+                name: get_str(&mut b)?,
+                slots: get_u32(&mut b)?,
+            }),
+            1 => Some(SchedOp::Submit {
+                job: get_u64(&mut b)?,
+                priority: get_u32(&mut b)?,
+            }),
+            2 => Some(SchedOp::Dispatch),
+            3 => Some(SchedOp::Complete { job: get_u64(&mut b)? }),
+            4 => Some(SchedOp::QueueLen),
+            5 => Some(SchedOp::Status { job: get_u64(&mut b)? }),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct WaitingJob {
+    priority: u32,
+    /// Leader-local submission timestamp (ns) — the source of the
+    /// service's nondeterminism.
+    submitted_ns: u64,
+    /// FCFS tiebreaker: arrival index.
+    arrival: u64,
+}
+
+/// The scheduler service.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Scheduler {
+    machines: BTreeMap<String, u32>, // free slots
+    waiting: BTreeMap<u64, WaitingJob>,
+    running: BTreeMap<u64, String>,
+    arrivals: u64,
+}
+
+impl Scheduler {
+    /// Empty scheduler.
+    #[must_use]
+    pub fn new() -> Scheduler {
+        Scheduler::default()
+    }
+
+    /// Jobs still waiting.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// The machine a job runs on.
+    #[must_use]
+    pub fn running_on(&self, job: u64) -> Option<&str> {
+        self.running.get(&job).map(String::as_str)
+    }
+
+    /// Pick the next job: among *visible* waiting jobs, highest priority,
+    /// FCFS within a priority. Visibility depends on the caller's clock —
+    /// the nondeterministic step.
+    fn pick(&self, now_ns: u64) -> Option<u64> {
+        self.waiting
+            .iter()
+            .filter(|(_, j)| j.submitted_ns + VISIBILITY_DELAY.0 <= now_ns)
+            .max_by_key(|(_, j)| (j.priority, std::cmp::Reverse(j.arrival)))
+            .map(|(id, _)| *id)
+    }
+
+    fn machine_with_free_slot(&self) -> Option<&String> {
+        self.machines.iter().find(|(_, s)| **s > 0).map(|(m, _)| m)
+    }
+
+    /// Deterministically apply a dispatch decision.
+    fn dispatch(&mut self, job: u64, machine: &str) {
+        if self.waiting.remove(&job).is_some() {
+            if let Some(s) = self.machines.get_mut(machine) {
+                *s = s.saturating_sub(1);
+            }
+            self.running.insert(job, machine.to_owned());
+        }
+    }
+
+    fn apply_op(&mut self, op: &SchedOp, decision: Option<(u64, String)>, submitted_ns: u64) {
+        match op {
+            SchedOp::AddMachine { name, slots } => {
+                *self.machines.entry(name.clone()).or_insert(0) += slots;
+            }
+            SchedOp::Submit { job, priority } => {
+                self.arrivals += 1;
+                self.waiting.insert(
+                    *job,
+                    WaitingJob {
+                        priority: *priority,
+                        submitted_ns,
+                        arrival: self.arrivals,
+                    },
+                );
+            }
+            SchedOp::Dispatch => {
+                if let Some((job, machine)) = decision {
+                    self.dispatch(job, &machine);
+                }
+            }
+            SchedOp::Complete { job } => {
+                if let Some(m) = self.running.remove(job) {
+                    if let Some(s) = self.machines.get_mut(&m) {
+                        *s += 1;
+                    }
+                }
+            }
+            SchedOp::QueueLen | SchedOp::Status { .. } => {}
+        }
+    }
+
+    fn encode_state(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        out.put_u32_le(self.machines.len() as u32);
+        for (m, s) in &self.machines {
+            put_str(&mut out, m);
+            out.put_u32_le(*s);
+        }
+        out.put_u32_le(self.waiting.len() as u32);
+        for (j, w) in &self.waiting {
+            out.put_u64_le(*j);
+            out.put_u32_le(w.priority);
+            out.put_u64_le(w.submitted_ns);
+            out.put_u64_le(w.arrival);
+        }
+        out.put_u32_le(self.running.len() as u32);
+        for (j, m) in &self.running {
+            out.put_u64_le(*j);
+            put_str(&mut out, m);
+        }
+        out.put_u64_le(self.arrivals);
+        out.freeze()
+    }
+
+    fn decode_state(mut b: Bytes) -> Option<Scheduler> {
+        let mut s = Scheduler::new();
+        let nm = get_u32(&mut b)? as usize;
+        for _ in 0..nm {
+            let m = get_str(&mut b)?;
+            let slots = get_u32(&mut b)?;
+            s.machines.insert(m, slots);
+        }
+        let nw = get_u32(&mut b)? as usize;
+        for _ in 0..nw {
+            let j = get_u64(&mut b)?;
+            let priority = get_u32(&mut b)?;
+            let submitted_ns = get_u64(&mut b)?;
+            let arrival = get_u64(&mut b)?;
+            s.waiting.insert(j, WaitingJob { priority, submitted_ns, arrival });
+        }
+        let nr = get_u32(&mut b)? as usize;
+        for _ in 0..nr {
+            let j = get_u64(&mut b)?;
+            let m = get_str(&mut b)?;
+            s.running.insert(j, m);
+        }
+        s.arrivals = get_u64(&mut b)?;
+        Some(s)
+    }
+}
+
+/// Encoded dispatch decision (delta payload).
+fn encode_decision(op: &SchedOp, decision: &Option<(u64, String)>, submitted_ns: u64) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(submitted_ns);
+    match decision {
+        None => out.put_u8(0),
+        Some((job, machine)) => {
+            out.put_u8(1);
+            out.put_u64_le(*job);
+            put_str(&mut out, machine);
+        }
+    }
+    let _ = op;
+    out.freeze()
+}
+
+fn decode_decision(mut b: Bytes) -> Option<(u64, Option<(u64, String)>)> {
+    let submitted_ns = get_u64(&mut b)?;
+    match get_u8(&mut b)? {
+        0 => Some((submitted_ns, None)),
+        1 => {
+            let job = get_u64(&mut b)?;
+            let machine = get_str(&mut b)?;
+            Some((submitted_ns, Some((job, machine))))
+        }
+        _ => None,
+    }
+}
+
+/// Reply when a dispatch found nothing eligible.
+const IDLE: &[u8] = b"\0IDLE";
+
+impl App for Scheduler {
+    fn execute(&mut self, req: &Request, ctx: &mut ExecCtx<'_>) -> (Bytes, StateUpdate) {
+        let Some(op) = SchedOp::decode(req.op.clone()) else {
+            return (Bytes::from_static(b"\0BAD_OP"), StateUpdate::None);
+        };
+        match &op {
+            SchedOp::QueueLen => (
+                Bytes::from(self.queue_len().to_string().into_bytes()),
+                StateUpdate::None,
+            ),
+            SchedOp::Status { job } => {
+                let status = self
+                    .running_on(*job)
+                    .map(|m| format!("running:{m}"))
+                    .or_else(|| self.waiting.contains_key(job).then(|| "waiting".to_owned()))
+                    .unwrap_or_else(|| "unknown".to_owned());
+                (Bytes::from(status.into_bytes()), StateUpdate::None)
+            }
+            SchedOp::Dispatch => {
+                // The time-dependent decision: what is visible *now*?
+                let decision = self
+                    .pick(ctx.now.0)
+                    .and_then(|job| {
+                        self.machine_with_free_slot().cloned().map(|m| (job, m))
+                    });
+                self.apply_op(&op, decision.clone(), 0);
+                let reply = match &decision {
+                    None => Bytes::from_static(IDLE),
+                    Some((job, m)) => Bytes::from(format!("{job}@{m}").into_bytes()),
+                };
+                (
+                    reply,
+                    StateUpdate::Delta(encode_decision(&op, &decision, 0)),
+                )
+            }
+            _ => {
+                let submitted_ns = ctx.now.0;
+                self.apply_op(&op, None, submitted_ns);
+                (
+                    Bytes::from_static(b"ok"),
+                    StateUpdate::Delta(encode_decision(&op, &None, submitted_ns)),
+                )
+            }
+        }
+    }
+
+    fn apply(&mut self, req: &Request, update: &StateUpdate) {
+        let Some(op) = SchedOp::decode(req.op.clone()) else {
+            return;
+        };
+        match update {
+            StateUpdate::Delta(b) => {
+                if let Some((submitted_ns, decision)) = decode_decision(b.clone()) {
+                    self.apply_op(&op, decision, submitted_ns);
+                }
+            }
+            StateUpdate::Full(b) => {
+                if let Some(s) = Scheduler::decode_state(b.clone()) {
+                    *self = s;
+                }
+            }
+            StateUpdate::None | StateUpdate::Reproduce(_) => {}
+        }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        self.encode_state()
+    }
+
+    fn restore(&mut self, snap: &[u8]) {
+        if let Some(s) = Scheduler::decode_state(Bytes::copy_from_slice(snap)) {
+            *self = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridpaxos_core::request::{RequestId, RequestKind};
+    use gridpaxos_core::types::{ClientId, Seq, Time};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn req(seq: u64, kind: RequestKind, op: &SchedOp) -> Request {
+        Request::new(RequestId::new(ClientId(1), Seq(seq)), kind, op.encode())
+    }
+
+    fn exec_at(s: &mut Scheduler, r: &Request, now: Time) -> (Bytes, StateUpdate) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ctx = ExecCtx::new(now, &mut rng);
+        s.execute(r, &mut ctx)
+    }
+
+    fn setup() -> Scheduler {
+        let mut s = Scheduler::new();
+        exec_at(
+            &mut s,
+            &req(0, RequestKind::Write, &SchedOp::AddMachine { name: "m1".into(), slots: 2 }),
+            Time::ZERO,
+        );
+        s
+    }
+
+    #[test]
+    fn ops_roundtrip_encoding() {
+        for op in [
+            SchedOp::AddMachine { name: "m".into(), slots: 2 },
+            SchedOp::Submit { job: 1, priority: 5 },
+            SchedOp::Dispatch,
+            SchedOp::Complete { job: 1 },
+            SchedOp::QueueLen,
+            SchedOp::Status { job: 1 },
+        ] {
+            assert_eq!(SchedOp::decode(op.encode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn fcfs_within_priority() {
+        let mut s = setup();
+        let t0 = Time(1_000_000);
+        exec_at(&mut s, &req(1, RequestKind::Write, &SchedOp::Submit { job: 1, priority: 1 }), t0);
+        exec_at(&mut s, &req(2, RequestKind::Write, &SchedOp::Submit { job: 2, priority: 1 }), t0);
+        let late = Time(t0.0 + VISIBILITY_DELAY.0 * 10);
+        let (reply, _) = exec_at(&mut s, &req(3, RequestKind::Write, &SchedOp::Dispatch), late);
+        assert!(reply.starts_with(b"1@"), "job 1 arrived first: {reply:?}");
+    }
+
+    #[test]
+    fn timing_dependent_priority_override() {
+        // The paper's t1/t2 scenario: job A (low priority) at t1, job B
+        // (high priority) at t2 > t1. A scheduler examining the queue
+        // before B is visible picks A; examining after picks B.
+        let t1 = Time(1_000_000);
+        let t2 = Time(t1.0 + 500_000); // 0.5 ms later
+
+        let submit = |s: &mut Scheduler| {
+            exec_at(s, &req(1, RequestKind::Write, &SchedOp::Submit { job: 1, priority: 1 }), t1);
+            exec_at(s, &req(2, RequestKind::Write, &SchedOp::Submit { job: 2, priority: 9 }), t2);
+        };
+
+        // Fast scheduler: examines just after A becomes visible.
+        let mut fast = setup();
+        submit(&mut fast);
+        let examine_early = Time(t1.0 + VISIBILITY_DELAY.0);
+        let (reply, _) = exec_at(&mut fast, &req(3, RequestKind::Write, &SchedOp::Dispatch), examine_early);
+        assert!(reply.starts_with(b"1@"), "early examination picks A: {reply:?}");
+
+        // Slow scheduler: examines after B is visible.
+        let mut slow = setup();
+        submit(&mut slow);
+        let examine_late = Time(t2.0 + VISIBILITY_DELAY.0);
+        let (reply, _) = exec_at(&mut slow, &req(3, RequestKind::Write, &SchedOp::Dispatch), examine_late);
+        assert!(reply.starts_with(b"2@"), "late examination picks B: {reply:?}");
+    }
+
+    #[test]
+    fn shipped_decision_converges_backups() {
+        // Backups apply the leader's decision regardless of their own
+        // clocks — the whole point of replicating ⟨req, state⟩.
+        let mut leader = setup();
+        let mut backup = setup();
+        let t = Time(5_000_000);
+        for (seq, op) in [
+            (1, SchedOp::Submit { job: 1, priority: 1 }),
+            (2, SchedOp::Submit { job: 2, priority: 9 }),
+        ] {
+            let r = req(seq, RequestKind::Write, &op);
+            let (_, up) = exec_at(&mut leader, &r, t);
+            backup.apply(&r, &up);
+        }
+        let r = req(3, RequestKind::Write, &SchedOp::Dispatch);
+        let (_, up) = exec_at(&mut leader, &r, Time(t.0 + VISIBILITY_DELAY.0 * 100));
+        backup.apply(&r, &up);
+        assert_eq!(backup, leader);
+        assert_eq!(backup.running_on(2), leader.running_on(2));
+    }
+
+    #[test]
+    fn complete_frees_the_slot() {
+        let mut s = setup();
+        let t = Time(1_000_000);
+        exec_at(&mut s, &req(1, RequestKind::Write, &SchedOp::Submit { job: 1, priority: 1 }), t);
+        exec_at(&mut s, &req(2, RequestKind::Write, &SchedOp::Submit { job: 2, priority: 1 }), t);
+        exec_at(&mut s, &req(3, RequestKind::Write, &SchedOp::Submit { job: 3, priority: 1 }), t);
+        let late = Time(t.0 + VISIBILITY_DELAY.0 * 2);
+        exec_at(&mut s, &req(4, RequestKind::Write, &SchedOp::Dispatch), late);
+        exec_at(&mut s, &req(5, RequestKind::Write, &SchedOp::Dispatch), late);
+        // Two slots used; third dispatch idles.
+        let (reply, _) = exec_at(&mut s, &req(6, RequestKind::Write, &SchedOp::Dispatch), late);
+        assert_eq!(reply.as_ref(), IDLE);
+        // Completing one frees a slot for job 3.
+        exec_at(&mut s, &req(7, RequestKind::Write, &SchedOp::Complete { job: 1 }), late);
+        let (reply, _) = exec_at(&mut s, &req(8, RequestKind::Write, &SchedOp::Dispatch), late);
+        assert!(reply.starts_with(b"3@"), "{reply:?}");
+    }
+
+    #[test]
+    fn reads_report_without_mutation() {
+        let mut s = setup();
+        let t = Time(1_000_000);
+        exec_at(&mut s, &req(1, RequestKind::Write, &SchedOp::Submit { job: 7, priority: 3 }), t);
+        let before = s.clone();
+        let (reply, up) = exec_at(&mut s, &req(2, RequestKind::Read, &SchedOp::QueueLen), t);
+        assert_eq!(reply.as_ref(), b"1");
+        assert!(up.is_none());
+        let (reply, up) = exec_at(&mut s, &req(3, RequestKind::Read, &SchedOp::Status { job: 7 }), t);
+        assert_eq!(reply.as_ref(), b"waiting");
+        assert!(up.is_none());
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut s = setup();
+        let t = Time(1_000_000);
+        exec_at(&mut s, &req(1, RequestKind::Write, &SchedOp::Submit { job: 1, priority: 4 }), t);
+        exec_at(
+            &mut s,
+            &req(2, RequestKind::Write, &SchedOp::Dispatch),
+            Time(t.0 + VISIBILITY_DELAY.0 * 2),
+        );
+        let snap = s.snapshot();
+        let mut restored = Scheduler::new();
+        restored.restore(&snap);
+        assert_eq!(restored, s);
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-process CPU cost model.
+//!
+//! The paper's throughput curves (Figures 5–6, 9) saturate because real
+//! machines spend CPU per message; a pure latency simulation would scale
+//! forever. We model each replica as a single-server queue: handling an
+//! event occupies the process for a cost derived from the message kind and
+//! the number of messages it emits. This yields the characteristic
+//! closed-loop saturation (Figure 6's peak between 32 and 64 clients) with
+//! realistic read/write asymmetry — a write makes the leader send accepts,
+//! process accepted acks and send chosen notifications, while a read only
+//! costs confirm processing.
+
+use gridpaxos_core::msg::Msg;
+use gridpaxos_core::types::Dur;
+
+/// CPU cost parameters (all per-event costs).
+#[derive(Clone, Copy, Debug)]
+pub struct CpuModel {
+    /// Cost to process an incoming client request (parse, classify,
+    /// execute the no-op service method).
+    pub client_request: Dur,
+    /// Cost to process an incoming coordination message.
+    pub coord_msg: Dur,
+    /// Cost to serialize and push one outgoing message.
+    pub send: Dur,
+    /// Extra cost per logged decree entry in an accept message — the
+    /// state-serialization and write-ahead-logging work each replicated
+    /// request costs, on both the sending leader and the accepting backup.
+    /// This is what makes write throughput saturate below read throughput,
+    /// as in the paper's Figures 5–6.
+    pub accept_entry: Dur,
+}
+
+impl CpuModel {
+    /// Calibrated for the paper's Pentium IV 2.8 GHz Sysnet machines:
+    /// peak service throughput in the tens of thousands of requests per
+    /// second with 3 replicas, writes saturating below reads.
+    #[must_use]
+    pub fn sysnet() -> CpuModel {
+        CpuModel {
+            client_request: Dur::from_nanos(16_000),
+            coord_msg: Dur::from_nanos(1_300),
+            send: Dur::from_nanos(700),
+            accept_entry: Dur::from_nanos(800),
+        }
+    }
+
+    /// No CPU cost at all: pure latency simulation (useful for protocol
+    /// tests where queueing is noise).
+    #[must_use]
+    pub fn free() -> CpuModel {
+        CpuModel {
+            client_request: Dur::ZERO,
+            coord_msg: Dur::ZERO,
+            send: Dur::ZERO,
+            accept_entry: Dur::ZERO,
+        }
+    }
+
+    /// Cost to receive and handle `msg`.
+    #[must_use]
+    pub fn recv_cost(&self, msg: &Msg) -> Dur {
+        match msg {
+            Msg::Request(_) => self.client_request,
+            Msg::Accept { entries, .. } => self
+                .coord_msg
+                .saturating_add(self.accept_entry.mul(total_entries(entries))),
+            _ => self.coord_msg,
+        }
+    }
+
+    /// Cost to emit one copy of `msg`.
+    #[must_use]
+    pub fn send_cost_one(&self, msg: &Msg) -> Dur {
+        match msg {
+            Msg::Accept { entries, .. } => self
+                .send
+                .saturating_add(self.accept_entry.mul(total_entries(entries))),
+            _ => self.send,
+        }
+    }
+}
+
+fn total_entries(entries: &[(gridpaxos_core::types::Instance, gridpaxos_core::command::Decree)]) -> u64 {
+    entries.iter().map(|(_, d)| d.entries.len() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridpaxos_core::ballot::Ballot;
+    use gridpaxos_core::types::Instance;
+
+    #[test]
+    fn requests_cost_more_than_coordination() {
+        let c = CpuModel::sysnet();
+        let req = Msg::Request(gridpaxos_core::request::Request::new(
+            gridpaxos_core::request::RequestId::new(
+                gridpaxos_core::types::ClientId(1),
+                gridpaxos_core::types::Seq(1),
+            ),
+            gridpaxos_core::request::RequestKind::Read,
+            bytes::Bytes::new(),
+        ));
+        let hb = Msg::Heartbeat {
+            ballot: Ballot::ZERO,
+            chosen: Instance::ZERO,
+            hb_seq: 0,
+        };
+        assert!(c.recv_cost(&req) > c.recv_cost(&hb));
+    }
+
+    #[test]
+    fn accept_cost_scales_with_batched_entries() {
+        use gridpaxos_core::command::{Command, Decree};
+        use gridpaxos_core::request::{ReplyBody, Request, RequestId, RequestKind};
+        use gridpaxos_core::types::{ClientId, Seq};
+        let c = CpuModel::sysnet();
+        let entry = || {
+            (
+                Command::Req(Request::new(
+                    RequestId::new(ClientId(1), Seq(1)),
+                    RequestKind::Write,
+                    bytes::Bytes::new(),
+                )),
+                gridpaxos_core::command::StateUpdate::None,
+                ReplyBody::Empty,
+            )
+        };
+        let mut d = Decree::noop();
+        for _ in 0..3 {
+            let (cmd, update, reply) = entry();
+            d.entries.push(gridpaxos_core::command::DecreeEntry { cmd, update, reply });
+        }
+        let small = Msg::Accept {
+            ballot: Ballot::ZERO,
+            entries: vec![(Instance(1), Decree::noop())],
+        };
+        let big = Msg::Accept {
+            ballot: Ballot::ZERO,
+            entries: vec![(Instance(1), d)],
+        };
+        assert!(c.recv_cost(&big) > c.recv_cost(&small));
+        assert!(c.send_cost_one(&big) > c.send_cost_one(&small));
+        assert_eq!(
+            c.recv_cost(&big).0 - c.recv_cost(&small).0,
+            c.accept_entry.0 * 3
+        );
+    }
+
+    #[test]
+    fn free_model_is_free() {
+        let c = CpuModel::free();
+        let hb = Msg::Heartbeat {
+            ballot: Ballot::ZERO,
+            chosen: Instance::ZERO,
+            hb_seq: 0,
+        };
+        assert_eq!(c.recv_cost(&hb), Dur::ZERO);
+        assert_eq!(c.send_cost_one(&hb), Dur::ZERO);
+    }
+}

@@ -1,0 +1,159 @@
+//! Link latency models.
+//!
+//! The paper's three configurations differ only in where processes sit:
+//! a Gigabit-Ethernet cluster (§4, "Sysnet"), clients far from co-located
+//! replicas (Berkeley → Princeton) and replicas spread across a WAN. We
+//! model one-way link latency with simple distributions; the log-normal
+//! is the classic fit for PlanetLab-style wide-area jitter.
+
+use gridpaxos_core::types::Dur;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A one-way latency distribution. All parameters in milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyModel {
+    /// Constant latency.
+    Constant(f64),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound (ms).
+        lo: f64,
+        /// Upper bound (ms).
+        hi: f64,
+    },
+    /// Normal with mean and standard deviation, truncated at `0.01 * mean`.
+    Normal {
+        /// Mean (ms).
+        mean: f64,
+        /// Standard deviation (ms).
+        std: f64,
+    },
+    /// Log-normal parameterized by the *median* and a shape factor sigma
+    /// (sigma of the underlying normal). Heavy upper tail — wide-area.
+    LogNormal {
+        /// Median latency (ms).
+        median: f64,
+        /// Shape (sigma of ln-space).
+        sigma: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Draw one latency sample.
+    pub fn sample(&self, rng: &mut SmallRng) -> Dur {
+        let ms = match *self {
+            LatencyModel::Constant(c) => c,
+            LatencyModel::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            }
+            LatencyModel::Normal { mean, std } => {
+                let z = sample_standard_normal(rng);
+                (mean + std * z).max(mean * 0.01)
+            }
+            LatencyModel::LogNormal { median, sigma } => {
+                let z = sample_standard_normal(rng);
+                median * (sigma * z).exp()
+            }
+        };
+        Dur::from_millis_f64(ms.max(0.0))
+    }
+
+    /// The distribution's nominal central value (ms) — used for reporting
+    /// and for deriving timeout configurations.
+    #[must_use]
+    pub fn nominal_ms(&self) -> f64 {
+        match *self {
+            LatencyModel::Constant(c) => c,
+            LatencyModel::Uniform { lo, hi } => (lo + hi) / 2.0,
+            LatencyModel::Normal { mean, .. } => mean,
+            LatencyModel::LogNormal { median, .. } => median,
+        }
+    }
+}
+
+/// Box–Muller standard normal draw.
+fn sample_standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::Constant(0.09);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), Dur::from_millis_f64(0.09));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let m = LatencyModel::Uniform { lo: 1.0, hi: 2.0 };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = m.sample(&mut r).as_millis_f64();
+            assert!((1.0..=2.0).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn normal_mean_converges() {
+        let m = LatencyModel::Normal { mean: 10.0, std: 1.0 };
+        let mut r = rng();
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| m.sample(&mut r).as_millis_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_never_negative() {
+        let m = LatencyModel::Normal { mean: 1.0, std: 10.0 };
+        let mut r = rng();
+        for _ in 0..5000 {
+            assert!(m.sample(&mut r).as_millis_f64() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_converges_and_tails_high() {
+        let m = LatencyModel::LogNormal { median: 40.0, sigma: 0.2 };
+        let mut r = rng();
+        let n = 20_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| m.sample(&mut r).as_millis_f64()).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[n / 2];
+        assert!((median - 40.0).abs() < 1.0, "median {median}");
+        // Heavy upper tail: max well above median, min not symmetric.
+        assert!(xs[n - 1] - 40.0 > 40.0 - xs[0]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LatencyModel::LogNormal { median: 40.0, sigma: 0.2 };
+        let a: Vec<Dur> = {
+            let mut r = rng();
+            (0..10).map(|_| m.sample(&mut r)).collect()
+        };
+        let b: Vec<Dur> = {
+            let mut r = rng();
+            (0..10).map(|_| m.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

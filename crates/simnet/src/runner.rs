@@ -1,0 +1,288 @@
+//! High-level experiment runners: the reusable building blocks behind the
+//! paper's tables and figures. Each function sets up a [`World`], runs the
+//! workload to completion and returns the measurements.
+
+use crate::cpu::CpuModel;
+use crate::metrics::Metrics;
+use crate::stats::Summary;
+use crate::topology::Topology;
+use crate::workload::{OpLoop, TxnLoop};
+use crate::world::{SimOpts, World};
+use gridpaxos_core::client::TxnScript;
+use gridpaxos_core::config::{Config, ReadMode, TxnMode};
+use gridpaxos_core::request::RequestKind;
+use gridpaxos_core::service::{App, NoopApp};
+use gridpaxos_core::types::{Dur, Time};
+
+/// What to run.
+pub struct Experiment {
+    /// Replica configuration (protocol modes, timeouts).
+    pub cfg: Config,
+    /// Network.
+    pub topology: Topology,
+    /// CPU model.
+    pub cpu: CpuModel,
+    /// Seed.
+    pub seed: u64,
+    /// Wall-clock budget for the virtual run.
+    pub deadline: Dur,
+}
+
+impl Experiment {
+    /// Default experiment on a topology: cluster-tuned config for the
+    /// Sysnet topology, WAN-tuned otherwise; bootstrap leader `r0`; X-Paxos
+    /// reads on.
+    #[must_use]
+    pub fn on(topology: Topology, seed: u64) -> Experiment {
+        let n = topology.n_replicas();
+        let wan = topology.nominal_ms(
+            gridpaxos_core::types::Addr::Client(gridpaxos_core::types::ClientId(0)),
+            gridpaxos_core::types::Addr::Replica(gridpaxos_core::types::ProcessId(0)),
+        ) > 5.0;
+        let cfg = if wan { Config::wan(n) } else { Config::cluster(n) };
+        Experiment {
+            cfg,
+            topology,
+            cpu: CpuModel::sysnet(),
+            seed,
+            deadline: Dur::from_secs(3600),
+        }
+    }
+
+    /// Override the read mode.
+    #[must_use]
+    pub fn read_mode(mut self, m: ReadMode) -> Experiment {
+        self.cfg.read_mode = m;
+        self
+    }
+
+    /// Override the transaction mode.
+    #[must_use]
+    pub fn txn_mode(mut self, m: TxnMode) -> Experiment {
+        self.cfg.txn_mode = m;
+        self
+    }
+
+    /// Build the world with a custom service factory.
+    pub fn build(self, app: Box<dyn Fn() -> Box<dyn App> + Send>) -> World {
+        let opts = SimOpts {
+            cpu: self.cpu,
+            ..SimOpts::for_topology(self.topology, self.seed)
+        };
+        World::new(self.cfg, opts, app)
+    }
+
+    fn build_noop(self) -> World {
+        self.build(Box::new(|| Box::new(NoopApp::new())))
+    }
+}
+
+/// Clients start only after the bootstrap election has settled — the
+/// paper's "start signal" sent by the leader.
+const CLIENT_START: Time = Time(200_000_000); // 200 ms into the run
+
+/// Measure request response time: one client, `total` sequential requests
+/// of `kind` (the paper used 20 per sample and hundreds of samples; pass
+/// the product). Returns the latency summary in milliseconds.
+#[must_use]
+pub fn measure_rrt(exp: Experiment, kind: RequestKind, total: u64) -> Summary {
+    measure_rrt_with(exp, Box::new(|| Box::new(NoopApp::new())), kind, total)
+}
+
+/// [`measure_rrt`] with a custom service (e.g. the state-size instrument).
+#[must_use]
+pub fn measure_rrt_with(
+    exp: Experiment,
+    app: Box<dyn Fn() -> Box<dyn App> + Send>,
+    kind: RequestKind,
+    total: u64,
+) -> Summary {
+    let deadline = exp.deadline;
+    let mut w = exp.build(app);
+    w.add_client(Box::new(OpLoop::new(kind, total)), None, CLIENT_START);
+    let ok = w.run_to_completion(Time::ZERO.after(deadline));
+    assert!(ok, "rrt run did not complete within the deadline");
+    w.metrics.rtt_summary(crate::metrics::kind_key(&gridpaxos_core::request::Request::new(
+        gridpaxos_core::request::RequestId::new(
+            gridpaxos_core::types::ClientId(0),
+            gridpaxos_core::types::Seq(0),
+        ),
+        kind,
+        bytes::Bytes::new(),
+    )))
+}
+
+/// Measure service throughput: `clients` concurrent closed-loop clients,
+/// each sending `per_client` requests of `kind` (the paper used
+/// `1000/c`). Returns requests per second plus the run's metrics.
+#[must_use]
+pub fn measure_throughput(
+    exp: Experiment,
+    kind: RequestKind,
+    clients: usize,
+    per_client: u64,
+) -> (f64, Metrics) {
+    let deadline = exp.deadline;
+    let mut w = exp.build_noop();
+    for _ in 0..clients {
+        w.add_client(Box::new(OpLoop::new(kind, per_client)), None, CLIENT_START);
+    }
+    let ok = w.run_to_completion(Time::ZERO.after(deadline));
+    assert!(ok, "throughput run did not complete within the deadline");
+    let tput = w.metrics.ops_per_sec();
+    (tput, w.metrics)
+}
+
+/// Measure transaction response time: one client, `total` transactions of
+/// `script`. Returns the TRT summary in milliseconds.
+#[must_use]
+pub fn measure_txn_rrt(exp: Experiment, script: TxnScript, total: u64) -> Summary {
+    let deadline = exp.deadline;
+    let mut w = exp.build_noop();
+    w.add_client(Box::new(TxnLoop::new(script, total)), None, CLIENT_START);
+    let ok = w.run_to_completion(Time::ZERO.after(deadline));
+    assert!(ok, "txn rrt run did not complete within the deadline");
+    w.metrics.txn_summary()
+}
+
+/// Measure transaction throughput: `clients` concurrent clients, each
+/// running `per_client` transactions of `script`. Returns committed
+/// transactions per second plus metrics.
+#[must_use]
+pub fn measure_txn_throughput(
+    exp: Experiment,
+    script: TxnScript,
+    clients: usize,
+    per_client: u64,
+) -> (f64, Metrics) {
+    let deadline = exp.deadline;
+    let mut w = exp.build_noop();
+    for _ in 0..clients {
+        w.add_client(
+            Box::new(TxnLoop::new(script.clone(), per_client)),
+            None,
+            CLIENT_START,
+        );
+    }
+    let ok = w.run_to_completion(Time::ZERO.after(deadline));
+    assert!(ok, "txn throughput run did not complete within the deadline");
+    let tput = w.metrics.txns_per_sec();
+    (tput, w.metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sysnet_rrt_matches_paper_shape() {
+        // §4.1: original 0.181 ms < read 0.263 ms < write 0.338 ms.
+        let orig = measure_rrt(
+            Experiment::on(Topology::sysnet(3), 1),
+            RequestKind::Original,
+            200,
+        );
+        let read = measure_rrt(Experiment::on(Topology::sysnet(3), 1), RequestKind::Read, 200);
+        let write = measure_rrt(
+            Experiment::on(Topology::sysnet(3), 1),
+            RequestKind::Write,
+            200,
+        );
+        assert!(
+            orig.mean < read.mean && read.mean < write.mean,
+            "orig {:.3} < read {:.3} < write {:.3}",
+            orig.mean,
+            read.mean,
+            write.mean
+        );
+        // Within a loose band of the paper's absolute numbers.
+        assert!((0.10..0.30).contains(&orig.mean), "orig {:.3}", orig.mean);
+        assert!((0.18..0.40).contains(&read.mean), "read {:.3}", read.mean);
+        assert!((0.25..0.50).contains(&write.mean), "write {:.3}", write.mean);
+        // X-Paxos saves a meaningful fraction vs the basic protocol.
+        let saving = 1.0 - read.mean / write.mean;
+        assert!(saving > 0.10, "X-Paxos saving {saving:.2}");
+    }
+
+    #[test]
+    fn sysnet_read_throughput_beats_write_throughput() {
+        // §4.1: "the throughput of reads was at least 13% higher than that
+        // of writes".
+        let (reads, _) = measure_throughput(
+            Experiment::on(Topology::sysnet(3), 2),
+            RequestKind::Read,
+            8,
+            125,
+        );
+        let (writes, _) = measure_throughput(
+            Experiment::on(Topology::sysnet(3), 2),
+            RequestKind::Write,
+            8,
+            125,
+        );
+        assert!(
+            reads > writes * 1.10,
+            "reads {reads:.0}/s vs writes {writes:.0}/s"
+        );
+    }
+
+    #[test]
+    fn wan_spread_xpaxos_beats_consensus_reads() {
+        // §4.1 configuration 3: read RRT well below write RRT.
+        let read = measure_rrt(Experiment::on(Topology::wan_spread(), 3), RequestKind::Read, 40);
+        let write = measure_rrt(
+            Experiment::on(Topology::wan_spread(), 3),
+            RequestKind::Write,
+            40,
+        );
+        assert!(
+            write.mean - read.mean > 15.0,
+            "read {:.1} ms vs write {:.1} ms",
+            read.mean,
+            write.mean
+        );
+    }
+
+    #[test]
+    fn tpaxos_reduces_transaction_latency() {
+        // Table 1's shape: optimized < read/write < write-only.
+        let script = TxnScript::write_only(3);
+        let unopt = measure_txn_rrt(
+            Experiment::on(Topology::sysnet(3), 4).txn_mode(TxnMode::PerOp),
+            script.clone(),
+            100,
+        );
+        let opt = measure_txn_rrt(
+            Experiment::on(Topology::sysnet(3), 4).txn_mode(TxnMode::TPaxos),
+            script,
+            100,
+        );
+        assert!(
+            opt.mean < unopt.mean * 0.80,
+            "T-Paxos {:.3} ms vs per-op {:.3} ms",
+            opt.mean,
+            unopt.mean
+        );
+    }
+
+    #[test]
+    fn replicas_converge_after_throughput_run() {
+        let exp = Experiment::on(Topology::sysnet(3), 5);
+        let deadline = exp.deadline;
+        let mut w = exp.build_noop();
+        for _ in 0..4 {
+            w.add_client(
+                Box::new(OpLoop::new(RequestKind::Write, 50)),
+                None,
+                CLIENT_START,
+            );
+        }
+        assert!(w.run_to_completion(Time::ZERO.after(deadline)));
+        // Let heartbeats flush the last chosen notifications.
+        let settle = w.now.after(Dur::from_secs(1));
+        w.run_until(settle);
+        let states = w.replica_states();
+        assert_eq!(states.len(), 3);
+        assert!(states.windows(2).all(|p| p[0] == p[1]), "replicas diverged");
+    }
+}

@@ -1,0 +1,114 @@
+//! Small statistics helpers: means, percentiles and the 99% confidence
+//! intervals the paper reports next to every number.
+
+/// Summary statistics over a sample of (latency) values.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Half-width of the 99% confidence interval of the mean.
+    pub ci99: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// z-value for a two-sided 99% confidence interval of the mean.
+const Z99: f64 = 2.576;
+
+/// Summarize a sample. Returns `Summary::default()` for an empty slice.
+#[must_use]
+pub fn summarize(values: &[f64]) -> Summary {
+    if values.is_empty() {
+        return Summary::default();
+    }
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let std = var.sqrt();
+    let ci99 = Z99 * std / (n as f64).sqrt();
+
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Summary {
+        n,
+        mean,
+        std,
+        ci99,
+        min: sorted[0],
+        p50: percentile_sorted(&sorted, 0.50),
+        p99: percentile_sorted(&sorted, 0.99),
+        max: sorted[n - 1],
+    }
+}
+
+/// Percentile (0..=1) of an already-sorted sample, nearest-rank method.
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_zeroes() {
+        assert_eq!(summarize(&[]), Summary::default());
+    }
+
+    #[test]
+    fn single_sample_has_no_spread() {
+        let s = summarize(&[5.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci99, 0.0);
+        assert_eq!(s.p50, 5.0);
+    }
+
+    #[test]
+    fn known_sample_statistics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        // Sample std of 1..5 is sqrt(2.5).
+        assert!((s.std - 2.5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = summarize(&[1.0, 2.0, 3.0, 2.0, 1.0, 3.0]);
+        let big_data: Vec<f64> = (0..600).map(|i| 1.0 + (i % 3) as f64).collect();
+        let big = summarize(&big_data);
+        assert!(big.ci99 < small.ci99);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.50), 50.0);
+        assert_eq!(percentile_sorted(&sorted, 0.99), 99.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 100.0);
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+    }
+}

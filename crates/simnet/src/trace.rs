@@ -1,0 +1,151 @@
+//! Optional event tracing for simulation runs: a bounded ring of protocol
+//! events with a human-readable timeline renderer. Invaluable when a
+//! failure-schedule test goes wrong — the trace shows who said what to
+//! whom around the moment of interest.
+
+use gridpaxos_core::types::{Addr, Time};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was delivered.
+    Deliver {
+        /// Sender.
+        from: Addr,
+        /// Receiver.
+        to: Addr,
+        /// Protocol tag (`Msg::tag`).
+        tag: &'static str,
+    },
+    /// A replica crashed.
+    Crash(Addr),
+    /// A replica recovered.
+    Recover(Addr),
+    /// A partition activated or healed.
+    Partition {
+        /// True on activation, false on healing.
+        active: bool,
+    },
+}
+
+/// A bounded ring of `(time, event)` pairs.
+#[derive(Debug, Default)]
+pub struct Trace {
+    ring: VecDeque<(Time, TraceEvent)>,
+    capacity: usize,
+    /// Total events observed (including evicted ones).
+    pub total: u64,
+}
+
+impl Trace {
+    /// A trace retaining at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Trace {
+        Trace {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            total: 0,
+        }
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, at: Time, ev: TraceEvent) {
+        self.total += 1;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((at, ev));
+    }
+
+    /// Retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> impl Iterator<Item = &(Time, TraceEvent)> {
+        self.ring.iter()
+    }
+
+    /// Retained events within a time window.
+    #[must_use]
+    pub fn window(&self, from: Time, until: Time) -> Vec<&(Time, TraceEvent)> {
+        self.ring
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < until)
+            .collect()
+    }
+
+    /// Render a compact one-line-per-event timeline.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (t, ev) in &self.ring {
+            let _ = match ev {
+                TraceEvent::Deliver { from, to, tag } => {
+                    writeln!(out, "{:>12.6}s  {from} -> {to}  {tag}", t.as_secs_f64())
+                }
+                TraceEvent::Crash(a) => writeln!(out, "{:>12.6}s  {a} CRASH", t.as_secs_f64()),
+                TraceEvent::Recover(a) => {
+                    writeln!(out, "{:>12.6}s  {a} RECOVER", t.as_secs_f64())
+                }
+                TraceEvent::Partition { active } => writeln!(
+                    out,
+                    "{:>12.6}s  PARTITION {}",
+                    t.as_secs_f64(),
+                    if *active { "begins" } else { "heals" }
+                ),
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridpaxos_core::types::{ClientId, ProcessId};
+
+    fn deliver(tag: &'static str) -> TraceEvent {
+        TraceEvent::Deliver {
+            from: Addr::Client(ClientId(1)),
+            to: Addr::Replica(ProcessId(0)),
+            tag,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let mut t = Trace::new(3);
+        for i in 0..5u64 {
+            t.record(Time(i), deliver("request"));
+        }
+        assert_eq!(t.total, 5);
+        let times: Vec<u64> = t.events().map(|(t, _)| t.0).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn window_filters_by_time() {
+        let mut t = Trace::new(100);
+        for i in 0..10u64 {
+            t.record(Time(i * 1000), deliver("accept"));
+        }
+        let w = t.window(Time(3000), Time(6000));
+        assert_eq!(w.len(), 3);
+        assert!(w.iter().all(|(at, _)| at.0 >= 3000 && at.0 < 6000));
+    }
+
+    #[test]
+    fn render_mentions_every_event_kind() {
+        let mut t = Trace::new(10);
+        t.record(Time(1_000_000), deliver("prepare"));
+        t.record(Time(2_000_000), TraceEvent::Crash(Addr::Replica(ProcessId(1))));
+        t.record(Time(3_000_000), TraceEvent::Recover(Addr::Replica(ProcessId(1))));
+        t.record(Time(4_000_000), TraceEvent::Partition { active: true });
+        let s = t.render();
+        assert!(s.contains("prepare"));
+        assert!(s.contains("CRASH"));
+        assert!(s.contains("RECOVER"));
+        assert!(s.contains("PARTITION begins"));
+        assert_eq!(s.lines().count(), 4);
+    }
+}

@@ -1,0 +1,262 @@
+//! Workload drivers: the closed-loop clients of the paper's evaluation.
+//!
+//! "Each test client sends a specified number of one kind of request
+//! sequentially to the service replicas ... A client will not send a new
+//! request until it receives the reply associated with the previous one."
+
+use crate::metrics::Metrics;
+use gridpaxos_core::action::Action;
+use gridpaxos_core::client::{ClientCore, CompletedOp, TxnDriver, TxnOutcome, TxnScript};
+use gridpaxos_core::request::RequestKind;
+use gridpaxos_core::types::Time;
+use bytes::Bytes;
+
+/// A client workload. The world calls [`Driver::kick`] whenever the client
+/// is idle (at start and after each completion) and forwards every
+/// completed operation to [`Driver::on_complete`].
+pub trait Driver: Send {
+    /// Issue the next submission through `core`, or `None` when done.
+    fn kick(&mut self, core: &mut ClientCore, now: Time) -> Option<Vec<Action>>;
+    /// Observe a completed operation.
+    fn on_complete(&mut self, done: &CompletedOp, now: Time, metrics: &mut Metrics);
+    /// Whether the workload has finished.
+    fn done(&self) -> bool;
+}
+
+/// Sends `total` requests of one kind, closed-loop — the workload behind
+/// Figures 5–8 and the response-time measurements.
+#[derive(Debug)]
+pub struct OpLoop {
+    kind: RequestKind,
+    payload: Bytes,
+    remaining: u64,
+    outstanding: bool,
+}
+
+impl OpLoop {
+    /// `total` requests of `kind` with an empty payload (the evaluation's
+    /// no-op service methods).
+    #[must_use]
+    pub fn new(kind: RequestKind, total: u64) -> OpLoop {
+        OpLoop {
+            kind,
+            payload: Bytes::new(),
+            remaining: total,
+            outstanding: false,
+        }
+    }
+
+    /// Same, with a payload for real services.
+    #[must_use]
+    pub fn with_payload(kind: RequestKind, total: u64, payload: Bytes) -> OpLoop {
+        OpLoop {
+            kind,
+            payload,
+            remaining: total,
+            outstanding: false,
+        }
+    }
+}
+
+impl Driver for OpLoop {
+    fn kick(&mut self, core: &mut ClientCore, now: Time) -> Option<Vec<Action>> {
+        if self.remaining == 0 || self.outstanding {
+            return None;
+        }
+        self.remaining -= 1;
+        self.outstanding = true;
+        Some(core.submit_op(self.kind, self.payload.clone(), now))
+    }
+
+    fn on_complete(&mut self, _done: &CompletedOp, _now: Time, _metrics: &mut Metrics) {
+        self.outstanding = false;
+    }
+
+    fn done(&self) -> bool {
+        self.remaining == 0 && !self.outstanding
+    }
+}
+
+/// Runs `total` transactions of a fixed script, closed-loop — the workload
+/// behind Table 1 and Figure 9. Aborted transactions are recorded and
+/// retried (the client re-runs the whole transaction), so `total`
+/// *committed* transactions are eventually produced unless the retry
+/// budget runs out.
+pub struct TxnLoop {
+    script: TxnScript,
+    remaining: u64,
+    current: Option<TxnDriver>,
+    started_at: Time,
+    retries_left: u64,
+}
+
+impl TxnLoop {
+    /// `total` committed transactions of `script`.
+    #[must_use]
+    pub fn new(script: TxnScript, total: u64) -> TxnLoop {
+        TxnLoop {
+            script,
+            remaining: total,
+            current: None,
+            started_at: Time::ZERO,
+            retries_left: 64,
+        }
+    }
+}
+
+impl Driver for TxnLoop {
+    fn kick(&mut self, core: &mut ClientCore, now: Time) -> Option<Vec<Action>> {
+        if self.current.is_none() {
+            if self.remaining == 0 {
+                return None;
+            }
+            self.started_at = now;
+            self.current = Some(TxnDriver::new(self.script.clone(), core.next_txn_id()));
+        }
+        let driver = self.current.as_mut().expect("just ensured");
+        driver.step(core, now)
+    }
+
+    fn on_complete(&mut self, done: &CompletedOp, now: Time, metrics: &mut Metrics) {
+        let Some(driver) = self.current.as_mut() else {
+            return;
+        };
+        match driver.on_complete(done) {
+            None => {} // mid-transaction; the next kick continues it
+            Some(TxnOutcome::Committed) => {
+                metrics.record_txn(now.since(self.started_at), true);
+                self.remaining -= 1;
+                self.current = None;
+            }
+            Some(TxnOutcome::Aborted(_)) => {
+                metrics.record_txn(now.since(self.started_at), false);
+                self.current = None;
+                if self.retries_left > 0 {
+                    self.retries_left -= 1;
+                } else {
+                    // Give up on this transaction entirely.
+                    self.remaining = self.remaining.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.remaining == 0 && self.current.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridpaxos_core::msg::Msg;
+    use gridpaxos_core::request::{Reply, ReplyBody};
+    use gridpaxos_core::types::{ClientId, Dur, ProcessId};
+
+    fn complete(core: &mut ClientCore, actions: &[Action], body: ReplyBody) -> CompletedOp {
+        let id = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send {
+                    msg: Msg::Request(r),
+                    ..
+                } => Some(r.id),
+                _ => None,
+            })
+            .expect("a request was sent");
+        let (done, _) = core.on_message(
+            Msg::Reply(Reply {
+                id,
+                leader: ProcessId(0),
+                body,
+            }),
+            Time(1),
+        );
+        done.expect("completes")
+    }
+
+    #[test]
+    fn op_loop_counts_down_and_finishes() {
+        let mut core = ClientCore::new(ClientId(1), 3, Dur::from_millis(10));
+        let mut d = OpLoop::new(RequestKind::Write, 2);
+        let mut metrics = Metrics::default();
+        for _ in 0..2 {
+            assert!(!d.done());
+            let actions = d.kick(&mut core, Time(0)).expect("more work");
+            let done = complete(&mut core, &actions, ReplyBody::Ok(Bytes::new()));
+            d.on_complete(&done, Time(1), &mut metrics);
+        }
+        assert!(d.done());
+        assert!(d.kick(&mut core, Time(2)).is_none());
+    }
+
+    #[test]
+    fn op_loop_does_not_double_submit() {
+        let mut core = ClientCore::new(ClientId(1), 3, Dur::from_millis(10));
+        let mut d = OpLoop::new(RequestKind::Read, 5);
+        assert!(d.kick(&mut core, Time(0)).is_some());
+        // Idle-kick while outstanding must not submit again (the client
+        // core would panic on a double submit).
+        assert!(d.kick(&mut core, Time(1)).is_none());
+    }
+
+    #[test]
+    fn txn_loop_commits_and_records() {
+        let mut core = ClientCore::new(ClientId(1), 3, Dur::from_millis(10));
+        let mut d = TxnLoop::new(TxnScript::write_only(2), 1);
+        let mut metrics = Metrics::default();
+        // 2 ops + 1 commit.
+        for step in 0..3 {
+            let actions = d.kick(&mut core, Time(step)).expect("step available");
+            let body = if step < 2 {
+                ReplyBody::Ok(Bytes::new())
+            } else {
+                ReplyBody::TxnCommitted {
+                    txn: gridpaxos_core::types::TxnId(1),
+                }
+            };
+            let done = complete(&mut core, &actions, body);
+            d.on_complete(&done, Time(step + 1), &mut metrics);
+        }
+        assert!(d.done());
+        assert_eq!(metrics.txn_commits, 1);
+        assert_eq!(metrics.txn_summary().n, 1);
+    }
+
+    #[test]
+    fn txn_loop_retries_after_abort() {
+        let mut core = ClientCore::new(ClientId(1), 3, Dur::from_millis(10));
+        let mut d = TxnLoop::new(TxnScript::write_only(1), 1);
+        let mut metrics = Metrics::default();
+
+        // First attempt aborts at the op.
+        let actions = d.kick(&mut core, Time(0)).unwrap();
+        let done = complete(
+            &mut core,
+            &actions,
+            ReplyBody::TxnAborted {
+                txn: gridpaxos_core::types::TxnId(1),
+                reason: gridpaxos_core::request::AbortReason::LeaderSwitch,
+            },
+        );
+        d.on_complete(&done, Time(1), &mut metrics);
+        assert!(!d.done(), "aborted txn is retried");
+        assert_eq!(metrics.txn_aborts, 1);
+
+        // Retry succeeds.
+        for step in 0..2 {
+            let actions = d.kick(&mut core, Time(10 + step)).unwrap();
+            let body = if step == 0 {
+                ReplyBody::Ok(Bytes::new())
+            } else {
+                ReplyBody::TxnCommitted {
+                    txn: gridpaxos_core::types::TxnId(2),
+                }
+            };
+            let done = complete(&mut core, &actions, body);
+            d.on_complete(&done, Time(11 + step), &mut metrics);
+        }
+        assert!(d.done());
+        assert_eq!(metrics.txn_commits, 1);
+    }
+}

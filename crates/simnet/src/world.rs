@@ -1,0 +1,680 @@
+//! The discrete-event simulation kernel.
+//!
+//! A [`World`] owns the replicas and clients (all sans-io state machines
+//! from `gridpaxos-core`), a virtual clock, and an event queue. Messages
+//! take link latencies drawn from the [`crate::topology::Topology`];
+//! replicas pay CPU costs from the [`crate::cpu::CpuModel`], which models
+//! each replica as a single-server queue (events wait while the process is
+//! busy). Everything is seeded, so runs are bit-for-bit reproducible.
+
+use crate::cpu::CpuModel;
+use crate::metrics::Metrics;
+use crate::trace::{Trace, TraceEvent};
+use crate::topology::{SiteId, Topology};
+use crate::workload::Driver;
+use gridpaxos_core::action::{Action, TimerKind};
+use gridpaxos_core::client::ClientCore;
+use gridpaxos_core::config::Config;
+use gridpaxos_core::msg::Msg;
+use gridpaxos_core::replica::Replica;
+use gridpaxos_core::service::App;
+use gridpaxos_core::storage::{MemStorage, Storage};
+use gridpaxos_core::types::{Addr, ClientId, Dur, ProcessId, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Options for building a [`World`].
+pub struct SimOpts {
+    /// Network topology (placement + latency models).
+    pub topology: Topology,
+    /// Per-replica CPU cost model.
+    pub cpu: CpuModel,
+    /// Master seed; every source of randomness derives from it.
+    pub seed: u64,
+    /// Client retransmission timeout.
+    pub client_retry: Dur,
+}
+
+impl SimOpts {
+    /// Sensible defaults for a topology: Sysnet CPU costs and a retry
+    /// timeout of 40× the nominal client→replica latency (clamped to at
+    /// least 50 ms).
+    #[must_use]
+    pub fn for_topology(topology: Topology, seed: u64) -> SimOpts {
+        let m = topology.nominal_ms(Addr::Client(ClientId(0)), Addr::Replica(ProcessId(0)));
+        let retry = Dur::from_millis_f64((m * 40.0).max(50.0));
+        SimOpts {
+            topology,
+            cpu: CpuModel::sysnet(),
+            seed,
+            client_retry: retry,
+        }
+    }
+}
+
+enum Payload {
+    Deliver { from: Addr, to: Addr, msg: Msg },
+    Timer { who: Addr, kind: TimerKind, gen: u64 },
+    ClientStart(ClientId),
+    Crash(ProcessId),
+    Recover(ProcessId),
+}
+
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    payload: Payload,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[allow(clippy::large_enum_variant)] // n slots per world; boxing would cost a hop per event
+enum Slot {
+    Up(Replica),
+    Down(Box<dyn Storage>),
+}
+
+struct SimClient {
+    core: ClientCore,
+    driver: Box<dyn Driver>,
+}
+
+/// A network partition: while active, messages between replicas in
+/// different groups are dropped (both directions). Replicas not listed in
+/// any group are unreachable from everyone. Client links are unaffected —
+/// clients broadcast to all replicas, as in the paper's model.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Groups of replica ids that can talk among themselves.
+    pub groups: Vec<Vec<u32>>,
+    /// Activation time.
+    pub from: Time,
+    /// Healing time.
+    pub until: Time,
+}
+
+impl Partition {
+    fn severs(&self, a: ProcessId, b: ProcessId, now: Time) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        let group_of = |p: ProcessId| self.groups.iter().position(|g| g.contains(&p.0));
+        match (group_of(a), group_of(b)) {
+            (Some(x), Some(y)) => x != y,
+            _ => true, // unlisted replicas are cut off entirely
+        }
+    }
+}
+
+/// The simulated universe.
+pub struct World {
+    /// Virtual clock.
+    pub now: Time,
+    /// Collected measurements.
+    pub metrics: Metrics,
+    cfg: Config,
+    opts: SimOpts,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    replicas: Vec<Slot>,
+    busy_until: Vec<Time>,
+    clients: HashMap<ClientId, SimClient>,
+    next_client_id: u64,
+    timer_gen: HashMap<(Addr, TimerKind), u64>,
+    rng: SmallRng,
+    app_factory: Box<dyn Fn() -> Box<dyn App> + Send>,
+    partitions: Vec<Partition>,
+    trace: Option<Trace>,
+}
+
+impl World {
+    /// Build a world with `opts.topology.n_replicas()` replicas of the
+    /// service produced by `app_factory`, and start them (the bootstrap
+    /// election runs as simulated traffic).
+    pub fn new(
+        cfg: Config,
+        opts: SimOpts,
+        app_factory: Box<dyn Fn() -> Box<dyn App> + Send>,
+    ) -> World {
+        let n = opts.topology.n_replicas();
+        assert_eq!(cfg.n, n, "config and topology disagree on group size");
+        let mut w = World {
+            now: Time::ZERO,
+            metrics: Metrics::default(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            replicas: Vec::with_capacity(n),
+            busy_until: vec![Time::ZERO; n],
+            clients: HashMap::new(),
+            next_client_id: 1,
+            timer_gen: HashMap::new(),
+            rng: SmallRng::seed_from_u64(opts.seed),
+            cfg,
+            opts,
+            app_factory,
+            partitions: Vec::new(),
+            trace: None,
+        };
+        for i in 0..n {
+            let r = Replica::new(
+                ProcessId(i as u32),
+                w.cfg.clone(),
+                (w.app_factory)(),
+                Box::new(MemStorage::new()),
+                w.opts.seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64),
+                Time::ZERO,
+            );
+            w.replicas.push(Slot::Up(r));
+        }
+        for i in 0..n {
+            let actions = match &mut w.replicas[i] {
+                Slot::Up(r) => r.on_start(Time::ZERO),
+                Slot::Down(_) => unreachable!("fresh replicas are up"),
+            };
+            w.dispatch(Addr::Replica(ProcessId(i as u32)), actions, Time::ZERO);
+        }
+        w
+    }
+
+    // ------------------------------------------------------------------
+    // Setup
+    // ------------------------------------------------------------------
+
+    /// Add a client running `driver`, optionally pinned to a site, first
+    /// kicked at `start_at`.
+    pub fn add_client(
+        &mut self,
+        driver: Box<dyn Driver>,
+        site: Option<SiteId>,
+        start_at: Time,
+    ) -> ClientId {
+        let id = ClientId(self.next_client_id);
+        self.next_client_id += 1;
+        if let Some(s) = site {
+            self.opts.topology.client_sites.insert(id, s);
+        }
+        let core = ClientCore::new(id, self.cfg.n, self.opts.client_retry);
+        self.clients.insert(id, SimClient { core, driver });
+        self.schedule(start_at, Payload::ClientStart(id));
+        id
+    }
+
+    /// Crash replica `p` at time `t` (its stable storage survives).
+    pub fn crash_at(&mut self, p: ProcessId, t: Time) {
+        self.schedule(t, Payload::Crash(p));
+    }
+
+    /// Recover replica `p` at time `t` from its retained storage.
+    pub fn recover_at(&mut self, p: ProcessId, t: Time) {
+        self.schedule(t, Payload::Recover(p));
+    }
+
+    /// Partition the replica group between `from` and `until`.
+    pub fn partition(&mut self, groups: Vec<Vec<u32>>, from: Time, until: Time) {
+        self.partitions.push(Partition { groups, from, until });
+    }
+
+    /// Start recording a bounded event trace (see [`Trace::render`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// The current leader, if exactly one replica believes it leads.
+    #[must_use]
+    pub fn leader(&self) -> Option<ProcessId> {
+        let mut found = None;
+        for (i, s) in self.replicas.iter().enumerate() {
+            if let Slot::Up(r) = s {
+                if r.is_leader() {
+                    if found.is_some() {
+                        return None; // transiently two self-believed leaders
+                    }
+                    found = Some(ProcessId(i as u32));
+                }
+            }
+        }
+        found
+    }
+
+    /// Access a live replica.
+    #[must_use]
+    pub fn replica(&self, p: ProcessId) -> Option<&Replica> {
+        match &self.replicas[p.0 as usize] {
+            Slot::Up(r) => Some(r),
+            Slot::Down(_) => None,
+        }
+    }
+
+    /// `(chosen_prefix, service_snapshot)` of every live replica — equal
+    /// across replicas when the system is quiescent and caught up.
+    #[must_use]
+    pub fn replica_states(&self) -> Vec<(gridpaxos_core::types::Instance, bytes::Bytes)> {
+        self.replicas
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Up(r) => Some((r.chosen_prefix(), r.service_snapshot())),
+                Slot::Down(_) => None,
+            })
+            .collect()
+    }
+
+    /// Whether every client workload has finished.
+    #[must_use]
+    pub fn all_clients_done(&self) -> bool {
+        self.clients.values().all(|c| c.driver.done())
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Run until the virtual clock reaches `deadline` (or the event queue
+    /// drains).
+    pub fn run_until(&mut self, deadline: Time) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Run until every client workload finishes; give up at `deadline`.
+    /// Returns true when all clients completed.
+    pub fn run_to_completion(&mut self, deadline: Time) -> bool {
+        while !self.all_clients_done() {
+            let Some(Reverse(ev)) = self.queue.peek() else {
+                return false; // starved: clients waiting but no events
+            };
+            if ev.at > deadline {
+                return false;
+            }
+            self.step();
+        }
+        true
+    }
+
+    /// Process exactly one event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time ran backwards");
+        self.now = ev.at;
+        match ev.payload {
+            Payload::Deliver { from, to, msg } => {
+                if let Some(tr) = &mut self.trace {
+                    tr.record(self.now, TraceEvent::Deliver { from, to, tag: msg.tag() });
+                }
+                self.deliver(from, to, msg)
+            }
+            Payload::Timer { who, kind, gen } => self.fire_timer(who, kind, gen),
+            Payload::ClientStart(c) => {
+                let start = self.now;
+                self.metrics.measure_start =
+                    Some(self.metrics.measure_start.map_or(start, |t| t.min(start)));
+                self.kick_client(c);
+            }
+            Payload::Crash(p) => {
+                if let Some(tr) = &mut self.trace {
+                    tr.record(self.now, TraceEvent::Crash(Addr::Replica(p)));
+                }
+                let slot = &mut self.replicas[p.0 as usize];
+                if let Slot::Up(_) = slot {
+                    let Slot::Up(r) = std::mem::replace(slot, Slot::Down(Box::new(MemStorage::new())))
+                    else {
+                        unreachable!()
+                    };
+                    *slot = Slot::Down(r.into_storage());
+                }
+            }
+            Payload::Recover(p) => {
+                if let Some(tr) = &mut self.trace {
+                    tr.record(self.now, TraceEvent::Recover(Addr::Replica(p)));
+                }
+                let slot = &mut self.replicas[p.0 as usize];
+                if let Slot::Down(_) = slot {
+                    let Slot::Down(storage) =
+                        std::mem::replace(slot, Slot::Down(Box::new(MemStorage::new())))
+                    else {
+                        unreachable!()
+                    };
+                    let mut r = Replica::recover(
+                        p,
+                        self.cfg.clone(),
+                        (self.app_factory)(),
+                        storage,
+                        self.opts
+                            .seed
+                            .wrapping_add(0xec0e4)
+                            .wrapping_add(u64::from(p.0)),
+                        self.now,
+                    );
+                    let actions = r.on_start(self.now);
+                    *slot = Slot::Up(r);
+                    self.busy_until[p.0 as usize] = self.now;
+                    let now = self.now;
+                    self.dispatch(Addr::Replica(p), actions, now);
+                }
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn schedule(&mut self, at: Time, payload: Payload) {
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at: at.max(self.now),
+            seq: self.seq,
+            payload,
+        }));
+    }
+
+    fn deliver(&mut self, from: Addr, to: Addr, msg: Msg) {
+        match to {
+            Addr::Replica(p) => {
+                let idx = p.0 as usize;
+                // Single-server queueing: wait until the process is free.
+                let busy = self.busy_until[idx];
+                if busy > self.now {
+                    self.schedule(busy, Payload::Deliver { from, to, msg });
+                    return;
+                }
+                let Slot::Up(r) = &mut self.replicas[idx] else {
+                    return; // crashed: message lost
+                };
+                *self.metrics.msgs_by_tag.entry(msg.tag()).or_default() += 1;
+                let recv_cost = self.opts.cpu.recv_cost(&msg);
+                let actions = r.on_message(from, msg, self.now);
+                let done_at = self
+                    .now
+                    .after(recv_cost)
+                    .after(actions_send_cost(&self.opts.cpu, &actions, self.cfg.n));
+                self.busy_until[idx] = done_at;
+                self.dispatch(to, actions, done_at);
+            }
+            Addr::Client(c) => {
+                *self.metrics.msgs_by_tag.entry(msg.tag()).or_default() += 1;
+                let now = self.now;
+                let Some(cl) = self.clients.get_mut(&c) else {
+                    return;
+                };
+                let (done, actions) = cl.core.on_message(msg, now);
+                self.dispatch(to, actions, now);
+                if let Some(done) = done {
+                    let Some(cl) = self.clients.get_mut(&c) else {
+                        return;
+                    };
+                    self.metrics.record_op(&done.req, done.rtt, now, done.retries);
+                    cl.driver.on_complete(&done, now, &mut self.metrics);
+                    self.kick_client(c);
+                }
+            }
+        }
+    }
+
+    fn fire_timer(&mut self, who: Addr, kind: TimerKind, gen: u64) {
+        if self.timer_gen.get(&(who, kind)).copied() != Some(gen) {
+            return; // cancelled or replaced
+        }
+        match who {
+            Addr::Replica(p) => {
+                let idx = p.0 as usize;
+                let busy = self.busy_until[idx];
+                if busy > self.now {
+                    self.schedule(busy, Payload::Timer { who, kind, gen });
+                    return;
+                }
+                let Slot::Up(r) = &mut self.replicas[idx] else {
+                    return;
+                };
+                let actions = r.on_timer(kind, self.now);
+                let done_at = self
+                    .now
+                    .after(actions_send_cost(&self.opts.cpu, &actions, self.cfg.n));
+                self.busy_until[idx] = done_at;
+                self.dispatch(who, actions, done_at);
+            }
+            Addr::Client(c) => {
+                let now = self.now;
+                let Some(cl) = self.clients.get_mut(&c) else {
+                    return;
+                };
+                let actions = cl.core.on_timer(kind, now);
+                self.dispatch(who, actions, now);
+            }
+        }
+    }
+
+    fn kick_client(&mut self, c: ClientId) {
+        let now = self.now;
+        let Some(cl) = self.clients.get_mut(&c) else {
+            return;
+        };
+        if cl.driver.done() {
+            return;
+        }
+        if let Some(actions) = cl.driver.kick(&mut cl.core, now) {
+            self.dispatch(Addr::Client(c), actions, now);
+        }
+    }
+
+    fn dispatch(&mut self, from: Addr, actions: Vec<Action>, depart: Time) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => self.send_one(from, to, msg, depart),
+                Action::ToAllReplicas { msg } => {
+                    for i in 0..self.cfg.n {
+                        let to = Addr::Replica(ProcessId(i as u32));
+                        if to != from {
+                            self.send_one(from, to, msg.clone(), depart);
+                        }
+                    }
+                }
+                Action::SetTimer { kind, after } => {
+                    let gen = self.timer_gen.entry((from, kind)).or_insert(0);
+                    *gen += 1;
+                    let gen = *gen;
+                    self.schedule(depart.after(after), Payload::Timer { who: from, kind, gen });
+                }
+                Action::CancelTimer { kind } => {
+                    *self.timer_gen.entry((from, kind)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    fn send_one(&mut self, from: Addr, to: Addr, msg: Msg, depart: Time) {
+        if let (Addr::Replica(a), Addr::Replica(b)) = (from, to) {
+            if self.partitions.iter().any(|p| p.severs(a, b, depart)) {
+                self.metrics.dropped_msgs += 1;
+                return;
+            }
+        }
+        if self.opts.topology.loss > 0.0 && self.rng.gen::<f64>() < self.opts.topology.loss {
+            self.metrics.dropped_msgs += 1;
+            return;
+        }
+        let latency = self.opts.topology.sample(from, to, &mut self.rng);
+        // Transmission delay: big payloads (e.g. full-state updates) take
+        // real time on the wire.
+        let tx = Dur((msg.approx_wire_len() as f64 * self.opts.topology.ns_per_byte) as u64);
+        self.schedule(
+            depart.after(latency).after(tx),
+            Payload::Deliver { from, to, msg },
+        );
+    }
+}
+
+/// Total CPU cost of emitting every message in `actions`.
+fn actions_send_cost(cpu: &CpuModel, actions: &[Action], n: usize) -> gridpaxos_core::types::Dur {
+    let mut total = gridpaxos_core::types::Dur::ZERO;
+    for a in actions {
+        match a {
+            Action::Send { msg, .. } => {
+                total = total.saturating_add(cpu.send_cost_one(msg));
+            }
+            Action::ToAllReplicas { msg } => {
+                total = total
+                    .saturating_add(cpu.send_cost_one(msg).mul(n.saturating_sub(1) as u64));
+            }
+            _ => {}
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use crate::workload::OpLoop;
+    use gridpaxos_core::request::RequestKind;
+    use gridpaxos_core::service::NoopApp;
+
+    const START: Time = Time(200_000_000);
+    const DEADLINE: Time = Time(3_600_000_000_000);
+
+    fn build(seed: u64) -> World {
+        let cfg = Config::cluster(3);
+        let opts = SimOpts::for_topology(Topology::sysnet(3), seed);
+        World::new(cfg, opts, Box::new(|| Box::new(NoopApp::new())))
+    }
+
+    #[test]
+    fn same_seed_same_universe() {
+        let run = |seed: u64| {
+            let mut w = build(seed);
+            w.add_client(Box::new(OpLoop::new(RequestKind::Write, 100)), None, START);
+            assert!(w.run_to_completion(DEADLINE));
+            (
+                w.now,
+                w.metrics.completed_ops,
+                w.metrics.rtt_summary("write").mean,
+                w.replica_states(),
+            )
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.0, b.0, "identical virtual end time");
+        assert_eq!(a.2, b.2, "bit-identical latencies");
+        assert_eq!(a.3, b.3, "identical states");
+        let c = run(8);
+        assert_ne!(a.2, c.2, "different seed, different jitter");
+    }
+
+    #[test]
+    fn election_runs_during_startup() {
+        let mut w = build(1);
+        w.run_until(Time(Dur::from_millis(100).0));
+        assert_eq!(w.leader(), Some(ProcessId(0)), "bootstrap leader elected");
+        let states = w.replica_states();
+        assert_eq!(states.len(), 3);
+    }
+
+    #[test]
+    fn crash_takes_replica_down_and_recover_brings_it_back() {
+        let mut w = build(2);
+        w.crash_at(ProcessId(2), Time(Dur::from_millis(50).0));
+        w.recover_at(ProcessId(2), Time(Dur::from_millis(150).0));
+        w.run_until(Time(Dur::from_millis(100).0));
+        assert!(w.replica(ProcessId(2)).is_none(), "down after crash");
+        assert_eq!(w.replica_states().len(), 2);
+        w.run_until(Time(Dur::from_millis(200).0));
+        assert!(w.replica(ProcessId(2)).is_some(), "up after recover");
+    }
+
+    #[test]
+    fn run_to_completion_times_out_when_starved() {
+        let mut w = build(3);
+        // A client that can never finish: the majority is dead from the start.
+        w.crash_at(ProcessId(1), Time(1));
+        w.crash_at(ProcessId(2), Time(1));
+        w.add_client(Box::new(OpLoop::new(RequestKind::Write, 10)), None, START);
+        assert!(
+            !w.run_to_completion(Time(Dur::from_secs(5).0)),
+            "must report failure at the deadline"
+        );
+        assert_eq!(w.metrics.completed_ops, 0);
+    }
+
+    #[test]
+    fn message_accounting_by_tag() {
+        let mut w = build(4);
+        w.add_client(Box::new(OpLoop::new(RequestKind::Write, 20)), None, START);
+        assert!(w.run_to_completion(DEADLINE));
+        assert!(*w.metrics.msgs_by_tag.get("request").unwrap_or(&0) >= 20 * 3);
+        assert!(*w.metrics.msgs_by_tag.get("accept").unwrap_or(&0) >= 20);
+        assert!(*w.metrics.msgs_by_tag.get("reply").unwrap_or(&0) >= 20);
+    }
+
+    #[test]
+    fn trace_records_deliveries_and_faults() {
+        let mut w = build(6);
+        w.enable_trace(10_000);
+        w.add_client(Box::new(OpLoop::new(RequestKind::Write, 5)), None, START);
+        w.crash_at(ProcessId(2), Time(Dur::from_millis(50).0));
+        w.recover_at(ProcessId(2), Time(Dur::from_millis(400).0));
+        assert!(w.run_to_completion(DEADLINE));
+        let settle = w.now.after(Dur::from_millis(500));
+        w.run_until(settle);
+        let trace = w.trace().expect("tracing enabled");
+        assert!(trace.total > 0);
+        let rendered = trace.render();
+        assert!(rendered.contains("CRASH"));
+        assert!(rendered.contains("RECOVER"));
+        assert!(rendered.contains("request"));
+        assert!(rendered.contains("accept"));
+    }
+
+    #[test]
+    fn client_sites_affect_latency() {
+        // A client pinned to the replica site sees lower RTT than the
+        // default remote client site.
+        let run_at = |site: Option<usize>| {
+            let mut w = build(5);
+            w.add_client(
+                Box::new(OpLoop::new(RequestKind::Original, 50)),
+                site,
+                START,
+            );
+            assert!(w.run_to_completion(DEADLINE));
+            w.metrics.rtt_summary("original").mean
+        };
+        let near = run_at(Some(0));
+        let far = run_at(None);
+        assert!(near < far, "near {near} vs far {far}");
+    }
+}

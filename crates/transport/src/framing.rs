@@ -1,0 +1,87 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! Frame layout: `u32` little-endian payload length, then the payload
+//! (one wire-encoded message, or a hello record). Matches the paper's
+//! prototype, which ran everything over raw TCP sockets.
+
+use bytes::{Bytes, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame payload (64 MiB).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Write one frame to a stream.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len();
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read one frame from a stream. Returns `None` on clean EOF at a frame
+/// boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Bytes>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("incoming frame of {len} bytes exceeds limit"),
+        ));
+    }
+    let mut payload = BytesMut::zeroed(len);
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload.freeze()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+
+        let mut c = Cursor::new(buf);
+        assert_eq!(read_frame(&mut c).unwrap().unwrap().as_ref(), b"hello");
+        assert_eq!(read_frame(&mut c).unwrap().unwrap().as_ref(), b"");
+        assert_eq!(read_frame(&mut c).unwrap().unwrap().len(), 1000);
+        assert!(read_frame(&mut c).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn torn_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2); // cut mid-payload
+        let mut c = Cursor::new(buf);
+        assert!(read_frame(&mut c).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_both_ways() {
+        let mut sink = Vec::new();
+        let huge = vec![0u8; MAX_FRAME + 1];
+        assert!(write_frame(&mut sink, &huge).is_err());
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut c = Cursor::new(buf);
+        assert!(read_frame(&mut c).is_err());
+    }
+}

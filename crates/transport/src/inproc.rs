@@ -1,0 +1,137 @@
+//! In-process transport: a hub of crossbeam channels.
+//!
+//! Fastest way to run a real (threaded, wall-clock) replica group inside a
+//! single OS process — used by the quickstart example and as the baseline
+//! for transport-level tests. Semantics match TCP: reliable, FIFO per
+//! sender→receiver pair, no shared memory between processes beyond the
+//! channel.
+
+use crate::node::{RecvResult, Transport};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gridpaxos_core::msg::Msg;
+use gridpaxos_core::types::Addr;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+type Inbox = (Addr, Msg);
+
+/// A message hub connecting any number of endpoints by address.
+#[derive(Clone, Default)]
+pub struct Hub {
+    routes: Arc<RwLock<HashMap<Addr, Sender<Inbox>>>>,
+}
+
+impl Hub {
+    /// Fresh, empty hub.
+    #[must_use]
+    pub fn new() -> Hub {
+        Hub::default()
+    }
+
+    /// Create (and register) an endpoint for `addr`. Re-registering an
+    /// address replaces the previous endpoint (its receiver closes).
+    #[must_use]
+    pub fn endpoint(&self, addr: Addr) -> HubEndpoint {
+        let (tx, rx) = unbounded();
+        self.routes.write().insert(addr, tx);
+        HubEndpoint {
+            addr,
+            rx,
+            hub: self.clone(),
+        }
+    }
+
+    /// Remove an endpoint (simulates a process disappearing).
+    pub fn disconnect(&self, addr: Addr) {
+        self.routes.write().remove(&addr);
+    }
+
+    fn send(&self, from: Addr, to: Addr, msg: Msg) {
+        let tx = self.routes.read().get(&to).cloned();
+        if let Some(tx) = tx {
+            let _ = tx.send((from, msg)); // receiver gone: best-effort drop
+        }
+    }
+}
+
+/// One process's connection to the [`Hub`].
+pub struct HubEndpoint {
+    addr: Addr,
+    rx: Receiver<Inbox>,
+    hub: Hub,
+}
+
+impl Transport for HubEndpoint {
+    fn send(&self, to: Addr, msg: Msg) {
+        self.hub.send(self.addr, to, msg);
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> RecvResult {
+        match self.rx.recv_timeout(timeout) {
+            Ok((from, msg)) => RecvResult::Msg(from, msg),
+            Err(RecvTimeoutError::Timeout) => RecvResult::Timeout,
+            Err(RecvTimeoutError::Disconnected) => RecvResult::Closed,
+        }
+    }
+
+    fn local_addr(&self) -> Addr {
+        self.addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridpaxos_core::ballot::Ballot;
+    use gridpaxos_core::types::{ClientId, Instance, ProcessId};
+
+    fn hb() -> Msg {
+        Msg::Heartbeat {
+            ballot: Ballot::ZERO,
+            chosen: Instance::ZERO,
+            hb_seq: 0,
+        }
+    }
+
+    #[test]
+    fn messages_route_by_address() {
+        let hub = Hub::new();
+        let a = hub.endpoint(Addr::Replica(ProcessId(0)));
+        let b = hub.endpoint(Addr::Replica(ProcessId(1)));
+        a.send(Addr::Replica(ProcessId(1)), hb());
+        match b.recv_timeout(Duration::from_millis(100)) {
+            RecvResult::Msg(from, msg) => {
+                assert_eq!(from, Addr::Replica(ProcessId(0)));
+                assert_eq!(msg.tag(), "heartbeat");
+            }
+            _ => panic!("expected message"),
+        }
+        // Nothing arrives at the sender.
+        assert!(matches!(
+            a.recv_timeout(Duration::from_millis(10)),
+            RecvResult::Timeout
+        ));
+    }
+
+    #[test]
+    fn send_to_unknown_address_is_dropped() {
+        let hub = Hub::new();
+        let a = hub.endpoint(Addr::Client(ClientId(1)));
+        a.send(Addr::Replica(ProcessId(9)), hb()); // nobody there: no panic
+    }
+
+    #[test]
+    fn disconnect_stops_delivery() {
+        let hub = Hub::new();
+        let a = hub.endpoint(Addr::Replica(ProcessId(0)));
+        let b = hub.endpoint(Addr::Replica(ProcessId(1)));
+        hub.disconnect(Addr::Replica(ProcessId(1)));
+        a.send(Addr::Replica(ProcessId(1)), hb());
+        assert!(matches!(
+            b.recv_timeout(Duration::from_millis(10)),
+            RecvResult::Timeout | RecvResult::Closed
+        ));
+    }
+}

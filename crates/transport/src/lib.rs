@@ -1,0 +1,32 @@
+//! # gridpaxos-transport
+//!
+//! Real deployment substrates for the sans-io `gridpaxos` protocol core:
+//!
+//! * a hand-rolled binary [`wire`] codec and length-prefixed [`framing`],
+//! * an in-process crossbeam-channel transport ([`inproc`]),
+//! * a TCP transport with hello-frame peer identification ([`tcp`]) — the
+//!   substrate the paper's prototype used,
+//! * file-backed stable storage with a write-ahead log and atomic
+//!   checkpoints ([`fstorage`]), making deployments crash-recoverable,
+//! * event loops mapping wall-clock time onto the core's logical clock
+//!   ([`node`]): threaded [`node::ReplicaNode`]s and a blocking
+//!   [`node::SyncClient`].
+//!
+//! The protocol code running here is byte-for-byte the same as under the
+//! `gridpaxos-simnet` simulator — that is the point of the sans-io design.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod framing;
+pub mod fstorage;
+pub mod inproc;
+pub mod node;
+pub mod tcp;
+pub mod wire;
+
+pub use fstorage::FileStorage;
+pub use inproc::{Hub, HubEndpoint};
+pub use node::{spawn_replica, RecvResult, ReplicaNode, SyncClient, Transport};
+pub use tcp::{TcpCluster, TcpNode};
+pub use wire::{decode_msg, encode_msg, encode_to_bytes, WireError};

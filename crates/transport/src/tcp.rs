@@ -1,0 +1,330 @@
+//! TCP transport: the deployment substrate the paper's prototype used
+//! ("The communication between service replicas, and between clients and
+//! service replicas, uses TCP sockets").
+//!
+//! Every replica listens on a socket. A connection starts with a *hello*
+//! frame carrying the dialer's protocol address; after that, frames are
+//! wire-encoded messages. Replies to clients travel back over the client's
+//! own inbound connection, so clients never need to listen.
+
+use crate::framing::{read_frame, write_frame};
+use crate::node::{RecvResult, Transport};
+use crate::wire::{decode_msg, encode_to_bytes, get_addr, put_addr};
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gridpaxos_core::msg::Msg;
+use gridpaxos_core::types::{Addr, ClientId, ProcessId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Inbox = (Addr, Msg);
+
+/// A TCP-backed [`Transport`] endpoint.
+pub struct TcpNode {
+    local: Addr,
+    inbox_rx: Receiver<Inbox>,
+    inbox_tx: Sender<Inbox>,
+    /// Open outbound writers by peer address.
+    conns: Arc<Mutex<HashMap<Addr, Sender<Bytes>>>>,
+    /// Listen addresses of the replicas (for dialing).
+    peers: HashMap<ProcessId, SocketAddr>,
+}
+
+impl TcpNode {
+    /// Bind a replica endpoint: listen on `listen`, learn the peer replica
+    /// listen addresses for dialing. Returns the node and the actual bound
+    /// address (useful with port 0).
+    pub fn bind_replica(
+        id: ProcessId,
+        listen: SocketAddr,
+        peers: HashMap<ProcessId, SocketAddr>,
+    ) -> io::Result<(TcpNode, SocketAddr)> {
+        let listener = TcpListener::bind(listen)?;
+        let bound = listener.local_addr()?;
+        let (inbox_tx, inbox_rx) = unbounded();
+        let node = TcpNode {
+            local: Addr::Replica(id),
+            inbox_rx,
+            inbox_tx: inbox_tx.clone(),
+            conns: Arc::new(Mutex::new(HashMap::new())),
+            peers,
+        };
+        let conns = Arc::clone(&node.conns);
+        let local = node.local;
+        std::thread::Builder::new()
+            .name(format!("gp-listen-{id}"))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    spawn_connection(stream, None, local, inbox_tx.clone(), Arc::clone(&conns));
+                }
+            })
+            .expect("spawn listener thread");
+        Ok((node, bound))
+    }
+
+    /// Create a client endpoint that can dial the given replicas.
+    #[must_use]
+    pub fn client(id: ClientId, replicas: HashMap<ProcessId, SocketAddr>) -> TcpNode {
+        let (inbox_tx, inbox_rx) = unbounded();
+        TcpNode {
+            local: Addr::Client(id),
+            inbox_rx,
+            inbox_tx,
+            conns: Arc::new(Mutex::new(HashMap::new())),
+            peers: replicas,
+        }
+    }
+
+    /// Get (or lazily establish) the outbound writer for `to`.
+    fn writer_for(&self, to: Addr) -> Option<Sender<Bytes>> {
+        if let Some(tx) = self.conns.lock().get(&to) {
+            return Some(tx.clone());
+        }
+        // Only replicas can be dialed (clients don't listen).
+        let sock = match to {
+            Addr::Replica(p) => *self.peers.get(&p)?,
+            Addr::Client(_) => return None,
+        };
+        let stream = TcpStream::connect_timeout(&sock, Duration::from_millis(500)).ok()?;
+        spawn_connection(
+            stream,
+            Some(to),
+            self.local,
+            self.inbox_tx.clone(),
+            Arc::clone(&self.conns),
+        )
+    }
+}
+
+/// Start reader + writer threads for a connection. `dialed` is `Some(peer)`
+/// when we initiated (we send the hello); `None` when accepted (we read the
+/// hello first). Returns the outbound sender.
+fn spawn_connection(
+    stream: TcpStream,
+    dialed: Option<Addr>,
+    local: Addr,
+    inbox: Sender<Inbox>,
+    conns: Arc<Mutex<HashMap<Addr, Sender<Bytes>>>>,
+) -> Option<Sender<Bytes>> {
+    stream.set_nodelay(true).ok();
+    let (out_tx, out_rx): (Sender<Bytes>, Receiver<Bytes>) = unbounded();
+
+    let write_stream = stream.try_clone().ok()?;
+    let hello = {
+        let mut b = BytesMut::new();
+        put_addr(&mut b, &local);
+        b.freeze()
+    };
+    // Writer thread: hello (if dialing), then queued frames.
+    let send_hello = dialed.is_some();
+    std::thread::spawn(move || {
+        let mut w = BufWriter::new(write_stream);
+        if send_hello && write_frame(&mut w, &hello).is_err() {
+            return;
+        }
+        use std::io::Write;
+        let _ = w.flush();
+        while let Ok(frame) = out_rx.recv() {
+            if write_frame(&mut w, &frame).is_err() {
+                return;
+            }
+            if w.flush().is_err() {
+                return;
+            }
+        }
+    });
+
+    if let Some(peer) = dialed {
+        conns.lock().insert(peer, out_tx.clone());
+        let out_for_reader = out_tx.clone();
+        std::thread::spawn(move || {
+            reader_loop(stream, peer, inbox);
+            conns.lock().remove(&peer);
+            drop(out_for_reader);
+        });
+        Some(out_tx)
+    } else {
+        // Accepted: learn the peer from its hello, then register.
+        std::thread::spawn(move || {
+            let mut r = BufReader::new(stream.try_clone().expect("clone stream"));
+            let Ok(Some(mut hello)) = read_frame(&mut r) else {
+                return;
+            };
+            let Ok(peer) = get_addr(&mut hello) else {
+                return;
+            };
+            conns.lock().insert(peer, out_tx);
+            reader_loop_buf(r, peer, inbox);
+            conns.lock().remove(&peer);
+        });
+        None
+    }
+}
+
+fn reader_loop(stream: TcpStream, peer: Addr, inbox: Sender<Inbox>) {
+    let r = BufReader::new(stream);
+    reader_loop_buf(r, peer, inbox);
+}
+
+fn reader_loop_buf(mut r: BufReader<TcpStream>, peer: Addr, inbox: Sender<Inbox>) {
+    loop {
+        match read_frame(&mut r) {
+            Ok(Some(mut frame)) => match decode_msg(&mut frame) {
+                Ok(msg) => {
+                    if inbox.send((peer, msg)).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return, // protocol violation: drop the connection
+            },
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+impl Transport for TcpNode {
+    fn send(&self, to: Addr, msg: Msg) {
+        if let Some(tx) = self.writer_for(to) {
+            let _ = tx.send(encode_to_bytes(&msg));
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> RecvResult {
+        match self.inbox_rx.recv_timeout(timeout) {
+            Ok((from, msg)) => RecvResult::Msg(from, msg),
+            Err(RecvTimeoutError::Timeout) => RecvResult::Timeout,
+            Err(RecvTimeoutError::Disconnected) => RecvResult::Closed,
+        }
+    }
+
+    fn local_addr(&self) -> Addr {
+        self.local
+    }
+}
+
+/// A convenience harness: a whole replica group over loopback TCP.
+pub struct TcpCluster {
+    /// Listen addresses of the replicas.
+    pub addrs: HashMap<ProcessId, SocketAddr>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<gridpaxos_core::replica::Replica>>,
+    n: usize,
+    next_client: std::sync::atomic::AtomicU64,
+}
+
+impl TcpCluster {
+    /// Launch `cfg.n` replicas of the service built by `app_factory` on
+    /// ephemeral loopback ports, with in-memory storage.
+    pub fn launch(
+        cfg: gridpaxos_core::config::Config,
+        app_factory: impl Fn() -> Box<dyn gridpaxos_core::service::App> + Send + Sync,
+    ) -> io::Result<TcpCluster> {
+        Self::launch_with_storage(cfg, app_factory, |_| {
+            Box::new(gridpaxos_core::storage::MemStorage::new())
+        })
+    }
+
+    /// Launch with custom per-replica storage (e.g. [`crate::FileStorage`]
+    /// for a durable cluster). Replicas whose storage holds prior state
+    /// are *recovered* rather than created fresh.
+    pub fn launch_with_storage(
+        cfg: gridpaxos_core::config::Config,
+        app_factory: impl Fn() -> Box<dyn gridpaxos_core::service::App> + Send + Sync,
+        storage_factory: impl Fn(ProcessId) -> Box<dyn gridpaxos_core::storage::Storage> + Send + Sync,
+    ) -> io::Result<TcpCluster> {
+        let n = cfg.n;
+        // Bind all listeners first so every node knows every address.
+        let mut nodes = Vec::new();
+        let mut addrs = HashMap::new();
+        let mut pending = Vec::new();
+        for i in 0..n {
+            let id = ProcessId(i as u32);
+            let (node, bound) =
+                TcpNode::bind_replica(id, "127.0.0.1:0".parse().unwrap(), HashMap::new())?;
+            addrs.insert(id, bound);
+            pending.push((id, node));
+        }
+        for (_, node) in &mut pending {
+            node.peers = addrs.clone();
+        }
+        nodes.extend(pending);
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for (id, node) in nodes {
+            let storage = storage_factory(id);
+            let prior = storage.load();
+            let has_prior = !prior.promised.is_zero()
+                || !prior.accepted.is_empty()
+                || prior.checkpoint.is_some()
+                || prior.chosen_prefix.0 > 0;
+            let replica = if has_prior {
+                gridpaxos_core::replica::Replica::recover(
+                    id,
+                    cfg.clone(),
+                    app_factory(),
+                    storage,
+                    0xace0 + u64::from(id.0),
+                    gridpaxos_core::types::Time::ZERO,
+                )
+            } else {
+                gridpaxos_core::replica::Replica::new(
+                    id,
+                    cfg.clone(),
+                    app_factory(),
+                    storage,
+                    0xace0 + u64::from(id.0),
+                    gridpaxos_core::types::Time::ZERO,
+                )
+            };
+            handles.push(crate::node::spawn_replica(replica, node, Arc::clone(&stop)));
+        }
+        Ok(TcpCluster {
+            addrs,
+            stop,
+            handles,
+            n,
+            // Client ids must be unique across cluster incarnations (the
+            // replicas' dedup tables survive restarts), so derive the base
+            // from the wall clock.
+            next_client: std::sync::atomic::AtomicU64::new(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(1)
+                    | 1,
+            ),
+        })
+    }
+
+    /// Create a blocking client connected to the whole group.
+    #[must_use]
+    pub fn client(&self) -> crate::node::SyncClient<TcpNode> {
+        let id = ClientId(
+            self.next_client
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        );
+        let node = TcpNode::client(id, self.addrs.clone());
+        let core = gridpaxos_core::client::ClientCore::new(
+            id,
+            self.n,
+            gridpaxos_core::types::Dur::from_millis(500),
+        );
+        crate::node::SyncClient::new(core, node, self.n)
+    }
+
+    /// Stop all replicas and join their threads, returning the replicas
+    /// for inspection.
+    pub fn shutdown(self) -> Vec<gridpaxos_core::replica::Replica> {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("replica thread panicked"))
+            .collect()
+    }
+}

@@ -1,0 +1,927 @@
+//! Hand-rolled binary wire format for protocol messages.
+//!
+//! Little-endian fixed-width integers, `u32`-length-prefixed byte strings,
+//! one tag byte per enum variant. No external serialization crate: the
+//! format is small, explicit and fuzzable (see the proptest round-trips in
+//! the test module).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gridpaxos_core::ballot::Ballot;
+use gridpaxos_core::command::{
+    AcceptedEntry, Command, Decree, DecreeEntry, DedupEntry, SnapshotBlob, StateUpdate,
+};
+use gridpaxos_core::msg::Msg;
+use gridpaxos_core::request::{AbortReason, Reply, ReplyBody, Request, RequestId, RequestKind, TxnCtl};
+use gridpaxos_core::types::{Addr, ClientId, Instance, ProcessId, Seq, TxnId};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// Unknown tag byte for the named type.
+    BadTag {
+        /// Which type was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A length prefix exceeded the sanity limit.
+    TooLong(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadTag { what, tag } => write!(f, "bad tag {tag:#x} for {what}"),
+            WireError::TooLong(n) => write!(f, "length {n} exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Largest single byte-string we accept (16 MiB) — guards against
+/// corrupted length prefixes allocating unbounded memory.
+const MAX_BYTES: usize = 16 << 20;
+
+type Result<T> = std::result::Result<T, WireError>;
+
+// ---------------------------------------------------------------------
+// Primitive helpers
+// ---------------------------------------------------------------------
+
+fn need(buf: &impl Buf, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(buf: &mut impl Buf) -> Result<u8> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut impl Buf) -> Result<u32> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut impl Buf) -> Result<u64> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+fn put_bytes(out: &mut BytesMut, b: &[u8]) {
+    out.put_u32_le(b.len() as u32);
+    out.put_slice(b);
+}
+
+fn get_bytes(buf: &mut Bytes) -> Result<Bytes> {
+    let len = get_u32(buf)? as usize;
+    if len > MAX_BYTES {
+        return Err(WireError::TooLong(len));
+    }
+    need(buf, len)?;
+    Ok(buf.split_to(len))
+}
+
+fn put_opt<T>(out: &mut BytesMut, v: &Option<T>, enc: impl FnOnce(&mut BytesMut, &T)) {
+    match v {
+        None => out.put_u8(0),
+        Some(x) => {
+            out.put_u8(1);
+            enc(out, x);
+        }
+    }
+}
+
+fn get_opt<T>(buf: &mut Bytes, dec: impl FnOnce(&mut Bytes) -> Result<T>) -> Result<Option<T>> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(dec(buf)?)),
+        tag => Err(WireError::BadTag { what: "option", tag }),
+    }
+}
+
+fn put_vec<T>(out: &mut BytesMut, v: &[T], mut enc: impl FnMut(&mut BytesMut, &T)) {
+    out.put_u32_le(v.len() as u32);
+    for x in v {
+        enc(out, x);
+    }
+}
+
+fn get_vec<T>(buf: &mut Bytes, mut dec: impl FnMut(&mut Bytes) -> Result<T>) -> Result<Vec<T>> {
+    let len = get_u32(buf)? as usize;
+    if len > MAX_BYTES {
+        return Err(WireError::TooLong(len));
+    }
+    let mut v = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        v.push(dec(buf)?);
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// Identifier and leaf types
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_ballot(out: &mut BytesMut, b: &Ballot) {
+    out.put_u64_le(b.round);
+    out.put_u32_le(b.proposer.0);
+}
+
+pub(crate) fn get_ballot(buf: &mut Bytes) -> Result<Ballot> {
+    let round = get_u64(buf)?;
+    let proposer = ProcessId(get_u32(buf)?);
+    Ok(Ballot { round, proposer })
+}
+
+pub(crate) fn put_instance(out: &mut BytesMut, i: &Instance) {
+    out.put_u64_le(i.0);
+}
+
+pub(crate) fn get_instance(buf: &mut Bytes) -> Result<Instance> {
+    Ok(Instance(get_u64(buf)?))
+}
+
+fn put_request_id(out: &mut BytesMut, id: &RequestId) {
+    out.put_u64_le(id.client.0);
+    out.put_u64_le(id.seq.0);
+}
+
+fn get_request_id(buf: &mut Bytes) -> Result<RequestId> {
+    let client = ClientId(get_u64(buf)?);
+    let seq = Seq(get_u64(buf)?);
+    Ok(RequestId { client, seq })
+}
+
+/// Encode a process address (used in transport hello frames).
+pub fn put_addr(out: &mut BytesMut, a: &Addr) {
+    match a {
+        Addr::Replica(p) => {
+            out.put_u8(0);
+            out.put_u32_le(p.0);
+        }
+        Addr::Client(c) => {
+            out.put_u8(1);
+            out.put_u64_le(c.0);
+        }
+    }
+}
+
+/// Decode a process address.
+pub fn get_addr(buf: &mut Bytes) -> Result<Addr> {
+    match get_u8(buf)? {
+        0 => Ok(Addr::Replica(ProcessId(get_u32(buf)?))),
+        1 => Ok(Addr::Client(ClientId(get_u64(buf)?))),
+        tag => Err(WireError::BadTag { what: "addr", tag }),
+    }
+}
+
+fn put_kind(out: &mut BytesMut, k: &RequestKind) {
+    out.put_u8(match k {
+        RequestKind::Read => 0,
+        RequestKind::Write => 1,
+        RequestKind::Original => 2,
+    });
+}
+
+fn get_kind(buf: &mut Bytes) -> Result<RequestKind> {
+    match get_u8(buf)? {
+        0 => Ok(RequestKind::Read),
+        1 => Ok(RequestKind::Write),
+        2 => Ok(RequestKind::Original),
+        tag => Err(WireError::BadTag { what: "request_kind", tag }),
+    }
+}
+
+fn put_txn_ctl(out: &mut BytesMut, t: &TxnCtl) {
+    match t {
+        TxnCtl::Op { txn } => {
+            out.put_u8(0);
+            out.put_u64_le(txn.0);
+        }
+        TxnCtl::Commit { txn, n_ops } => {
+            out.put_u8(1);
+            out.put_u64_le(txn.0);
+            out.put_u32_le(*n_ops);
+        }
+        TxnCtl::Abort { txn } => {
+            out.put_u8(2);
+            out.put_u64_le(txn.0);
+        }
+    }
+}
+
+fn get_txn_ctl(buf: &mut Bytes) -> Result<TxnCtl> {
+    match get_u8(buf)? {
+        0 => Ok(TxnCtl::Op { txn: TxnId(get_u64(buf)?) }),
+        1 => Ok(TxnCtl::Commit {
+            txn: TxnId(get_u64(buf)?),
+            n_ops: get_u32(buf)?,
+        }),
+        2 => Ok(TxnCtl::Abort { txn: TxnId(get_u64(buf)?) }),
+        tag => Err(WireError::BadTag { what: "txn_ctl", tag }),
+    }
+}
+
+fn put_request(out: &mut BytesMut, r: &Request) {
+    put_request_id(out, &r.id);
+    put_kind(out, &r.kind);
+    put_opt(out, &r.txn, put_txn_ctl);
+    put_bytes(out, &r.op);
+}
+
+fn get_request(buf: &mut Bytes) -> Result<Request> {
+    let id = get_request_id(buf)?;
+    let kind = get_kind(buf)?;
+    let txn = get_opt(buf, get_txn_ctl)?;
+    let op = get_bytes(buf)?;
+    Ok(Request { id, kind, txn, op })
+}
+
+fn put_abort_reason(out: &mut BytesMut, r: &AbortReason) {
+    out.put_u8(match r {
+        AbortReason::ClientAbort => 0,
+        AbortReason::LeaderSwitch => 1,
+        AbortReason::Conflict => 2,
+        AbortReason::Unsupported => 3,
+    });
+}
+
+fn get_abort_reason(buf: &mut Bytes) -> Result<AbortReason> {
+    match get_u8(buf)? {
+        0 => Ok(AbortReason::ClientAbort),
+        1 => Ok(AbortReason::LeaderSwitch),
+        2 => Ok(AbortReason::Conflict),
+        3 => Ok(AbortReason::Unsupported),
+        tag => Err(WireError::BadTag { what: "abort_reason", tag }),
+    }
+}
+
+fn put_reply_body(out: &mut BytesMut, b: &ReplyBody) {
+    match b {
+        ReplyBody::Ok(bytes) => {
+            out.put_u8(0);
+            put_bytes(out, bytes);
+        }
+        ReplyBody::TxnCommitted { txn } => {
+            out.put_u8(1);
+            out.put_u64_le(txn.0);
+        }
+        ReplyBody::TxnAborted { txn, reason } => {
+            out.put_u8(2);
+            out.put_u64_le(txn.0);
+            put_abort_reason(out, reason);
+        }
+        ReplyBody::Empty => out.put_u8(3),
+    }
+}
+
+fn get_reply_body(buf: &mut Bytes) -> Result<ReplyBody> {
+    match get_u8(buf)? {
+        0 => Ok(ReplyBody::Ok(get_bytes(buf)?)),
+        1 => Ok(ReplyBody::TxnCommitted { txn: TxnId(get_u64(buf)?) }),
+        2 => Ok(ReplyBody::TxnAborted {
+            txn: TxnId(get_u64(buf)?),
+            reason: get_abort_reason(buf)?,
+        }),
+        3 => Ok(ReplyBody::Empty),
+        tag => Err(WireError::BadTag { what: "reply_body", tag }),
+    }
+}
+
+fn put_state_update(out: &mut BytesMut, u: &StateUpdate) {
+    match u {
+        StateUpdate::None => out.put_u8(0),
+        StateUpdate::Full(b) => {
+            out.put_u8(1);
+            put_bytes(out, b);
+        }
+        StateUpdate::Delta(b) => {
+            out.put_u8(2);
+            put_bytes(out, b);
+        }
+        StateUpdate::Reproduce(b) => {
+            out.put_u8(3);
+            put_bytes(out, b);
+        }
+    }
+}
+
+fn get_state_update(buf: &mut Bytes) -> Result<StateUpdate> {
+    match get_u8(buf)? {
+        0 => Ok(StateUpdate::None),
+        1 => Ok(StateUpdate::Full(get_bytes(buf)?)),
+        2 => Ok(StateUpdate::Delta(get_bytes(buf)?)),
+        3 => Ok(StateUpdate::Reproduce(get_bytes(buf)?)),
+        tag => Err(WireError::BadTag { what: "state_update", tag }),
+    }
+}
+
+fn put_command(out: &mut BytesMut, c: &Command) {
+    match c {
+        Command::Noop => out.put_u8(0),
+        Command::Req(r) => {
+            out.put_u8(1);
+            put_request(out, r);
+        }
+        Command::TxnCommit { id, txn, ops } => {
+            out.put_u8(2);
+            put_request_id(out, id);
+            out.put_u64_le(txn.0);
+            put_vec(out, ops, put_request);
+        }
+    }
+}
+
+fn get_command(buf: &mut Bytes) -> Result<Command> {
+    match get_u8(buf)? {
+        0 => Ok(Command::Noop),
+        1 => Ok(Command::Req(get_request(buf)?)),
+        2 => Ok(Command::TxnCommit {
+            id: get_request_id(buf)?,
+            txn: TxnId(get_u64(buf)?),
+            ops: get_vec(buf, get_request)?,
+        }),
+        tag => Err(WireError::BadTag { what: "command", tag }),
+    }
+}
+
+pub(crate) fn put_decree(out: &mut BytesMut, d: &Decree) {
+    put_vec(out, &d.entries, |o, e: &DecreeEntry| {
+        put_command(o, &e.cmd);
+        put_state_update(o, &e.update);
+        put_reply_body(o, &e.reply);
+    });
+}
+
+pub(crate) fn get_decree(buf: &mut Bytes) -> Result<Decree> {
+    Ok(Decree {
+        entries: get_vec(buf, |b| {
+            Ok(DecreeEntry {
+                cmd: get_command(b)?,
+                update: get_state_update(b)?,
+                reply: get_reply_body(b)?,
+            })
+        })?,
+    })
+}
+
+fn put_accepted_entry(out: &mut BytesMut, e: &AcceptedEntry) {
+    put_instance(out, &e.instance);
+    put_ballot(out, &e.ballot);
+    put_decree(out, &e.decree);
+}
+
+fn get_accepted_entry(buf: &mut Bytes) -> Result<AcceptedEntry> {
+    Ok(AcceptedEntry {
+        instance: get_instance(buf)?,
+        ballot: get_ballot(buf)?,
+        decree: get_decree(buf)?,
+    })
+}
+
+pub(crate) fn put_snapshot(out: &mut BytesMut, s: &SnapshotBlob) {
+    put_instance(out, &s.upto);
+    put_bytes(out, &s.app);
+    put_vec(out, &s.dedup, |o, e: &DedupEntry| {
+        o.put_u64_le(e.client.0);
+        o.put_u64_le(e.seq.0);
+        put_reply_body(o, &e.reply);
+    });
+}
+
+pub(crate) fn get_snapshot(buf: &mut Bytes) -> Result<SnapshotBlob> {
+    Ok(SnapshotBlob {
+        upto: get_instance(buf)?,
+        app: get_bytes(buf)?,
+        dedup: get_vec(buf, |b| {
+            Ok(DedupEntry {
+                client: ClientId(get_u64(b)?),
+                seq: Seq(get_u64(b)?),
+                reply: get_reply_body(b)?,
+            })
+        })?,
+    })
+}
+
+fn put_inst_decree(out: &mut BytesMut, e: &(Instance, Decree)) {
+    put_instance(out, &e.0);
+    put_decree(out, &e.1);
+}
+
+fn get_inst_decree(buf: &mut Bytes) -> Result<(Instance, Decree)> {
+    Ok((get_instance(buf)?, get_decree(buf)?))
+}
+
+// ---------------------------------------------------------------------
+// Top-level message codec
+// ---------------------------------------------------------------------
+
+/// Encode a message into `out`.
+pub fn encode_msg(msg: &Msg, out: &mut BytesMut) {
+    match msg {
+        Msg::Request(r) => {
+            out.put_u8(0);
+            put_request(out, r);
+        }
+        Msg::Reply(Reply { id, leader, body }) => {
+            out.put_u8(1);
+            put_request_id(out, id);
+            out.put_u32_le(leader.0);
+            put_reply_body(out, body);
+        }
+        Msg::Prepare {
+            ballot,
+            chosen_prefix,
+            known_above,
+        } => {
+            out.put_u8(2);
+            put_ballot(out, ballot);
+            put_instance(out, chosen_prefix);
+            put_vec(out, known_above, put_instance);
+        }
+        Msg::Promise {
+            ballot,
+            chosen_prefix,
+            accepted,
+            snapshot,
+        } => {
+            out.put_u8(3);
+            put_ballot(out, ballot);
+            put_instance(out, chosen_prefix);
+            put_vec(out, accepted, put_accepted_entry);
+            put_opt(out, snapshot, put_snapshot);
+        }
+        Msg::PrepareNack { ballot, promised } => {
+            out.put_u8(4);
+            put_ballot(out, ballot);
+            put_ballot(out, promised);
+        }
+        Msg::Accept { ballot, entries } => {
+            out.put_u8(5);
+            put_ballot(out, ballot);
+            put_vec(out, entries, put_inst_decree);
+        }
+        Msg::Accepted { ballot, instances } => {
+            out.put_u8(6);
+            put_ballot(out, ballot);
+            put_vec(out, instances, put_instance);
+        }
+        Msg::AcceptNack { ballot, promised } => {
+            out.put_u8(7);
+            put_ballot(out, ballot);
+            put_ballot(out, promised);
+        }
+        Msg::Chosen { ballot, upto } => {
+            out.put_u8(8);
+            put_ballot(out, ballot);
+            put_instance(out, upto);
+        }
+        Msg::Confirm { ballot, read } => {
+            out.put_u8(9);
+            put_ballot(out, ballot);
+            put_request_id(out, read);
+        }
+        Msg::Heartbeat { ballot, chosen, hb_seq } => {
+            out.put_u8(10);
+            put_ballot(out, ballot);
+            put_instance(out, chosen);
+            out.put_u64_le(*hb_seq);
+        }
+        Msg::HeartbeatAck { ballot, hb_seq } => {
+            out.put_u8(13);
+            put_ballot(out, ballot);
+            out.put_u64_le(*hb_seq);
+        }
+        Msg::CatchUpReq { have } => {
+            out.put_u8(11);
+            put_instance(out, have);
+        }
+        Msg::CatchUp {
+            ballot,
+            entries,
+            snapshot,
+            upto,
+        } => {
+            out.put_u8(12);
+            put_ballot(out, ballot);
+            put_vec(out, entries, put_inst_decree);
+            put_opt(out, snapshot, put_snapshot);
+            put_instance(out, upto);
+        }
+    }
+}
+
+/// Decode a message from `buf`, consuming exactly one message.
+pub fn decode_msg(buf: &mut Bytes) -> Result<Msg> {
+    match get_u8(buf)? {
+        0 => Ok(Msg::Request(get_request(buf)?)),
+        1 => Ok(Msg::Reply(Reply {
+            id: get_request_id(buf)?,
+            leader: ProcessId(get_u32(buf)?),
+            body: get_reply_body(buf)?,
+        })),
+        2 => Ok(Msg::Prepare {
+            ballot: get_ballot(buf)?,
+            chosen_prefix: get_instance(buf)?,
+            known_above: get_vec(buf, get_instance)?,
+        }),
+        3 => Ok(Msg::Promise {
+            ballot: get_ballot(buf)?,
+            chosen_prefix: get_instance(buf)?,
+            accepted: get_vec(buf, get_accepted_entry)?,
+            snapshot: get_opt(buf, get_snapshot)?,
+        }),
+        4 => Ok(Msg::PrepareNack {
+            ballot: get_ballot(buf)?,
+            promised: get_ballot(buf)?,
+        }),
+        5 => Ok(Msg::Accept {
+            ballot: get_ballot(buf)?,
+            entries: get_vec(buf, get_inst_decree)?,
+        }),
+        6 => Ok(Msg::Accepted {
+            ballot: get_ballot(buf)?,
+            instances: get_vec(buf, get_instance)?,
+        }),
+        7 => Ok(Msg::AcceptNack {
+            ballot: get_ballot(buf)?,
+            promised: get_ballot(buf)?,
+        }),
+        8 => Ok(Msg::Chosen {
+            ballot: get_ballot(buf)?,
+            upto: get_instance(buf)?,
+        }),
+        9 => Ok(Msg::Confirm {
+            ballot: get_ballot(buf)?,
+            read: get_request_id(buf)?,
+        }),
+        10 => Ok(Msg::Heartbeat {
+            ballot: get_ballot(buf)?,
+            chosen: get_instance(buf)?,
+            hb_seq: get_u64(buf)?,
+        }),
+        13 => Ok(Msg::HeartbeatAck {
+            ballot: get_ballot(buf)?,
+            hb_seq: get_u64(buf)?,
+        }),
+        11 => Ok(Msg::CatchUpReq { have: get_instance(buf)? }),
+        12 => Ok(Msg::CatchUp {
+            ballot: get_ballot(buf)?,
+            entries: get_vec(buf, get_inst_decree)?,
+            snapshot: get_opt(buf, get_snapshot)?,
+            upto: get_instance(buf)?,
+        }),
+        tag => Err(WireError::BadTag { what: "msg", tag }),
+    }
+}
+
+/// Encode a message to a standalone buffer.
+#[must_use]
+pub fn encode_to_bytes(msg: &Msg) -> Bytes {
+    let mut out = BytesMut::with_capacity(64);
+    encode_msg(msg, &mut out);
+    out.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(msg: &Msg) -> Msg {
+        let mut b = encode_to_bytes(msg);
+        let decoded = decode_msg(&mut b).expect("decodes");
+        assert!(b.is_empty(), "trailing bytes after decode");
+        decoded
+    }
+
+    #[test]
+    fn simple_messages_roundtrip() {
+        let msgs = vec![
+            Msg::Heartbeat {
+                ballot: Ballot::new(3, ProcessId(1)),
+                chosen: Instance(42),
+                hb_seq: 7,
+            },
+            Msg::HeartbeatAck {
+                ballot: Ballot::new(3, ProcessId(1)),
+                hb_seq: 7,
+            },
+            Msg::CatchUpReq { have: Instance(7) },
+            Msg::PrepareNack {
+                ballot: Ballot::new(1, ProcessId(0)),
+                promised: Ballot::new(2, ProcessId(2)),
+            },
+            Msg::Confirm {
+                ballot: Ballot::new(9, ProcessId(2)),
+                read: RequestId::new(ClientId(5), Seq(77)),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(roundtrip(&m), m);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_tags() {
+        let mut b = Bytes::from_static(&[200]);
+        assert!(matches!(
+            decode_msg(&mut b),
+            Err(WireError::BadTag { what: "msg", .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        let msg = Msg::Promise {
+            ballot: Ballot::new(4, ProcessId(1)),
+            chosen_prefix: Instance(9),
+            accepted: vec![AcceptedEntry {
+                instance: Instance(10),
+                ballot: Ballot::new(4, ProcessId(1)),
+                decree: Decree::single(
+                    Command::Req(Request::new(
+                        RequestId::new(ClientId(3), Seq(8)),
+                        RequestKind::Write,
+                        Bytes::from_static(b"payload"),
+                    )),
+                    StateUpdate::Delta(Bytes::from_static(b"delta")),
+                    ReplyBody::Ok(Bytes::from_static(b"ok")),
+                ),
+            }],
+            snapshot: Some(SnapshotBlob {
+                upto: Instance(9),
+                app: Bytes::from_static(b"app-state"),
+                dedup: vec![DedupEntry {
+                    client: ClientId(3),
+                    seq: Seq(8),
+                    reply: ReplyBody::Empty,
+                }],
+            }),
+        };
+        let full = encode_to_bytes(&msg);
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in 0..full.len() {
+            let mut b = full.slice(0..cut);
+            assert!(decode_msg(&mut b).is_err(), "prefix of {cut} bytes decoded");
+        }
+        let mut b = full.clone();
+        assert_eq!(decode_msg(&mut b).unwrap(), msg);
+    }
+
+    #[test]
+    fn addr_roundtrip() {
+        for a in [Addr::Replica(ProcessId(7)), Addr::Client(ClientId(u64::MAX))] {
+            let mut out = BytesMut::new();
+            put_addr(&mut out, &a);
+            let mut b = out.freeze();
+            assert_eq!(get_addr(&mut b).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut out = BytesMut::new();
+        out.put_u8(0); // Msg::Request
+        out.put_u64_le(1); // client
+        out.put_u64_le(1); // seq
+        out.put_u8(0); // kind
+        out.put_u8(0); // no txn
+        out.put_u32_le(u32::MAX); // absurd op length
+        let mut b = out.freeze();
+        assert!(matches!(decode_msg(&mut b), Err(WireError::TooLong(_))));
+    }
+
+    // ------------------------------------------------------------------
+    // Property tests: arbitrary message round-trips
+    // ------------------------------------------------------------------
+
+    fn arb_bytes() -> impl Strategy<Value = Bytes> {
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Bytes::from)
+    }
+
+    fn arb_ballot() -> impl Strategy<Value = Ballot> {
+        (any::<u64>(), any::<u32>()).prop_map(|(r, p)| Ballot::new(r, ProcessId(p)))
+    }
+
+    fn arb_request_id() -> impl Strategy<Value = RequestId> {
+        (any::<u64>(), any::<u64>()).prop_map(|(c, s)| RequestId::new(ClientId(c), Seq(s)))
+    }
+
+    fn arb_kind() -> impl Strategy<Value = RequestKind> {
+        prop_oneof![
+            Just(RequestKind::Read),
+            Just(RequestKind::Write),
+            Just(RequestKind::Original)
+        ]
+    }
+
+    fn arb_txn_ctl() -> impl Strategy<Value = TxnCtl> {
+        prop_oneof![
+            any::<u64>().prop_map(|t| TxnCtl::Op { txn: TxnId(t) }),
+            (any::<u64>(), any::<u32>())
+                .prop_map(|(t, n)| TxnCtl::Commit { txn: TxnId(t), n_ops: n }),
+            any::<u64>().prop_map(|t| TxnCtl::Abort { txn: TxnId(t) }),
+        ]
+    }
+
+    fn arb_request() -> impl Strategy<Value = Request> {
+        (
+            arb_request_id(),
+            arb_kind(),
+            proptest::option::of(arb_txn_ctl()),
+            arb_bytes(),
+        )
+            .prop_map(|(id, kind, txn, op)| Request { id, kind, txn, op })
+    }
+
+    fn arb_reply_body() -> impl Strategy<Value = ReplyBody> {
+        prop_oneof![
+            arb_bytes().prop_map(ReplyBody::Ok),
+            any::<u64>().prop_map(|t| ReplyBody::TxnCommitted { txn: TxnId(t) }),
+            (any::<u64>(), 0..4u8).prop_map(|(t, r)| ReplyBody::TxnAborted {
+                txn: TxnId(t),
+                reason: match r {
+                    0 => AbortReason::ClientAbort,
+                    1 => AbortReason::LeaderSwitch,
+                    2 => AbortReason::Conflict,
+                    _ => AbortReason::Unsupported,
+                },
+            }),
+            Just(ReplyBody::Empty),
+        ]
+    }
+
+    fn arb_update() -> impl Strategy<Value = StateUpdate> {
+        prop_oneof![
+            Just(StateUpdate::None),
+            arb_bytes().prop_map(StateUpdate::Full),
+            arb_bytes().prop_map(StateUpdate::Delta),
+            arb_bytes().prop_map(StateUpdate::Reproduce),
+        ]
+    }
+
+    fn arb_command() -> impl Strategy<Value = Command> {
+        prop_oneof![
+            Just(Command::Noop),
+            arb_request().prop_map(Command::Req),
+            (
+                arb_request_id(),
+                any::<u64>(),
+                proptest::collection::vec(arb_request(), 0..4)
+            )
+                .prop_map(|(id, t, ops)| Command::TxnCommit {
+                    id,
+                    txn: TxnId(t),
+                    ops
+                }),
+        ]
+    }
+
+    fn arb_decree() -> impl Strategy<Value = Decree> {
+        proptest::collection::vec((arb_command(), arb_update(), arb_reply_body()), 0..3).prop_map(
+            |entries| Decree {
+                entries: entries
+                    .into_iter()
+                    .map(|(cmd, update, reply)| DecreeEntry { cmd, update, reply })
+                    .collect(),
+            },
+        )
+    }
+
+    fn arb_snapshot() -> impl Strategy<Value = SnapshotBlob> {
+        (
+            any::<u64>(),
+            arb_bytes(),
+            proptest::collection::vec(
+                (any::<u64>(), any::<u64>(), arb_reply_body()),
+                0..4,
+            ),
+        )
+            .prop_map(|(u, app, d)| SnapshotBlob {
+                upto: Instance(u),
+                app,
+                dedup: d
+                    .into_iter()
+                    .map(|(c, s, r)| DedupEntry {
+                        client: ClientId(c),
+                        seq: Seq(s),
+                        reply: r,
+                    })
+                    .collect(),
+            })
+    }
+
+    fn arb_msg() -> impl Strategy<Value = Msg> {
+        prop_oneof![
+            arb_request().prop_map(Msg::Request),
+            (arb_request_id(), any::<u32>(), arb_reply_body()).prop_map(|(id, l, body)| {
+                Msg::Reply(Reply {
+                    id,
+                    leader: ProcessId(l),
+                    body,
+                })
+            }),
+            (
+                arb_ballot(),
+                any::<u64>(),
+                proptest::collection::vec(any::<u64>(), 0..4)
+            )
+                .prop_map(|(b, p, ka)| Msg::Prepare {
+                    ballot: b,
+                    chosen_prefix: Instance(p),
+                    known_above: ka.into_iter().map(Instance).collect(),
+                }),
+            (
+                arb_ballot(),
+                any::<u64>(),
+                proptest::collection::vec(
+                    (any::<u64>(), arb_ballot(), arb_decree()),
+                    0..3
+                ),
+                proptest::option::of(arb_snapshot())
+            )
+                .prop_map(|(b, p, acc, snap)| Msg::Promise {
+                    ballot: b,
+                    chosen_prefix: Instance(p),
+                    accepted: acc
+                        .into_iter()
+                        .map(|(i, ab, d)| AcceptedEntry {
+                            instance: Instance(i),
+                            ballot: ab,
+                            decree: d,
+                        })
+                        .collect(),
+                    snapshot: snap,
+                }),
+            (
+                arb_ballot(),
+                proptest::collection::vec((any::<u64>(), arb_decree()), 0..3)
+            )
+                .prop_map(|(b, es)| Msg::Accept {
+                    ballot: b,
+                    entries: es.into_iter().map(|(i, d)| (Instance(i), d)).collect(),
+                }),
+            (
+                arb_ballot(),
+                proptest::collection::vec(any::<u64>(), 0..5)
+            )
+                .prop_map(|(b, is)| Msg::Accepted {
+                    ballot: b,
+                    instances: is.into_iter().map(Instance).collect(),
+                }),
+            (arb_ballot(), arb_ballot())
+                .prop_map(|(b, p)| Msg::AcceptNack { ballot: b, promised: p }),
+            (arb_ballot(), any::<u64>()).prop_map(|(b, u)| Msg::Chosen {
+                ballot: b,
+                upto: Instance(u)
+            }),
+            (arb_ballot(), arb_request_id())
+                .prop_map(|(b, r)| Msg::Confirm { ballot: b, read: r }),
+            (arb_ballot(), any::<u64>(), any::<u64>()).prop_map(|(b, c, h)| Msg::Heartbeat {
+                ballot: b,
+                chosen: Instance(c),
+                hb_seq: h,
+            }),
+            (arb_ballot(), any::<u64>())
+                .prop_map(|(b, h)| Msg::HeartbeatAck { ballot: b, hb_seq: h }),
+            any::<u64>().prop_map(|h| Msg::CatchUpReq { have: Instance(h) }),
+            (
+                arb_ballot(),
+                proptest::collection::vec((any::<u64>(), arb_decree()), 0..3),
+                proptest::option::of(arb_snapshot()),
+                any::<u64>()
+            )
+                .prop_map(|(b, es, snap, u)| Msg::CatchUp {
+                    ballot: b,
+                    entries: es.into_iter().map(|(i, d)| (Instance(i), d)).collect(),
+                    snapshot: snap,
+                    upto: Instance(u),
+                }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn any_message_roundtrips(msg in arb_msg()) {
+            let mut b = encode_to_bytes(&msg);
+            let decoded = decode_msg(&mut b).expect("decode");
+            prop_assert!(b.is_empty(), "trailing bytes");
+            prop_assert_eq!(decoded, msg);
+        }
+
+        #[test]
+        fn arbitrary_junk_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut b = Bytes::from(junk);
+            let _ = decode_msg(&mut b); // must not panic
+        }
+    }
+}

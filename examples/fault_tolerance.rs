@@ -1,0 +1,89 @@
+//! Fault-tolerance timeline: crash the leader, watch the failover, crash
+//! the new leader too, recover everyone, and verify no committed write was
+//! lost and every replica converged — all on the deterministic simulator,
+//! so the run is reproducible bit for bit.
+//!
+//! ```text
+//! cargo run --example fault_tolerance
+//! ```
+
+use gridpaxos::core::prelude::*;
+use gridpaxos::simnet::workload::OpLoop;
+use gridpaxos::simnet::{SimOpts, Topology, World};
+
+fn status(world: &World, label: &str) {
+    let states: Vec<String> = (0..3u32)
+        .map(|p| match world.replica(ProcessId(p)) {
+            Some(r) => format!(
+                "r{p}:{}{}",
+                r.role().name().chars().next().unwrap(),
+                r.chosen_prefix()
+            ),
+            None => format!("r{p}:DOWN"),
+        })
+        .collect();
+    println!(
+        "t={:>6.2}s  {:<22} [{}]  leader={:?}  completed={}",
+        world.now.as_secs_f64(),
+        label,
+        states.join(" "),
+        world.leader(),
+        world.metrics.completed_ops
+    );
+}
+
+fn main() {
+    let cfg = Config::cluster(3);
+    let opts = SimOpts::for_topology(Topology::sysnet(3), 99);
+    let mut world = World::new(cfg, opts, Box::new(|| Box::new(NoopApp::new())));
+
+    // Four clients write continuously through every disruption.
+    for _ in 0..4 {
+        world.add_client(
+            Box::new(OpLoop::new(RequestKind::Write, 60_000)),
+            None,
+            Time(Dur::from_millis(100).0),
+        );
+    }
+
+    // Fault schedule:          crash        recover
+    //   r0 (bootstrap leader)  1.0 s        3.0 s
+    //   r1 (likely successor)  5.0 s        7.0 s
+    world.crash_at(ProcessId(0), Time(Dur::from_secs(1).0));
+    world.recover_at(ProcessId(0), Time(Dur::from_secs(3).0));
+    world.crash_at(ProcessId(1), Time(Dur::from_secs(5).0));
+    world.recover_at(ProcessId(1), Time(Dur::from_secs(7).0));
+
+    for (t_ms, label) in [
+        (500, "steady state"),
+        (1200, "r0 crashed"),
+        (2000, "after failover"),
+        (3500, "r0 recovered"),
+        (5200, "r1 crashed"),
+        (7500, "all recovered"),
+    ] {
+        world.run_until(Time(Dur::from_millis(t_ms).0));
+        status(&world, label);
+    }
+
+    let finished = world.run_to_completion(Time(Dur::from_secs(600).0));
+    assert!(finished, "workload must finish despite two leader crashes");
+    let settle = world.now.after(Dur::from_secs(2));
+    world.run_until(settle);
+    status(&world, "workload finished");
+
+    let states = world.replica_states();
+    assert_eq!(states.len(), 3, "everyone is back up");
+    assert!(
+        states.windows(2).all(|w| w[0] == w[1]),
+        "replicas diverged across crashes"
+    );
+    println!(
+        "\n240,000 writes committed across two leader crashes; all replicas at instance {} with identical state",
+        states[0].0
+    );
+    println!(
+        "client retransmissions during failovers: {}",
+        world.metrics.retries
+    );
+}

@@ -1,0 +1,133 @@
+//! The paper's first motivating application (§2): a *distributed grid
+//! resource broker* that selects resources with a randomized load-balancing
+//! algorithm — so independently-executing replicas would diverge.
+//!
+//! This example runs the broker replicated on the simulated Sysnet cluster,
+//! allocates tasks, crashes the leader mid-workload, and shows that the
+//! randomized decisions survive the failover consistently on all replicas.
+//!
+//! ```text
+//! cargo run --example resource_broker
+//! ```
+
+use bytes::Bytes;
+use gridpaxos::core::prelude::*;
+use gridpaxos::services::{Broker, BrokerOp};
+use gridpaxos::simnet::workload::{Driver, OpLoop};
+use gridpaxos::simnet::{SimOpts, Topology, World};
+
+/// A driver that first registers resources, then requests allocations.
+struct BrokerWorkload {
+    setup: Vec<BrokerOp>,
+    allocations: u64,
+    issued_setup: usize,
+    issued_alloc: u64,
+    outstanding: bool,
+}
+
+impl Driver for BrokerWorkload {
+    fn kick(
+        &mut self,
+        core: &mut gridpaxos::core::client::ClientCore,
+        now: Time,
+    ) -> Option<Vec<Action>> {
+        if self.outstanding {
+            return None;
+        }
+        let op = if self.issued_setup < self.setup.len() {
+            let op = self.setup[self.issued_setup].clone();
+            self.issued_setup += 1;
+            op
+        } else if self.issued_alloc < self.allocations {
+            let task = self.issued_alloc;
+            self.issued_alloc += 1;
+            BrokerOp::Request { task, units: 1 }
+        } else {
+            return None;
+        };
+        self.outstanding = true;
+        Some(core.submit_op(RequestKind::Write, op.encode(), now))
+    }
+
+    fn on_complete(
+        &mut self,
+        done: &gridpaxos::core::client::CompletedOp,
+        _now: Time,
+        _metrics: &mut gridpaxos::simnet::Metrics,
+    ) {
+        self.outstanding = false;
+        if let (Some(BrokerOp::Request { task, .. }), ReplyBody::Ok(payload)) =
+            (BrokerOp::decode(done.req.op.clone()), &done.body)
+        {
+            println!(
+                "  task {task:>2} -> {} (answered by {})",
+                String::from_utf8_lossy(payload),
+                done.leader
+            );
+        }
+    }
+
+    fn done(&self) -> bool {
+        !self.outstanding
+            && self.issued_setup == self.setup.len()
+            && self.issued_alloc == self.allocations
+    }
+}
+
+fn main() {
+    let cfg = Config::cluster(3);
+    let opts = SimOpts::for_topology(Topology::sysnet(3), 7);
+    let mut world = World::new(cfg, opts, Box::new(|| Box::new(Broker::new())));
+
+    let setup = ["compute-a", "compute-b", "compute-c", "storage-x"]
+        .iter()
+        .map(|name| BrokerOp::AddResource {
+            name: (*name).to_owned(),
+            capacity: 8,
+        })
+        .collect();
+    world.add_client(
+        Box::new(BrokerWorkload {
+            setup,
+            allocations: 12,
+            issued_setup: 0,
+            issued_alloc: 0,
+            outstanding: false,
+        }),
+        None,
+        Time(Dur::from_millis(200).0),
+    );
+    // A second client hammers reads concurrently (X-Paxos path).
+    world.add_client(
+        Box::new(OpLoop::with_payload(
+            RequestKind::Read,
+            30,
+            BrokerOp::FreeUnits.encode(),
+        )),
+        None,
+        Time(Dur::from_millis(200).0),
+    );
+
+    // Kill the leader mid-run; recover it two seconds later.
+    world.crash_at(ProcessId(0), Time(Dur::from_millis(205).0));
+    world.recover_at(ProcessId(0), Time(Dur::from_millis(2000).0));
+
+    println!("allocating 12 tasks across 4 resources (leader crashes mid-run):");
+    let finished = world.run_to_completion(Time(Dur::from_secs(120).0));
+    assert!(finished, "workload must survive the leader crash");
+
+    // Let the recovered replica catch up, then compare all three brokers.
+    let settle = world.now.after(Dur::from_secs(2));
+    world.run_until(settle);
+    let states: Vec<(Instance, Bytes)> = world.replica_states();
+    assert_eq!(states.len(), 3);
+    assert!(
+        states.windows(2).all(|w| w[0] == w[1]),
+        "replicas diverged despite randomized decisions"
+    );
+    println!(
+        "\nall replicas agree on every randomized placement (chosen prefix {})",
+        states[0].0
+    );
+    println!("leader after failover: {:?}", world.leader());
+}

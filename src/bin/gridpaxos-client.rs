@@ -1,0 +1,131 @@
+//! Interactive client for a `gridpaxos-server` group: a small REPL over
+//! the replicated key-value store.
+//!
+//! ```text
+//! gridpaxos-client --peer 0=127.0.0.1:7100 --peer 1=127.0.0.1:7101 --peer 2=127.0.0.1:7102
+//! > put greeting hello
+//! ok
+//! > get greeting
+//! hello
+//! > add hits 1
+//! 1
+//! > txn put a 1 ; put b 2
+//! committed
+//! ```
+
+use gridpaxos::core::client::ClientCore;
+use gridpaxos::core::prelude::*;
+use gridpaxos::services::{KvOp, KvStore};
+use gridpaxos::transport::{SyncClient, TcpNode};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::net::SocketAddr;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gridpaxos-client [--peer <id>=<host:port>]... \n\
+         commands: get K | put K V | del K | add K N | txn <op> [; <op>]... | quit"
+    );
+    exit(2)
+}
+
+fn parse_op(tokens: &[&str]) -> Option<(RequestKind, KvOp)> {
+    match tokens {
+        ["get", k] => Some((RequestKind::Read, KvOp::Get((*k).into()))),
+        ["put", k, v] => Some((RequestKind::Write, KvOp::Put((*k).into(), (*v).into()))),
+        ["del", k] => Some((RequestKind::Write, KvOp::Del((*k).into()))),
+        ["add", k, n] => n
+            .parse()
+            .ok()
+            .map(|n| (RequestKind::Write, KvOp::Add((*k).into(), n))),
+        _ => None,
+    }
+}
+
+fn show(body: Option<ReplyBody>) {
+    match body {
+        Some(ReplyBody::Ok(payload)) => match KvStore::decode_reply(&payload) {
+            Some(v) => println!("{v}"),
+            None => println!("(nil)"),
+        },
+        Some(ReplyBody::TxnCommitted { .. }) => println!("committed"),
+        Some(ReplyBody::TxnAborted { reason, .. }) => println!("aborted: {reason:?}"),
+        Some(ReplyBody::Empty) => println!("ok"),
+        None => println!("error: request timed out (no leader reachable?)"),
+    }
+}
+
+fn main() {
+    let mut peers: HashMap<ProcessId, SocketAddr> = HashMap::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--peer" => {
+                i += 1;
+                let Some((pid, addr)) = args.get(i).and_then(|s| s.split_once('=')) else {
+                    usage()
+                };
+                let (Ok(pid), Ok(addr)) = (pid.parse::<u32>(), addr.parse()) else {
+                    usage()
+                };
+                peers.insert(ProcessId(pid), addr);
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if peers.is_empty() {
+        usage();
+    }
+    let n = peers.len();
+    let client_id = ClientId(std::process::id().into());
+    let node = TcpNode::client(client_id, peers);
+    let core = ClientCore::new(client_id, n, Dur::from_millis(500));
+    let mut client = SyncClient::new(core, node, n);
+
+    let stdin = std::io::stdin();
+    print!("> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            print!("> ");
+            std::io::stdout().flush().ok();
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("txn ") {
+            // txn put a 1 ; put b 2
+            let ops: Option<Vec<(RequestKind, bytes::Bytes)>> = rest
+                .split(';')
+                .map(|part| {
+                    let tokens: Vec<&str> = part.split_whitespace().collect();
+                    parse_op(&tokens).map(|(kind, op)| (kind, op.encode()))
+                })
+                .collect();
+            match ops {
+                Some(ops) if !ops.is_empty() => {
+                    match client.run_txn(TxnScript { ops }) {
+                        Some(TxnOutcome::Committed) => println!("committed"),
+                        Some(TxnOutcome::Aborted(r)) => println!("aborted: {r:?}"),
+                        None => println!("error: transaction timed out"),
+                    }
+                }
+                _ => println!("parse error (txn put K V ; add K N ; ...)"),
+            }
+        } else {
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match parse_op(&tokens) {
+                Some((kind, op)) => show(client.call(kind, op.encode())),
+                None => println!("parse error (get/put/del/add/txn/quit)"),
+            }
+        }
+        print!("> ");
+        std::io::stdout().flush().ok();
+    }
+}

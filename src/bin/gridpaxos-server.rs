@@ -1,0 +1,145 @@
+//! A deployable replica server: one process of a replicated key-value
+//! store over TCP.
+//!
+//! ```text
+//! # A three-replica group on one machine:
+//! gridpaxos-server --id 0 --listen 127.0.0.1:7100 \
+//!     --peer 0=127.0.0.1:7100 --peer 1=127.0.0.1:7101 --peer 2=127.0.0.1:7102 &
+//! gridpaxos-server --id 1 --listen 127.0.0.1:7101 \
+//!     --peer 0=127.0.0.1:7100 --peer 1=127.0.0.1:7101 --peer 2=127.0.0.1:7102 &
+//! gridpaxos-server --id 2 --listen 127.0.0.1:7102 \
+//!     --peer 0=127.0.0.1:7100 --peer 1=127.0.0.1:7101 --peer 2=127.0.0.1:7102 &
+//! ```
+//!
+//! Then talk to the group with `gridpaxos-client`.
+
+use gridpaxos::core::prelude::*;
+use gridpaxos::services::KvStore;
+use gridpaxos::transport::node::ReplicaNode;
+use gridpaxos::transport::{FileStorage, TcpNode};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::process::exit;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gridpaxos-server --id <N> --listen <host:port> \
+         [--peer <id>=<host:port>]... [--tpaxos] [--wan]\n\
+         \n\
+         --id      this replica's id (0-based)\n\
+         --listen  address to bind\n\
+         --peer    listen address of every replica (repeat; include self)\n\
+         --data-dir <path>  durable storage directory (default: in-memory)\n\
+         --tpaxos  enable T-Paxos transaction mode (default: per-op)\n\
+         --wan     use WAN-tuned timeouts (default: cluster-tuned)"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut id: Option<u32> = None;
+    let mut listen: Option<SocketAddr> = None;
+    let mut peers: HashMap<ProcessId, SocketAddr> = HashMap::new();
+    let mut tpaxos = false;
+    let mut wan = false;
+    let mut data_dir: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--id" => {
+                i += 1;
+                id = args.get(i).and_then(|s| s.parse().ok());
+            }
+            "--listen" => {
+                i += 1;
+                listen = args.get(i).and_then(|s| s.parse().ok());
+            }
+            "--peer" => {
+                i += 1;
+                let Some((pid, addr)) = args.get(i).and_then(|s| s.split_once('=')) else {
+                    usage()
+                };
+                let (Ok(pid), Ok(addr)) = (pid.parse::<u32>(), addr.parse()) else {
+                    usage()
+                };
+                peers.insert(ProcessId(pid), addr);
+            }
+            "--data-dir" => {
+                i += 1;
+                data_dir = args.get(i).cloned();
+            }
+            "--tpaxos" => tpaxos = true,
+            "--wan" => wan = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (Some(id), Some(listen)) = (id, listen) else { usage() };
+    if peers.is_empty() {
+        usage();
+    }
+    let n = peers.len();
+
+    let mut cfg = if wan { Config::wan(n) } else { Config::cluster(n) };
+    if tpaxos {
+        cfg.txn_mode = TxnMode::TPaxos;
+    }
+
+    let (node, bound) = match TcpNode::bind_replica(ProcessId(id), listen, peers) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("bind {listen}: {e}");
+            exit(1);
+        }
+    };
+    eprintln!("gridpaxos-server r{id}: listening on {bound}, group of {n}");
+
+    // Wall-clock-derived seed: replicas must differ (that is the
+    // nondeterminism the protocol exists to handle).
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(42)
+        ^ u64::from(id);
+
+    let replica = match &data_dir {
+        Some(dir) => {
+            let storage = match FileStorage::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("open data dir {dir}: {e}");
+                    exit(1);
+                }
+            };
+            let fresh = storage.load().promised.is_zero()
+                && storage.load().accepted.is_empty()
+                && storage.load().checkpoint.is_none();
+            if fresh {
+                Replica::new(ProcessId(id), cfg, Box::new(KvStore::new()), Box::new(storage), seed, Time::ZERO)
+            } else {
+                eprintln!("gridpaxos-server r{id}: recovering from {dir}");
+                Replica::recover(ProcessId(id), cfg, Box::new(KvStore::new()), Box::new(storage), seed, Time::ZERO)
+            }
+        }
+        None => Replica::new(
+            ProcessId(id),
+            cfg,
+            Box::new(KvStore::new()),
+            Box::new(MemStorage::new()),
+            seed,
+            Time::ZERO,
+        ),
+    };
+
+    // Run until killed.
+    let stop = Arc::new(AtomicBool::new(false));
+    let replica = ReplicaNode::new(replica, node, stop).run();
+    eprintln!(
+        "gridpaxos-server r{id}: stopped at instance {}",
+        replica.chosen_prefix()
+    );
+}

@@ -1,0 +1,5 @@
+//! Umbrella crate re-exporting the gridpaxos workspace.
+pub use gridpaxos_core as core;
+pub use gridpaxos_services as services;
+pub use gridpaxos_simnet as simnet;
+pub use gridpaxos_transport as transport;

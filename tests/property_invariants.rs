@@ -1,0 +1,440 @@
+//! Property-based tests on core data structures and invariants:
+//! the replica log, time arithmetic, statistics, and the
+//! execute-on-leader / apply-on-backup convergence contract of every
+//! bundled service.
+
+use bytes::Bytes;
+use gridpaxos::core::ballot::Ballot;
+use gridpaxos::core::command::Decree;
+use gridpaxos::core::log::ReplicaLog;
+use gridpaxos::core::prelude::*;
+use gridpaxos::core::request::RequestId;
+use gridpaxos::core::service::{App, ExecCtx};
+use gridpaxos::services::{Broker, BrokerOp, KvOp, KvStore, SchedOp, Scheduler};
+use gridpaxos::simnet::{summarize, LatencyModel};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------
+// ReplicaLog invariants
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum LogOp {
+    Accept(u64, u64),
+    MarkChosen(u64),
+    DrainApply,
+    Truncate(u64),
+}
+
+fn arb_log_op() -> impl Strategy<Value = LogOp> {
+    prop_oneof![
+        (1u64..30, 1u64..4).prop_map(|(i, b)| LogOp::Accept(i, b)),
+        (1u64..30).prop_map(LogOp::MarkChosen),
+        Just(LogOp::DrainApply),
+        (1u64..30).prop_map(LogOp::Truncate),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn log_invariants_hold_under_arbitrary_operations(
+        ops in proptest::collection::vec(arb_log_op(), 1..80)
+    ) {
+        let mut log = ReplicaLog::new();
+        let mut last_prefix = Instance::ZERO;
+        let mut truncated_below = Instance::ZERO;
+        for op in ops {
+            match op {
+                LogOp::Accept(i, b) => {
+                    let i = Instance(i);
+                    if i > log.chosen_prefix() {
+                        log.record_accept(i, Ballot::new(b, ProcessId(0)), Decree::noop());
+                    }
+                }
+                LogOp::MarkChosen(i) => {
+                    let i = Instance(i);
+                    // mark_chosen requires an entry (handlers guarantee it).
+                    if i > log.chosen_prefix() && log.get(i).is_some() && i > truncated_below {
+                        log.mark_chosen(i);
+                    }
+                }
+                LogOp::DrainApply => {
+                    while let Some((i, _)) = log.next_applicable().map(|(i, d)| (i, d.clone())) {
+                        log.advance_applied(i);
+                    }
+                }
+                LogOp::Truncate(i) => {
+                    let i = Instance(i);
+                    if i <= log.chosen_prefix() {
+                        log.truncate_upto(i);
+                        truncated_below = truncated_below.max(i);
+                    }
+                }
+            }
+            // Invariant: the prefix never regresses.
+            prop_assert!(log.chosen_prefix() >= last_prefix);
+            last_prefix = log.chosen_prefix();
+            // Invariant: everything at or below the prefix reads as chosen.
+            prop_assert!(log.is_known_chosen(log.chosen_prefix()));
+            // Invariant: known_above never reports the contiguous prefix.
+            for k in log.known_above() {
+                prop_assert!(k > log.chosen_prefix());
+                prop_assert!(log.get(k).is_some(), "chosen-known implies logged");
+            }
+            // Invariant: next_applicable is exactly prefix+1 when present.
+            if let Some((i, _)) = log.next_applicable() {
+                prop_assert_eq!(i, log.chosen_prefix().next());
+            }
+        }
+    }
+
+    #[test]
+    fn log_chosen_range_is_contiguous_and_complete(
+        upto in 1u64..40,
+        have in 0u64..40,
+    ) {
+        let mut log = ReplicaLog::new();
+        for i in 1..=upto {
+            log.record_accept(Instance(i), Ballot::new(1, ProcessId(0)), Decree::noop());
+            log.mark_chosen(Instance(i));
+        }
+        while let Some((i, _)) = log.next_applicable().map(|(i, d)| (i, d.clone())) {
+            log.advance_applied(i);
+        }
+        let have = Instance(have);
+        match log.chosen_range(have, Instance(upto)) {
+            Some(entries) => {
+                // An empty range (have >= upto) is legitimately Some(vec![]).
+                prop_assert_eq!(entries.len() as u64, upto.saturating_sub(have.0));
+                for (k, (i, _)) in entries.iter().enumerate() {
+                    prop_assert_eq!(i.0, have.0 + 1 + k as u64);
+                }
+            }
+            None => prop_assert!(
+                false,
+                "a fully-chosen log must serve any catch-up range"
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Time arithmetic and ballot ordering
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn time_arithmetic_never_underflows(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (Time(a), Time(b));
+        let d = ta.since(tb);
+        prop_assert!(d == Dur::ZERO || a > b);
+        // after() is monotone.
+        prop_assert!(tb.after(d) >= tb);
+    }
+
+    #[test]
+    fn ballot_successor_dominates_everything_seen(
+        rounds in proptest::collection::vec((0u64..1000, 0u32..8), 1..20),
+        me in 0u32..8,
+    ) {
+        let seen: Vec<Ballot> = rounds
+            .into_iter()
+            .map(|(r, p)| Ballot::new(r, ProcessId(p)))
+            .collect();
+        let max = seen.iter().copied().max().unwrap();
+        let succ = max.successor(ProcessId(me));
+        for b in &seen {
+            prop_assert!(succ > *b, "{succ:?} must outbid {b:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statistics invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn summary_orderings_hold(values in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let s = summarize(&values);
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+        prop_assert!(s.ci99 >= 0.0 && s.std >= 0.0);
+        prop_assert_eq!(s.n, values.len());
+    }
+
+    #[test]
+    fn latency_samples_respect_model_bounds(
+        lo in 0.1f64..10.0,
+        spread in 0.0f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let hi = lo + spread;
+        let m = LatencyModel::Uniform { lo, hi };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let d = m.sample(&mut rng).as_millis_f64();
+            prop_assert!(d >= lo - 1e-9 && d <= hi + 1e-9, "{d} outside [{lo},{hi}]");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Service execute/apply convergence (the heart of the paper's protocol)
+// ---------------------------------------------------------------------
+
+/// Run an op stream through a leader and a backup with *different* RNG
+/// seeds; the backup applies the leader's updates and must converge.
+fn converges<A: App + Clone + PartialEq + std::fmt::Debug>(
+    mut leader: A,
+    mut backup: A,
+    ops: Vec<(RequestKind, Bytes)>,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let mut leader_rng = SmallRng::seed_from_u64(seed);
+    for (k, (kind, op)) in ops.into_iter().enumerate() {
+        let req = gridpaxos::core::request::Request::new(
+            RequestId::new(ClientId(1), Seq(k as u64 + 1)),
+            kind,
+            op,
+        );
+        let mut ctx = ExecCtx::new(Time(k as u64 * 1_000_000), &mut leader_rng);
+        let (_, update) = leader.execute(&req, &mut ctx);
+        if kind == RequestKind::Read {
+            prop_assert!(update.is_none(), "reads must not produce updates");
+        }
+        backup.apply(&req, &update);
+    }
+    prop_assert_eq!(&backup, &leader, "backup must converge on the leader");
+    // And the snapshot/restore path agrees with direct application.
+    let mut restored = backup.clone();
+    restored.restore(&leader.snapshot());
+    prop_assert_eq!(&restored, &leader);
+    Ok(())
+}
+
+fn arb_kv_ops() -> impl Strategy<Value = Vec<(RequestKind, Bytes)>> {
+    proptest::collection::vec(
+        prop_oneof![
+            ("[a-d]", "[x-z]{0,3}").prop_map(|(k, v)| (RequestKind::Write, KvOp::Put(k, v).encode())),
+            "[a-d]".prop_map(|k| (RequestKind::Write, KvOp::Del(k).encode())),
+            ("[a-d]", -5i64..5).prop_map(|(k, d)| (RequestKind::Write, KvOp::Add(k, d).encode())),
+            "[a-d]".prop_map(|k| (RequestKind::Read, KvOp::Get(k).encode())),
+        ],
+        1..40,
+    )
+}
+
+fn arb_broker_ops() -> impl Strategy<Value = Vec<(RequestKind, Bytes)>> {
+    proptest::collection::vec(
+        prop_oneof![
+            ("[a-c]", 1u32..5).prop_map(|(n, c)| {
+                (RequestKind::Write, BrokerOp::AddResource { name: n, capacity: c }.encode())
+            }),
+            (0u64..10, 1u32..3).prop_map(|(t, u)| {
+                (RequestKind::Write, BrokerOp::Request { task: t, units: u }.encode())
+            }),
+            (0u64..10).prop_map(|t| (RequestKind::Write, BrokerOp::Release { task: t }.encode())),
+            Just((RequestKind::Read, BrokerOp::FreeUnits.encode())),
+        ],
+        1..40,
+    )
+}
+
+fn arb_sched_ops() -> impl Strategy<Value = Vec<(RequestKind, Bytes)>> {
+    proptest::collection::vec(
+        prop_oneof![
+            ("[a-b]", 1u32..4).prop_map(|(n, sl)| {
+                (RequestKind::Write, SchedOp::AddMachine { name: n, slots: sl }.encode())
+            }),
+            (0u64..12, 0u32..5).prop_map(|(j, p)| {
+                (RequestKind::Write, SchedOp::Submit { job: j, priority: p }.encode())
+            }),
+            Just((RequestKind::Write, SchedOp::Dispatch.encode())),
+            (0u64..12).prop_map(|j| (RequestKind::Write, SchedOp::Complete { job: j }.encode())),
+            Just((RequestKind::Read, SchedOp::QueueLen.encode())),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn kvstore_backup_converges(ops in arb_kv_ops(), seed in any::<u64>()) {
+        converges(KvStore::new(), KvStore::new(), ops, seed)?;
+    }
+
+    #[test]
+    fn broker_backup_converges(ops in arb_broker_ops(), seed in any::<u64>()) {
+        // The broker's whole point: its randomized decisions would diverge
+        // without the Reproduce updates.
+        converges(Broker::new(), Broker::new(), ops, seed)?;
+    }
+
+    #[test]
+    fn scheduler_backup_converges(ops in arb_sched_ops(), seed in any::<u64>()) {
+        // Timing-dependent decisions ship as deltas; a backup with a
+        // different clock still converges.
+        converges(Scheduler::new(), Scheduler::new(), ops, seed)?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// KvStore transactional staging and locking invariants
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum TxnStep {
+    Write(u8, String, String), // txn slot, key, value
+    Read(u8, String),
+    Commit(u8),
+    Abort(u8),
+}
+
+fn arb_txn_steps() -> impl Strategy<Value = Vec<TxnStep>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..3, "[a-c]", "[x-z]{1,2}").prop_map(|(t, k, v)| TxnStep::Write(t, k, v)),
+            (0u8..3, "[a-c]").prop_map(|(t, k)| TxnStep::Read(t, k)),
+            (0u8..3).prop_map(TxnStep::Commit),
+            (0u8..3).prop_map(TxnStep::Abort),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    /// Random interleavings of up to three transactions, in both staging
+    /// modes: locks must serialize conflicting writers, committed state
+    /// must reflect exactly the committed transactions, and a leader and a
+    /// backup (mirroring the replicated updates) must converge.
+    #[test]
+    fn kv_txn_interleavings_preserve_isolation(
+        steps in arb_txn_steps(),
+        durable in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut leader = KvStore::new();
+        let mut backup = KvStore::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Per-slot session state: live txn id and staged ops count.
+        let mut live: [Option<(TxnId, u32)>; 3] = [None, None, None];
+        let mut next_txn = 1u64;
+        let mut seq = 0u64;
+
+        for step in steps {
+            seq += 1;
+            let id = RequestId::new(ClientId(1), Seq(seq));
+            match step {
+                TxnStep::Write(slot, key, value) => {
+                    let (txn, count) = match &mut live[slot as usize] {
+                        Some(s) => (s.0, &mut s.1),
+                        None => {
+                            let t = TxnId(next_txn);
+                            next_txn += 1;
+                            leader.txn_begin(t);
+                            live[slot as usize] = Some((t, 0));
+                            let s = live[slot as usize].as_mut().unwrap();
+                            (s.0, &mut s.1)
+                        }
+                    };
+                    let req = gridpaxos::core::request::Request::txn_op(
+                        id,
+                        RequestKind::Write,
+                        txn,
+                        KvOp::Put(key.clone(), value).encode(),
+                    );
+                    let mut ctx = ExecCtx::new(Time(seq), &mut rng);
+                    match leader.txn_execute(txn, &req, durable, &mut ctx) {
+                        Ok((_, update)) => {
+                            *count += 1;
+                            if durable {
+                                prop_assert!(
+                                    !update.is_none(),
+                                    "durable staging must replicate"
+                                );
+                                backup.apply(&req, &update);
+                            } else {
+                                prop_assert!(
+                                    update.is_none(),
+                                    "volatile staging must not replicate"
+                                );
+                            }
+                        }
+                        Err(reason) => {
+                            // Only lock conflicts are legal refusals, and a
+                            // conflict implies another live txn exists.
+                            prop_assert_eq!(reason, AbortReason::Conflict);
+                            let others = live
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, s)| *i != slot as usize && s.is_some())
+                                .count();
+                            prop_assert!(others > 0, "conflict without a rival");
+                        }
+                    }
+                }
+                TxnStep::Read(slot, key) => {
+                    if let Some((txn, _)) = live[slot as usize] {
+                        let req = gridpaxos::core::request::Request::txn_op(
+                            id,
+                            RequestKind::Read,
+                            txn,
+                            KvOp::Get(key).encode(),
+                        );
+                        let mut ctx = ExecCtx::new(Time(seq), &mut rng);
+                        let got = leader.txn_execute(txn, &req, durable, &mut ctx);
+                        prop_assert!(got.is_ok(), "reads never conflict");
+                        prop_assert!(got.unwrap().1.is_none(), "reads never stage");
+                    }
+                }
+                TxnStep::Commit(slot) => {
+                    if let Some((txn, n)) = live[slot as usize].take() {
+                        let update = leader.txn_commit(txn);
+                        if n == 0 {
+                            prop_assert!(update.is_none(), "empty txn commits to nothing");
+                        }
+                        let commit_req = gridpaxos::core::request::Request::txn_commit(id, txn, n);
+                        if durable {
+                            backup.apply(&commit_req, &update);
+                        } else {
+                            backup.apply_txn_commit(txn, &[], &update);
+                        }
+                    }
+                }
+                TxnStep::Abort(slot) => {
+                    if let Some((txn, _)) = live[slot as usize].take() {
+                        leader.txn_abort(txn);
+                        if durable {
+                            // Replicated staging is discarded through a
+                            // coordinated abort request.
+                            let abort_req =
+                                gridpaxos::core::request::Request::txn_abort(id, txn);
+                            backup.apply(
+                                &abort_req,
+                                &gridpaxos::core::command::StateUpdate::None,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Close every open transaction by aborting; nothing staged leaks.
+        for slot in live.iter_mut() {
+            if let Some((txn, _)) = slot.take() {
+                seq += 1;
+                leader.txn_abort(txn);
+                if durable {
+                    let abort_req = gridpaxos::core::request::Request::txn_abort(
+                        RequestId::new(ClientId(1), Seq(seq)),
+                        txn,
+                    );
+                    backup.apply(&abort_req, &gridpaxos::core::command::StateUpdate::None);
+                }
+            }
+        }
+        prop_assert_eq!(leader.snapshot(), backup.snapshot(), "replicas diverged");
+    }
+}

@@ -1,0 +1,205 @@
+//! The real nondeterministic services (§2) running replicated on the
+//! simulator: the randomized resource broker and the timing-dependent
+//! scheduler, plus the transactional KV store — with crashes thrown in.
+
+use bytes::Bytes;
+use gridpaxos::core::prelude::*;
+use gridpaxos::services::{Broker, BrokerOp, KvOp, KvStore, SchedOp, Scheduler};
+use gridpaxos::simnet::workload::Driver;
+use gridpaxos::simnet::{SimOpts, Topology, World};
+
+const START: Time = Time(200_000_000);
+const DEADLINE: Time = Time(3_600_000_000_000);
+
+/// Drives a fixed list of (kind, payload) ops, closed loop.
+struct Script {
+    steps: Vec<(RequestKind, Bytes)>,
+    next: usize,
+    outstanding: bool,
+    replies: Vec<ReplyBody>,
+}
+
+impl Script {
+    fn new(steps: Vec<(RequestKind, Bytes)>) -> Script {
+        Script {
+            steps,
+            next: 0,
+            outstanding: false,
+            replies: Vec::new(),
+        }
+    }
+}
+
+impl Driver for Script {
+    fn kick(
+        &mut self,
+        core: &mut gridpaxos::core::client::ClientCore,
+        now: Time,
+    ) -> Option<Vec<Action>> {
+        if self.outstanding || self.next >= self.steps.len() {
+            return None;
+        }
+        let (kind, payload) = self.steps[self.next].clone();
+        self.next += 1;
+        self.outstanding = true;
+        Some(core.submit_op(kind, payload, now))
+    }
+
+    fn on_complete(
+        &mut self,
+        done: &gridpaxos::core::client::CompletedOp,
+        _now: Time,
+        _m: &mut gridpaxos::simnet::Metrics,
+    ) {
+        self.outstanding = false;
+        self.replies.push(done.body.clone());
+    }
+
+    fn done(&self) -> bool {
+        !self.outstanding && self.next >= self.steps.len()
+    }
+}
+
+fn settle_states(w: &mut World) -> Vec<(Instance, Bytes)> {
+    let settle = w.now.after(Dur::from_secs(2));
+    w.run_until(settle);
+    w.replica_states()
+}
+
+#[test]
+fn broker_randomized_placements_replicate_consistently_across_crash() {
+    let cfg = Config::cluster(3);
+    let opts = SimOpts::for_topology(Topology::sysnet(3), 17);
+    let mut w = World::new(cfg, opts, Box::new(|| Box::new(Broker::new())));
+
+    let mut steps: Vec<(RequestKind, Bytes)> = ["m1", "m2", "m3"]
+        .iter()
+        .map(|m| {
+            (
+                RequestKind::Write,
+                BrokerOp::AddResource { name: (*m).into(), capacity: 20 }.encode(),
+            )
+        })
+        .collect();
+    for task in 0..40u64 {
+        steps.push((
+            RequestKind::Write,
+            BrokerOp::Request { task, units: 1 }.encode(),
+        ));
+    }
+    w.add_client(Box::new(Script::new(steps)), None, START);
+    w.crash_at(ProcessId(0), Time(Dur::from_millis(500).0));
+    w.recover_at(ProcessId(0), Time(Dur::from_secs(2).0));
+    assert!(w.run_to_completion(DEADLINE));
+
+    let states = settle_states(&mut w);
+    assert!(states.windows(2).all(|p| p[0] == p[1]), "brokers diverged");
+
+    // Capacity accounting is intact: 40 units allocated out of 60.
+    let mut broker = Broker::new();
+    use gridpaxos::core::service::App as _;
+    broker.restore(&states[0].1);
+    assert_eq!(broker.free_units(), 20);
+    for task in 0..40u64 {
+        assert!(broker.placement(task).is_some(), "task {task} placed");
+    }
+}
+
+#[test]
+fn scheduler_decisions_replicate_across_crash() {
+    let cfg = Config::cluster(3);
+    let opts = SimOpts::for_topology(Topology::sysnet(3), 23);
+    let mut w = World::new(cfg, opts, Box::new(|| Box::new(Scheduler::new())));
+
+    let mut steps: Vec<(RequestKind, Bytes)> = vec![(
+        RequestKind::Write,
+        SchedOp::AddMachine { name: "m".into(), slots: 8 }.encode(),
+    )];
+    for job in 0..8u64 {
+        steps.push((
+            RequestKind::Write,
+            SchedOp::Submit { job, priority: (job % 4) as u32 }.encode(),
+        ));
+    }
+    for _ in 0..8 {
+        steps.push((RequestKind::Write, SchedOp::Dispatch.encode()));
+    }
+    steps.push((RequestKind::Read, SchedOp::QueueLen.encode()));
+    w.add_client(Box::new(Script::new(steps)), None, START);
+    w.crash_at(ProcessId(0), Time(Dur::from_millis(400).0));
+    assert!(w.run_to_completion(DEADLINE));
+
+    let states = settle_states(&mut w);
+    assert!(states.windows(2).all(|p| p[0] == p[1]), "schedulers diverged");
+
+    use gridpaxos::core::service::App as _;
+    let mut sched = Scheduler::new();
+    sched.restore(&states[0].1);
+    assert_eq!(sched.queue_len(), 0, "everything dispatched");
+    for job in 0..8u64 {
+        assert!(sched.running_on(job).is_some(), "job {job} running");
+    }
+}
+
+#[test]
+fn kv_store_concurrent_clients_and_crash() {
+    let cfg = Config::cluster(3);
+    let opts = SimOpts::for_topology(Topology::sysnet(3), 31);
+    let mut w = World::new(cfg, opts, Box::new(|| Box::new(KvStore::new())));
+
+    for c in 0..4u64 {
+        let steps: Vec<(RequestKind, Bytes)> = (0..25)
+            .map(|_| {
+                (
+                    RequestKind::Write,
+                    KvOp::Add(format!("acct-{c}"), 1).encode(),
+                )
+            })
+            .collect();
+        w.add_client(Box::new(Script::new(steps)), None, START);
+    }
+    w.crash_at(ProcessId(0), Time(Dur::from_millis(400).0));
+    w.recover_at(ProcessId(0), Time(Dur::from_secs(2).0));
+    assert!(w.run_to_completion(DEADLINE));
+
+    let states = settle_states(&mut w);
+    assert!(states.windows(2).all(|p| p[0] == p[1]), "stores diverged");
+
+    use gridpaxos::core::service::App as _;
+    let mut kv = KvStore::new();
+    kv.restore(&states[0].1);
+    for c in 0..4u64 {
+        assert_eq!(
+            kv.get(&format!("acct-{c}")),
+            Some("25"),
+            "at-most-once Add for client {c}"
+        );
+    }
+}
+
+#[test]
+fn kv_reads_see_latest_committed_value() {
+    let cfg = Config::cluster(3);
+    let opts = SimOpts::for_topology(Topology::sysnet(3), 37);
+    let mut w = World::new(cfg, opts, Box::new(|| Box::new(KvStore::new())));
+
+    let mut steps = Vec::new();
+    for i in 0..10 {
+        steps.push((
+            RequestKind::Write,
+            KvOp::Put("x".into(), i.to_string()).encode(),
+        ));
+        steps.push((RequestKind::Read, KvOp::Get("x".into()).encode()));
+    }
+    w.add_client(Box::new(Script::new(steps)), None, START);
+    assert!(w.run_to_completion(DEADLINE));
+    // We cannot reach into the driver after the run, but the service-level
+    // invariant is covered by the alternating driver in
+    // simnet_end_to_end.rs; here we assert convergence + final value.
+    let states = settle_states(&mut w);
+    assert!(states.windows(2).all(|p| p[0] == p[1]));
+    use gridpaxos::core::service::App as _;
+    let mut kv = KvStore::new();
+    kv.restore(&states[0].1);
+    assert_eq!(kv.get("x"), Some("9"));
+}
