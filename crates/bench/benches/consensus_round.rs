@@ -49,7 +49,9 @@ fn bench_rounds(c: &mut Criterion) {
     g.bench_function("write_basic_protocol", |b| {
         b.iter(|| run_ops(RequestKind::Write, OPS))
     });
-    g.bench_function("read_xpaxos", |b| b.iter(|| run_ops(RequestKind::Read, OPS)));
+    g.bench_function("read_xpaxos", |b| {
+        b.iter(|| run_ops(RequestKind::Read, OPS))
+    });
     g.bench_function("original_uncoordinated", |b| {
         b.iter(|| run_ops(RequestKind::Original, OPS))
     });

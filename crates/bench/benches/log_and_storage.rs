@@ -20,8 +20,7 @@ fn bench_log(c: &mut Criterion) {
                 for i in 1..=64u64 {
                     log.record_accept(Instance(i), b1, Decree::noop());
                     log.mark_chosen(Instance(i));
-                    while let Some((inst, _)) = log.next_applicable().map(|(i, d)| (i, d.clone()))
-                    {
+                    while let Some((inst, _)) = log.next_applicable().map(|(i, d)| (i, d.clone())) {
                         log.advance_applied(inst);
                     }
                 }

@@ -39,7 +39,11 @@ fn bench_kv(c: &mut Criterion) {
             warmed,
             |mut s| {
                 let mut rng = SmallRng::seed_from_u64(2);
-                let r = req(9999, RequestKind::Write, KvOp::Put("hot".into(), "v".into()).encode());
+                let r = req(
+                    9999,
+                    RequestKind::Write,
+                    KvOp::Put("hot".into(), "v".into()).encode(),
+                );
                 let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
                 s.execute(&r, &mut ctx)
             },
@@ -50,7 +54,11 @@ fn bench_kv(c: &mut Criterion) {
     g.bench_function("execute_get", |b| {
         let mut s = warmed();
         let mut rng = SmallRng::seed_from_u64(2);
-        let r = req(9999, RequestKind::Read, KvOp::Get("key-500".into()).encode());
+        let r = req(
+            9999,
+            RequestKind::Read,
+            KvOp::Get("key-500".into()).encode(),
+        );
         b.iter(|| {
             let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
             s.execute(&r, &mut ctx)
@@ -60,7 +68,11 @@ fn bench_kv(c: &mut Criterion) {
     g.bench_function("apply_delta", |b| {
         let mut leader = warmed();
         let mut rng = SmallRng::seed_from_u64(2);
-        let r = req(9999, RequestKind::Write, KvOp::Put("hot".into(), "v".into()).encode());
+        let r = req(
+            9999,
+            RequestKind::Write,
+            KvOp::Put("hot".into(), "v".into()).encode(),
+        );
         let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
         let (_, update) = leader.execute(&r, &mut ctx);
         b.iter_batched(
@@ -113,7 +125,11 @@ fn bench_broker(c: &mut Criterion) {
             let r = req(
                 i,
                 RequestKind::Write,
-                BrokerOp::AddResource { name: format!("m-{i}"), capacity: 100 }.encode(),
+                BrokerOp::AddResource {
+                    name: format!("m-{i}"),
+                    capacity: 100,
+                }
+                .encode(),
             );
             let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
             s.execute(&r, &mut ctx);
@@ -150,7 +166,11 @@ fn bench_scheduler(c: &mut Criterion) {
         let add = req(
             0,
             RequestKind::Write,
-            SchedOp::AddMachine { name: "m".into(), slots: 1000 }.encode(),
+            SchedOp::AddMachine {
+                name: "m".into(),
+                slots: 1000,
+            }
+            .encode(),
         );
         let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
         s.execute(&add, &mut ctx);
@@ -158,7 +178,11 @@ fn bench_scheduler(c: &mut Criterion) {
             let r = req(
                 i + 1,
                 RequestKind::Write,
-                SchedOp::Submit { job: i, priority: (i % 8) as u32 }.encode(),
+                SchedOp::Submit {
+                    job: i,
+                    priority: (i % 8) as u32,
+                }
+                .encode(),
             );
             let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
             s.execute(&r, &mut ctx);

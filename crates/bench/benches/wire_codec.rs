@@ -47,11 +47,14 @@ fn bench_codec(c: &mut Criterion) {
 
     for (name, msg) in [
         ("request_64b", request_msg(64)),
-        ("heartbeat", Msg::Heartbeat {
-            ballot: Ballot::new(9, ProcessId(1)),
-            chosen: Instance(1_000_000),
-            hb_seq: 12,
-        }),
+        (
+            "heartbeat",
+            Msg::Heartbeat {
+                ballot: Ballot::new(9, ProcessId(1)),
+                chosen: Instance(1_000_000),
+                hb_seq: 12,
+            },
+        ),
         ("accept_1x64b", accept_msg(1, 64)),
         ("accept_16x64b", accept_msg(16, 64)),
         ("accept_64x256b", accept_msg(64, 256)),
@@ -59,7 +62,7 @@ fn bench_codec(c: &mut Criterion) {
         let encoded = encode_to_bytes(&msg);
         g.throughput(Throughput::Bytes(encoded.len() as u64));
 
-        g.bench_function(format!("encode/{name}"), |b| {
+        g.bench_function(&format!("encode/{name}"), |b| {
             b.iter_batched(
                 || BytesMut::with_capacity(encoded.len()),
                 |mut out| {
@@ -69,7 +72,7 @@ fn bench_codec(c: &mut Criterion) {
                 BatchSize::SmallInput,
             )
         });
-        g.bench_function(format!("decode/{name}"), |b| {
+        g.bench_function(&format!("decode/{name}"), |b| {
             b.iter_batched(
                 || encoded.clone(),
                 |mut buf| decode_msg(&mut buf).expect("decodes"),

@@ -17,12 +17,18 @@ fn run_one(name: &str, seed: u64) -> Option<Vec<TableOut>> {
         "fig7" => gridpaxos_bench::fig7(seed),
         "fig8" => gridpaxos_bench::fig8(seed),
         "table1" => gridpaxos_bench::table1(seed, 500),
-        "fig9" => return Some(vec![gridpaxos_bench::fig9(seed, 3), gridpaxos_bench::fig9(seed, 5)]),
+        "fig9" => {
+            return Some(vec![
+                gridpaxos_bench::fig9(seed, 3),
+                gridpaxos_bench::fig9(seed, 5),
+            ])
+        }
         "leader-switch" => gridpaxos_bench::leader_switch(seed),
         "scale-t" => gridpaxos_bench::scale_t(seed),
         "ablation" => gridpaxos_bench::ablation(seed),
         "state-size" => gridpaxos_bench::state_size(seed),
         "batch-ablation" => gridpaxos_bench::batch_ablation(seed),
+        "sharding" => gridpaxos_bench::sharding(seed),
         _ => return None,
     };
     Some(vec![t])
@@ -55,7 +61,8 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown experiment '{name}'; known: all rrt-sysnet fig5 fig6 fig7 fig8 \
-                     table1 fig9 leader-switch scale-t ablation state-size batch-ablation"
+                     table1 fig9 leader-switch scale-t ablation state-size batch-ablation \
+                     sharding"
                 );
                 any_bad = true;
             }

@@ -51,8 +51,16 @@ pub fn rrt_sysnet(seed: u64, samples: u64) -> TableOut {
             fmt_ms(paper),
         ]);
     }
-    let read = measure_rrt(Experiment::on(Topology::sysnet(3), seed), RequestKind::Read, samples);
-    let write = measure_rrt(Experiment::on(Topology::sysnet(3), seed), RequestKind::Write, samples);
+    let read = measure_rrt(
+        Experiment::on(Topology::sysnet(3), seed),
+        RequestKind::Read,
+        samples,
+    );
+    let write = measure_rrt(
+        Experiment::on(Topology::sysnet(3), seed),
+        RequestKind::Write,
+        samples,
+    );
     t.note(format!(
         "X-Paxos read vs basic write: {:.0}% lower RRT (paper: 22%)",
         (1.0 - read.mean / write.mean) * 100.0
@@ -200,7 +208,9 @@ pub fn fig8(seed: u64) -> TableOut {
         row.push("read ≫ write".into());
         t.row(row);
     }
-    t.note("paper: with WAN-separated replicas X-Paxos substantially outperforms the basic protocol");
+    t.note(
+        "paper: with WAN-separated replicas X-Paxos substantially outperforms the basic protocol",
+    );
     t
 }
 
@@ -208,7 +218,10 @@ fn txn_case(mode: &str) -> (TxnMode, fn(usize) -> TxnScript) {
     match mode {
         "read/write" => (TxnMode::PerOp, |n| {
             // The paper's mixes: 3 ⇒ 2 reads + 1 write, 5 ⇒ 3 reads + 2 writes.
-            TxnScript::read_write(n - n / 2 - (n % 2 == 0) as usize, n / 2 + (n % 2 == 0) as usize)
+            TxnScript::read_write(
+                n - n / 2 - (n % 2 == 0) as usize,
+                n / 2 + (n % 2 == 0) as usize,
+            )
         }),
         "write-only" => (TxnMode::PerOp, TxnScript::write_only),
         _ => (TxnMode::TPaxos, TxnScript::write_only),
@@ -222,7 +235,13 @@ pub fn table1(seed: u64, txns: u64) -> TableOut {
     let mut t = TableOut::new(
         "table1",
         "Transaction response time (ms)",
-        &["operation", "req_per_txn", "avg_trt_ms", "ci99_ms", "paper_ms"],
+        &[
+            "operation",
+            "req_per_txn",
+            "avg_trt_ms",
+            "ci99_ms",
+            "paper_ms",
+        ],
     );
     let paper: &[(&str, usize, f64)] = &[
         ("read/write", 3, 1.17),
@@ -289,7 +308,13 @@ pub fn leader_switch(seed: u64) -> TableOut {
     let mut t = TableOut::new(
         "leader-switch",
         "Workload disruption across two forced leader switches",
-        &["workload", "target", "completed", "client_retries", "txn_aborts"],
+        &[
+            "workload",
+            "target",
+            "completed",
+            "client_retries",
+            "txn_aborts",
+        ],
     );
 
     // Common fault schedule: crash the bootstrap leader at 1 s (recover at
@@ -303,7 +328,10 @@ pub fn leader_switch(seed: u64) -> TableOut {
     let deadline = Time(Dur::from_secs(600).0);
     let start = Time(Dur::from_millis(200).0);
 
-    for (name, kind) in [("write(basic)", RequestKind::Write), ("read(X-Paxos)", RequestKind::Read)] {
+    for (name, kind) in [
+        ("write(basic)", RequestKind::Write),
+        ("read(X-Paxos)", RequestKind::Read),
+    ] {
         let exp = Experiment::on(Topology::sysnet(3), seed);
         let opts = SimOpts::for_topology(Topology::sysnet(3), seed);
         let mut w = World::new(exp.cfg.clone(), opts, Box::new(|| Box::new(NoopApp::new())));
@@ -316,7 +344,11 @@ pub fn leader_switch(seed: u64) -> TableOut {
         t.row(vec![
             name.into(),
             total.to_string(),
-            if done { w.metrics.completed_ops.to_string() } else { format!("{} (stalled)", w.metrics.completed_ops) },
+            if done {
+                w.metrics.completed_ops.to_string()
+            } else {
+                format!("{} (stalled)", w.metrics.completed_ops)
+            },
             w.metrics.retries.to_string(),
             "0".into(),
         ]);
@@ -340,7 +372,11 @@ pub fn leader_switch(seed: u64) -> TableOut {
         t.row(vec![
             "txn(T-Paxos)".into(),
             format!("{total_txns} txns"),
-            if done { w.metrics.txn_commits.to_string() } else { format!("{} (stalled)", w.metrics.txn_commits) },
+            if done {
+                w.metrics.txn_commits.to_string()
+            } else {
+                format!("{} (stalled)", w.metrics.txn_commits)
+            },
             w.metrics.retries.to_string(),
             w.metrics.txn_aborts.to_string(),
         ]);
@@ -358,7 +394,14 @@ pub fn scale_t(seed: u64) -> TableOut {
     let mut t = TableOut::new(
         "scale-t",
         "RRT vs replication degree (LAN replicas, heterogeneous WAN client paths; ms)",
-        &["n (t)", "read_mean", "read_ci99", "write_mean", "write_ci99", "xpaxos_gap"],
+        &[
+            "n (t)",
+            "read_mean",
+            "read_ci99",
+            "write_mean",
+            "write_ci99",
+            "xpaxos_gap",
+        ],
     );
     for n in [3usize, 5, 7] {
         // Replicas on one LAN; the leader and one backup have a good
@@ -405,9 +448,21 @@ pub fn ablation(seed: u64) -> TableOut {
         RequestKind::Read,
         1000,
     );
-    t.row(vec!["read, X-Paxos".into(), fmt_ms(read_x.mean), fmt_ci(read_x.ci99)]);
-    t.row(vec!["read, consensus".into(), fmt_ms(read_c.mean), fmt_ci(read_c.ci99)]);
-    t.row(vec!["read, leader lease (ext.)".into(), fmt_ms(read_l.mean), fmt_ci(read_l.ci99)]);
+    t.row(vec![
+        "read, X-Paxos".into(),
+        fmt_ms(read_x.mean),
+        fmt_ci(read_x.ci99),
+    ]);
+    t.row(vec![
+        "read, consensus".into(),
+        fmt_ms(read_c.mean),
+        fmt_ci(read_c.ci99),
+    ]);
+    t.row(vec![
+        "read, leader lease (ext.)".into(),
+        fmt_ms(read_l.mean),
+        fmt_ci(read_l.ci99),
+    ]);
     t.note(format!(
         "X-Paxos saves {:.0}% on reads (paper: 22%); leases save {:.0}% more but need timing assumptions",
         (1.0 - read_x.mean / read_c.mean) * 100.0,
@@ -436,15 +491,19 @@ pub fn state_size(seed: u64) -> TableOut {
     let mut t = TableOut::new(
         "state-size",
         "Write RRT vs state size and shipping mode (ms)",
-        &["state_bytes", "full_lan", "delta_lan", "full_wan", "delta_wan", "reproduce_wan"],
+        &[
+            "state_bytes",
+            "full_lan",
+            "delta_lan",
+            "full_wan",
+            "delta_wan",
+            "reproduce_wan",
+        ],
     );
     for size in [256usize, 4 << 10, 64 << 10, 512 << 10] {
         let mut row = vec![size.to_string()];
         for (topo, modes) in [
-            (
-                Topology::sysnet(3),
-                vec![ShipMode::Full, ShipMode::Delta],
-            ),
+            (Topology::sysnet(3), vec![ShipMode::Full, ShipMode::Delta]),
             (
                 Topology::wan_spread(),
                 vec![ShipMode::Full, ShipMode::Delta, ShipMode::Reproduce],
@@ -496,6 +555,113 @@ pub fn batch_ablation(seed: u64) -> TableOut {
     t
 }
 
+/// Extension — multi-group sharding: closed-loop write throughput on the
+/// cluster as the KV keyspace is hash-partitioned over `G` independent
+/// consensus groups. Strict pipelining (§3.3) caps each group at one
+/// decree in flight, so extra groups multiply the number of concurrent
+/// decrees (and spread leader work across nodes, since group `g`'s
+/// bootstrap leader is replica `g mod n`). Emits `BENCH_sharding.json`
+/// next to the text table.
+#[must_use]
+pub fn sharding(seed: u64) -> TableOut {
+    sharding_with(seed, 64, 200, true)
+}
+
+fn sharding_with(seed: u64, clients: usize, per_client: u64, emit_json: bool) -> TableOut {
+    use gridpaxos_services::{shard_router, KvOp, KvStore};
+
+    let mut t = TableOut::new(
+        "sharding",
+        &format!("Write throughput vs consensus groups (req/s, {clients} clients, KV store)"),
+        &["groups", "write_tput", "p50_ms", "p99_ms", "speedup"],
+    );
+    let start = Time(Dur::from_millis(200).0);
+    let mut results: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for g in [1usize, 2, 4, 8] {
+        let mut exp = Experiment::on(Topology::sysnet(3), seed);
+        // Small decree batches keep each group pipeline-bound — the regime
+        // sharding parallelizes (G=1 serves at most `max_batch` requests
+        // per decree RTT); giant batches would hide the pipeline cap. No
+        // batch window: under-full groups propose immediately.
+        exp.cfg.max_batch = 4;
+        exp.cfg.batch_window = Dur::ZERO;
+        let deadline = exp.deadline;
+        let opts = SimOpts {
+            cpu: exp.cpu,
+            ..SimOpts::for_topology(exp.topology, seed)
+        };
+        let mut w = World::new_sharded(
+            exp.cfg,
+            opts,
+            Box::new(|| Box::new(KvStore::sharded())),
+            g,
+            Some(shard_router()),
+        );
+        for i in 0..clients {
+            // One key per client: single-key ops shard cleanly, and the
+            // key hashes spread the clients across the groups.
+            let op = KvOp::Put(format!("c{i}"), "v".into());
+            w.add_client(
+                Box::new(OpLoop::with_payload(
+                    RequestKind::Write,
+                    per_client,
+                    op.encode(),
+                )),
+                None,
+                start,
+            );
+        }
+        let ok = w.run_to_completion(Time::ZERO.after(deadline));
+        assert!(
+            ok,
+            "sharding run (G={g}) did not complete within the deadline"
+        );
+        let s = w.metrics.rtt_summary("write");
+        results.push((g, w.metrics.ops_per_sec(), s.p50, s.p99));
+    }
+    let base = results[0].1;
+    for (g, tput, p50, p99) in &results {
+        t.row(vec![
+            g.to_string(),
+            fmt_tput(*tput),
+            fmt_ms(*p50),
+            fmt_ms(*p99),
+            format!("{:.2}x", tput / base),
+        ]);
+    }
+    if emit_json {
+        match write_sharding_json(&results) {
+            Ok(p) => t.note(format!("json: {p}")),
+            Err(e) => t.note(format!("json write failed: {e}")),
+        }
+    }
+    t.note("extension: G groups lift §3.3's one-decree-in-flight cap; near-linear until node CPU saturates");
+    t
+}
+
+/// Machine-readable companion to the `sharding` table, written to
+/// `BENCH_sharding.json` in the working directory.
+fn write_sharding_json(results: &[(usize, f64, f64, f64)]) -> std::io::Result<String> {
+    let base = results.first().map_or(1.0, |r| r.1);
+    let mut s = String::from(
+        "{\n  \"experiment\": \"sharding\",\n  \"workload\": \"64 closed-loop clients, \
+         one Put key each, 200 writes per client, n=3 cluster\",\n  \"units\": \
+         {\"write_tput\": \"req/s\", \"p50\": \"ms\", \"p99\": \"ms\"},\n  \"results\": [\n",
+    );
+    for (i, (g, tput, p50, p99)) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"groups\": {g}, \"write_tput\": {tput:.1}, \"p50\": {p50:.4}, \
+             \"p99\": {p99:.4}, \"speedup\": {:.3}}}{}\n",
+            tput / base,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    let path = "BENCH_sharding.json";
+    std::fs::write(path, s)?;
+    Ok(path.to_owned())
+}
+
 /// Every experiment, in paper order.
 #[must_use]
 pub fn all(seed: u64) -> Vec<TableOut> {
@@ -513,5 +679,23 @@ pub fn all(seed: u64) -> Vec<TableOut> {
         ablation(seed),
         state_size(seed),
         batch_ablation(seed),
+        sharding(seed),
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_scales_write_throughput() {
+        // Short version of the headline run (the full one generates
+        // BENCH_sharding.json): with enough clients to keep every group's
+        // pipeline full, more groups must yield materially more
+        // closed-loop write throughput.
+        let t = sharding_with(11, 64, 25, false);
+        let tput = |g: &str| -> f64 { t.cell(g, "write_tput").unwrap().parse().unwrap() };
+        let (g1, g4) = (tput("1"), tput("4"));
+        assert!(g4 > g1 * 2.0, "G=4 {g4:.0}/s vs G=1 {g1:.0}/s");
+    }
 }

@@ -13,6 +13,6 @@ pub mod table;
 
 pub use experiments::{
     ablation, all, batch_ablation, fig5, fig6, fig7, fig8, fig9, leader_switch, rrt_sysnet,
-    scale_t, state_size, table1,
+    scale_t, sharding, state_size, table1,
 };
 pub use table::TableOut;

@@ -97,7 +97,10 @@ mod tests {
             Action::Send { to, .. } => assert_eq!(to, Addr::Replica(ProcessId(1))),
             other => panic!("unexpected {other:?}"),
         }
-        assert!(matches!(Action::broadcast(msg), Action::ToAllReplicas { .. }));
+        assert!(matches!(
+            Action::broadcast(msg),
+            Action::ToAllReplicas { .. }
+        ));
         assert!(matches!(
             Action::timer(TimerKind::Heartbeat, Dur::from_millis(5)),
             Action::SetTimer {

@@ -17,7 +17,9 @@ use std::fmt;
 /// `Ballot::ZERO` is a sentinel smaller than any real ballot; replicas
 /// start with it as their promised ballot so the first real prepare
 /// always succeeds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Ballot {
     /// Election round. Incremented each time a process starts a new
     /// leadership attempt.
@@ -70,7 +72,9 @@ impl fmt::Display for Ballot {
 }
 
 /// A proposal number: the identity of one accept request.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct ProposalNum {
     /// Ballot under which the proposal is made. Major component.
     pub ballot: Ballot,

@@ -5,12 +5,51 @@
 //! client keeps at most one request outstanding, retransmits on timeout,
 //! and matches replies by request id, which makes retries idempotent end
 //! to end.
+//!
+//! In a multi-group (sharded) deployment the client additionally routes
+//! each request to its consensus group — determined by a [`ShardRouter`]
+//! over the request's service-level key — wraps traffic in the group
+//! envelope, and caches a leader hint per group so steady-state writes are
+//! a single unicast instead of an n-way broadcast. Reads always broadcast
+//! (the X-Paxos fast path needs the followers' confirm votes).
 
 use crate::action::{Action, TimerKind};
 use crate::msg::Msg;
 use crate::request::{Reply, ReplyBody, Request, RequestId, RequestKind, TxnCtl};
-use crate::types::{Addr, ClientId, Dur, ProcessId, Seq, Time, TxnId};
+use crate::types::{shard_of, Addr, ClientId, Dur, GroupId, ProcessId, Seq, Time, TxnId};
 use bytes::Bytes;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Maps a request to its service-level shard key (`None` = keyless, routes
+/// to group 0). A pure function of the request — typically a hash of the
+/// key the service would extract via
+/// [`crate::service::App::shard_key`] — shared by every client.
+#[derive(Clone)]
+pub struct ShardRouter(pub Arc<RouteFn>);
+
+/// The routing function a [`ShardRouter`] wraps.
+pub type RouteFn = dyn Fn(&Request) -> Option<u64> + Send + Sync;
+
+impl ShardRouter {
+    /// Wrap a routing function.
+    pub fn new(f: impl Fn(&Request) -> Option<u64> + Send + Sync + 'static) -> ShardRouter {
+        ShardRouter(Arc::new(f))
+    }
+
+    /// The shard key of `req`, if any.
+    #[must_use]
+    pub fn key_of(&self, req: &Request) -> Option<u64> {
+        (self.0)(req)
+    }
+}
+
+impl fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ShardRouter(..)")
+    }
+}
 
 /// A finished operation, as reported to the embedding workload driver.
 #[derive(Clone, Debug)]
@@ -30,6 +69,7 @@ pub struct CompletedOp {
 #[derive(Clone, Debug)]
 struct Pending {
     req: Request,
+    group: GroupId,
     first_sent: Time,
     retries: u32,
 }
@@ -43,6 +83,10 @@ pub struct ClientCore {
     next_txn: TxnId,
     retry_timeout: Dur,
     outstanding: Option<Pending>,
+    n_groups: usize,
+    router: Option<ShardRouter>,
+    /// Last leader observed to answer, per group (`GroupId.0` keyed).
+    leader_hints: HashMap<u32, ProcessId>,
 }
 
 impl ClientCore {
@@ -56,7 +100,27 @@ impl ClientCore {
             next_txn: TxnId(1),
             retry_timeout,
             outstanding: None,
+            n_groups: 1,
+            router: None,
+            leader_hints: HashMap::new(),
         }
+    }
+
+    /// Make the client shard-aware: route each request into one of
+    /// `n_groups` consensus groups using `router`. With `n_groups == 1`
+    /// (or no router) behavior is identical to [`ClientCore::new`].
+    #[must_use]
+    pub fn with_groups(mut self, n_groups: usize, router: Option<ShardRouter>) -> ClientCore {
+        assert!(n_groups >= 1, "need at least one group");
+        self.n_groups = n_groups;
+        self.router = router;
+        self
+    }
+
+    /// Number of consensus groups this client routes across.
+    #[must_use]
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
     }
 
     /// This client's id.
@@ -101,35 +165,100 @@ impl ClientCore {
             "client {} already has an outstanding request",
             self.id
         );
+        let group = self.group_of(&req);
         self.outstanding = Some(Pending {
             req: req.clone(),
+            group,
             first_sent: now,
             retries: 0,
         });
-        let mut actions = self.broadcast(req);
+        let mut actions = self.send_request(group, req);
         actions.push(Action::timer(TimerKind::ClientRetry, self.retry_timeout));
         actions
     }
 
-    fn broadcast(&self, req: Request) -> Vec<Action> {
+    /// The consensus group `req` routes to. Transactions are pinned to
+    /// group 0: a transaction session lives on one leader (§3.5), so all
+    /// its operations must share a group.
+    fn group_of(&self, req: &Request) -> GroupId {
+        if self.n_groups <= 1 || req.txn.is_some() {
+            return GroupId::ZERO;
+        }
+        match self.router.as_ref().and_then(|r| r.key_of(req)) {
+            Some(key) => shard_of(key, self.n_groups),
+            None => GroupId::ZERO,
+        }
+    }
+
+    /// Wrap `msg` in the group envelope iff this is a multi-group client.
+    fn wrap(&self, group: GroupId, msg: Msg) -> Msg {
+        if self.n_groups <= 1 {
+            msg
+        } else {
+            Msg::Grouped {
+                group,
+                inner: Box::new(msg),
+            }
+        }
+    }
+
+    /// First transmission of `req`: unicast to the group's cached leader
+    /// when one is known and the request doesn't need the full quorum to
+    /// see it. Reads always broadcast — the X-Paxos fast path (§3.4)
+    /// collects Confirm votes from the followers, which therefore must
+    /// receive the request too. Single-group clients always broadcast,
+    /// exactly as §3.3 prescribes.
+    fn send_request(&self, group: GroupId, req: Request) -> Vec<Action> {
+        if self.n_groups > 1 && req.kind != RequestKind::Read {
+            if let Some(&leader) = self.leader_hints.get(&group.0) {
+                return vec![Action::send(
+                    Addr::Replica(leader),
+                    self.wrap(group, Msg::Request(req)),
+                )];
+            }
+        }
+        self.broadcast(group, req)
+    }
+
+    fn broadcast(&self, group: GroupId, req: Request) -> Vec<Action> {
         (0..self.n_replicas)
-            .map(|r| Action::send(Addr::Replica(ProcessId(r as u32)), Msg::Request(req.clone())))
+            .map(|r| {
+                Action::send(
+                    Addr::Replica(ProcessId(r as u32)),
+                    self.wrap(group, Msg::Request(req.clone())),
+                )
+            })
             .collect()
     }
 
     /// Handle an incoming message. Returns the completed operation when the
     /// outstanding request is answered.
     pub fn on_message(&mut self, msg: Msg, now: Time) -> (Option<CompletedOp>, Vec<Action>) {
+        let (group, msg) = match msg {
+            Msg::Grouped { group, inner } => (Some(group), *inner),
+            other => (None, other),
+        };
         let Msg::Reply(reply) = msg else {
             return (None, Vec::new());
         };
-        self.on_reply(reply, now)
+        self.on_reply(group, reply, now)
     }
 
-    fn on_reply(&mut self, reply: Reply, now: Time) -> (Option<CompletedOp>, Vec<Action>) {
+    fn on_reply(
+        &mut self,
+        group: Option<GroupId>,
+        reply: Reply,
+        now: Time,
+    ) -> (Option<CompletedOp>, Vec<Action>) {
         match &self.outstanding {
             Some(p) if p.req.id == reply.id => {
                 let p = self.outstanding.take().expect("checked above");
+                if self.n_groups > 1 {
+                    // Whoever answered is that group's leader; unicast the
+                    // next write there.
+                    let g = group.unwrap_or(p.group);
+                    self.leader_hints.insert(g.0, reply.leader);
+                }
                 let done = CompletedOp {
                     req: p.req,
                     body: reply.body,
@@ -151,7 +280,9 @@ impl ClientCore {
     }
 
     /// Handle a timer firing: retransmit the outstanding request to all
-    /// replicas and re-arm.
+    /// replicas and re-arm. A timeout also invalidates the group's leader
+    /// hint — the hinted leader may have crashed or been deposed — so the
+    /// retry reverts to the §3.3 broadcast.
     pub fn on_timer(&mut self, kind: TimerKind, _now: Time) -> Vec<Action> {
         if kind != TimerKind::ClientRetry {
             return Vec::new();
@@ -160,8 +291,9 @@ impl ClientCore {
             return Vec::new();
         };
         p.retries += 1;
-        let req = p.req.clone();
-        let mut actions = self.broadcast(req);
+        let (req, group) = (p.req.clone(), p.group);
+        self.leader_hints.remove(&group.0);
+        let mut actions = self.broadcast(group, req);
         actions.push(Action::timer(TimerKind::ClientRetry, self.retry_timeout));
         actions
     }
@@ -199,7 +331,9 @@ impl TxnScript {
     #[must_use]
     pub fn write_only(writes: usize) -> TxnScript {
         TxnScript {
-            ops: (0..writes).map(|_| (RequestKind::Write, Bytes::new())).collect(),
+            ops: (0..writes)
+                .map(|_| (RequestKind::Write, Bytes::new()))
+                .collect(),
         }
     }
 }
@@ -304,9 +438,13 @@ mod tests {
             .filter(|a| matches!(a, Action::Send { .. }))
             .count();
         assert_eq!(sends, 3, "request goes to all replicas");
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::ClientRetry, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::ClientRetry,
+                ..
+            }
+        )));
         assert!(c.is_busy());
     }
 
@@ -321,15 +459,17 @@ mod tests {
             } => r.id,
             other => panic!("unexpected {other:?}"),
         };
-        let (done, actions) =
-            c.on_message(reply(id, ReplyBody::Ok(Bytes::new())), Time(5_000));
+        let (done, actions) = c.on_message(reply(id, ReplyBody::Ok(Bytes::new())), Time(5_000));
         let done = done.expect("completed");
         assert_eq!(done.rtt, Dur(4_000));
         assert_eq!(done.retries, 0);
         assert!(!c.is_busy());
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::CancelTimer { kind: TimerKind::ClientRetry })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::CancelTimer {
+                kind: TimerKind::ClientRetry
+            }
+        )));
     }
 
     #[test]
@@ -422,5 +562,122 @@ mod tests {
             outcome,
             TxnOutcome::Aborted(crate::request::AbortReason::LeaderSwitch)
         );
+    }
+
+    // ----- multi-group routing ------------------------------------------
+
+    /// Router that shards on the first payload byte.
+    fn byte_router() -> ShardRouter {
+        ShardRouter::new(|req: &Request| req.op.first().map(|b| u64::from(*b)))
+    }
+
+    fn sharded_client(n_groups: usize) -> ClientCore {
+        ClientCore::new(ClientId(9), 3, Dur::from_millis(100))
+            .with_groups(n_groups, Some(byte_router()))
+    }
+
+    fn sent_groups(actions: &[Action]) -> Vec<GroupId> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    msg: Msg::Grouped { group, .. },
+                    ..
+                } => Some(*group),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_submit_routes_by_key_and_wraps() {
+        let mut c = sharded_client(4);
+        // Key byte 6 → 6 % 4 = group 2; broadcast (no hint yet) to all 3.
+        let actions = c.submit_op(RequestKind::Write, Bytes::from_static(&[6]), Time::ZERO);
+        let groups = sent_groups(&actions);
+        assert_eq!(groups.len(), 3, "no hint yet: broadcast to all replicas");
+        assert!(groups.iter().all(|g| *g == GroupId(2)));
+    }
+
+    #[test]
+    fn keyless_and_txn_requests_route_to_group_zero() {
+        let mut c = sharded_client(4);
+        let actions = c.submit_op(RequestKind::Write, Bytes::new(), Time::ZERO);
+        assert!(sent_groups(&actions).iter().all(|g| *g == GroupId::ZERO));
+        let (done, _) = c.on_message(
+            Msg::Grouped {
+                group: GroupId::ZERO,
+                inner: Box::new(reply(
+                    RequestId::new(ClientId(9), Seq(1)),
+                    ReplyBody::Ok(Bytes::new()),
+                )),
+            },
+            Time(1),
+        );
+        assert!(done.is_some());
+
+        // A transaction op with a "shardable" payload still pins to group 0.
+        let id = c.next_request_id();
+        let treq = Request::txn_op(id, RequestKind::Write, TxnId(1), Bytes::from_static(&[7]));
+        let actions = c.submit(treq, Time(2));
+        assert!(sent_groups(&actions).iter().all(|g| *g == GroupId::ZERO));
+    }
+
+    #[test]
+    fn reply_caches_leader_hint_and_next_write_unicasts() {
+        let mut c = sharded_client(4);
+        let actions = c.submit_op(RequestKind::Write, Bytes::from_static(&[6]), Time::ZERO);
+        assert_eq!(sent_groups(&actions).len(), 3);
+        // Group 2's leader (replica 1) answers.
+        let (done, _) = c.on_message(
+            Msg::Grouped {
+                group: GroupId(2),
+                inner: Box::new(Msg::Reply(Reply {
+                    id: RequestId::new(ClientId(9), Seq(1)),
+                    leader: ProcessId(1),
+                    body: ReplyBody::Ok(Bytes::new()),
+                })),
+            },
+            Time(5),
+        );
+        assert!(done.is_some());
+
+        // Next write to the same group goes straight to the hinted leader.
+        let actions = c.submit_op(RequestKind::Write, Bytes::from_static(&[2]), Time(10));
+        let sends: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends, vec![Addr::Replica(ProcessId(1))], "unicast to hint");
+        assert_eq!(sent_groups(&actions), vec![GroupId(2)]);
+
+        // A retry invalidates the hint and reverts to broadcast.
+        let actions = c.on_timer(TimerKind::ClientRetry, Time(200));
+        assert_eq!(sent_groups(&actions).len(), 3, "hint dropped on timeout");
+    }
+
+    #[test]
+    fn sharded_reads_always_broadcast() {
+        let mut c = sharded_client(4);
+        c.submit_op(RequestKind::Write, Bytes::from_static(&[6]), Time::ZERO);
+        let (done, _) = c.on_message(
+            Msg::Grouped {
+                group: GroupId(2),
+                inner: Box::new(Msg::Reply(Reply {
+                    id: RequestId::new(ClientId(9), Seq(1)),
+                    leader: ProcessId(1),
+                    body: ReplyBody::Ok(Bytes::new()),
+                })),
+            },
+            Time(5),
+        );
+        assert!(done.is_some());
+        // Same group, but a read: the X-Paxos fast path needs every
+        // replica to see it, so it must broadcast despite the hint.
+        let actions = c.submit_op(RequestKind::Read, Bytes::from_static(&[2]), Time(10));
+        assert_eq!(sent_groups(&actions).len(), 3);
     }
 }

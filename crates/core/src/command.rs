@@ -116,7 +116,9 @@ impl Decree {
     /// The canonical no-op decree used for gap filling during recovery.
     #[must_use]
     pub fn noop() -> Decree {
-        Decree { entries: Vec::new() }
+        Decree {
+            entries: Vec::new(),
+        }
     }
 
     /// A decree carrying a single command.
@@ -130,9 +132,7 @@ impl Decree {
     /// Whether this decree answers the given request id.
     #[must_use]
     pub fn answers(&self, id: RequestId) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.cmd.request_id() == Some(id))
+        self.entries.iter().any(|e| e.cmd.request_id() == Some(id))
     }
 }
 
@@ -184,8 +184,14 @@ mod tests {
     fn state_update_sizes() {
         assert_eq!(StateUpdate::None.payload_len(), 0);
         assert!(StateUpdate::None.is_none());
-        assert_eq!(StateUpdate::Full(Bytes::from_static(b"abcd")).payload_len(), 4);
-        assert_eq!(StateUpdate::Delta(Bytes::from_static(b"ab")).payload_len(), 2);
+        assert_eq!(
+            StateUpdate::Full(Bytes::from_static(b"abcd")).payload_len(),
+            4
+        );
+        assert_eq!(
+            StateUpdate::Delta(Bytes::from_static(b"ab")).payload_len(),
+            2
+        );
         assert!(!StateUpdate::Delta(Bytes::new()).is_none());
     }
 

@@ -51,6 +51,7 @@ pub mod config;
 pub mod election;
 pub mod log;
 pub mod msg;
+pub mod multi;
 pub mod replica;
 pub mod request;
 pub mod service;
@@ -61,10 +62,13 @@ pub mod types;
 pub mod prelude {
     pub use crate::action::{Action, TimerKind};
     pub use crate::ballot::{Ballot, ProposalNum};
-    pub use crate::client::{ClientCore, CompletedOp, TxnDriver, TxnOutcome, TxnScript};
+    pub use crate::client::{
+        ClientCore, CompletedOp, ShardRouter, TxnDriver, TxnOutcome, TxnScript,
+    };
     pub use crate::command::{Command, Decree, SnapshotBlob, StateUpdate};
     pub use crate::config::{Config, ReadMode, TxnMode, ValueMode};
     pub use crate::msg::Msg;
+    pub use crate::multi::MultiReplica;
     pub use crate::replica::{Replica, ReplicaStats, Role};
     pub use crate::request::{
         AbortReason, Reply, ReplyBody, Request, RequestId, RequestKind, TxnCtl,
@@ -72,6 +76,6 @@ pub mod prelude {
     pub use crate::service::{App, ExecCtx, NoopApp};
     pub use crate::storage::{MemStorage, Storage};
     pub use crate::types::{
-        majority, Addr, ClientId, Dur, Instance, ProcessId, Seq, Time, TxnId,
+        majority, shard_of, Addr, ClientId, Dur, GroupId, Instance, ProcessId, Seq, Time, TxnId,
     };
 }

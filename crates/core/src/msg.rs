@@ -6,7 +6,7 @@
 use crate::ballot::Ballot;
 use crate::command::{AcceptedEntry, Decree, SnapshotBlob};
 use crate::request::{Reply, Request, RequestId};
-use crate::types::Instance;
+use crate::types::{GroupId, Instance};
 
 /// A protocol message.
 #[derive(Clone, PartialEq, Debug)]
@@ -144,6 +144,18 @@ pub enum Msg {
         /// Leader's chosen prefix (entries/snapshot reach this point).
         upto: Instance,
     },
+
+    // ----- multi-group sharding (extension) --------------------------------
+    /// Envelope tagging `inner` with the consensus group it belongs to.
+    /// Only emitted by multi-group deployments (`n_groups > 1`); a
+    /// single-group deployment never wraps, so its byte stream is
+    /// identical to the unsharded protocol. Never nested.
+    Grouped {
+        /// Destination consensus group.
+        group: GroupId,
+        /// The protocol message, unchanged.
+        inner: Box<Msg>,
+    },
 }
 
 impl Msg {
@@ -165,6 +177,9 @@ impl Msg {
             Msg::HeartbeatAck { .. } => "heartbeat_ack",
             Msg::CatchUpReq { .. } => "catchup_req",
             Msg::CatchUp { .. } => "catchup",
+            // The envelope is transparent for tracing: what matters is the
+            // protocol message it carries.
+            Msg::Grouped { inner, .. } => inner.tag(),
         }
     }
 
@@ -173,7 +188,11 @@ impl Msg {
     /// report replication overhead separately.
     #[must_use]
     pub fn is_coordination(&self) -> bool {
-        !matches!(self, Msg::Request(_) | Msg::Reply(_))
+        match self {
+            Msg::Request(_) | Msg::Reply(_) => false,
+            Msg::Grouped { inner, .. } => inner.is_coordination(),
+            _ => true,
+        }
     }
 
     /// Approximate on-the-wire size in bytes (headers + payloads). Used by
@@ -231,7 +250,10 @@ impl Msg {
             }
             Msg::PrepareNack { .. } | Msg::AcceptNack { .. } => 24,
             Msg::Accept { entries, .. } => {
-                16 + entries.iter().map(|(_, d)| 8 + decree_len(d)).sum::<usize>()
+                16 + entries
+                    .iter()
+                    .map(|(_, d)| 8 + decree_len(d))
+                    .sum::<usize>()
             }
             Msg::Accepted { instances, .. } => 16 + instances.len() * 8,
             Msg::Chosen { .. } => 20,
@@ -242,9 +264,15 @@ impl Msg {
             Msg::CatchUp {
                 entries, snapshot, ..
             } => {
-                28 + entries.iter().map(|(_, d)| 8 + decree_len(d)).sum::<usize>()
+                28 + entries
+                    .iter()
+                    .map(|(_, d)| 8 + decree_len(d))
+                    .sum::<usize>()
                     + snapshot_len(snapshot)
             }
+            // The envelope adds its group id on top of the inner message's
+            // own length (whose HDR already covers the frame).
+            Msg::Grouped { inner, .. } => 4 + inner.approx_wire_len() - HDR,
         }
     }
 }
@@ -322,5 +350,35 @@ mod tests {
         let small = accept(8).approx_wire_len();
         let big = accept(32 * 1024).approx_wire_len();
         assert!(big - small >= 32 * 1024 - 8);
+    }
+
+    #[test]
+    fn grouped_envelope_is_transparent() {
+        use crate::types::GroupId;
+        let inner = Msg::Heartbeat {
+            ballot: Ballot::ZERO,
+            chosen: Instance::ZERO,
+            hb_seq: 0,
+        };
+        let wrapped = Msg::Grouped {
+            group: GroupId(3),
+            inner: Box::new(inner.clone()),
+        };
+        assert_eq!(wrapped.tag(), "heartbeat");
+        assert!(wrapped.is_coordination());
+        // Only the 4-byte group id on top of the inner frame.
+        assert_eq!(wrapped.approx_wire_len(), inner.approx_wire_len() + 4);
+
+        let req = Msg::Request(Request::new(
+            RequestId::new(ClientId(1), Seq(1)),
+            RequestKind::Write,
+            Bytes::new(),
+        ));
+        let wrapped_req = Msg::Grouped {
+            group: GroupId::ZERO,
+            inner: Box::new(req),
+        };
+        assert!(!wrapped_req.is_coordination());
+        assert_eq!(wrapped_req.tag(), "request");
     }
 }

@@ -1,0 +1,387 @@
+//! Multi-group sharded consensus (extension beyond the paper).
+//!
+//! A [`MultiReplica`] hosts `G` fully independent replica state machines
+//! ("groups") inside one process. Each group is an unmodified instance of
+//! the whole protocol — its own log, ballot space, leader election,
+//! failure detector and strict §3.3 pipeline — so every per-group safety
+//! argument of the reproduction carries over verbatim. What sharding adds
+//! is *throughput*: with the service keyspace hash-partitioned across
+//! groups, `G` leaders run `G` strict pipelines concurrently, and a
+//! deployment whose write throughput is bound by the one-decree-at-a-time
+//! pipeline scales with `G`.
+//!
+//! Routing is by message envelope: multi-group deployments wrap every
+//! protocol message in [`Msg::Grouped`]; a [`MultiReplica`] with one group
+//! never wraps, making the single-group configuration byte-identical to
+//! the plain [`Replica`] protocol. No ordering whatsoever is established
+//! *across* groups — cross-shard operations are the service's problem
+//! (see the kvstore's cross-shard rejection) or the client's (pin the
+//! keys of one transaction to one group).
+//!
+//! Bootstrap leaders rotate across processes (`(p + g) mod n`) so the `G`
+//! leaders — and therefore the leader-side CPU work — spread over the
+//! cluster instead of piling onto process 0.
+
+use crate::action::{Action, TimerKind};
+use crate::config::Config;
+use crate::msg::Msg;
+use crate::replica::Replica;
+use crate::service::App;
+use crate::storage::Storage;
+use crate::types::{Addr, GroupId, ProcessId, Time};
+
+/// Derive group `g`'s config from the deployment config: identical except
+/// for the bootstrap leader, which rotates across processes so leadership
+/// load spreads over the cluster.
+#[must_use]
+pub fn group_config(cfg: &Config, g: GroupId) -> Config {
+    let mut c = cfg.clone();
+    if let Some(p) = c.bootstrap_leader {
+        c.bootstrap_leader = Some(ProcessId((p.0 + g.0) % cfg.n as u32));
+    }
+    c
+}
+
+/// Derive group `g`'s RNG seed from the process seed. Group 0 keeps the
+/// seed unchanged, so a single-group [`MultiReplica`] is bit-identical to
+/// a bare [`Replica`] built with the same seed.
+#[must_use]
+pub fn group_seed(seed: u64, g: GroupId) -> u64 {
+    seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(g.0))
+}
+
+/// `G` independent replica state machines sharing one process identity.
+pub struct MultiReplica {
+    id: ProcessId,
+    groups: Vec<Replica>,
+}
+
+impl MultiReplica {
+    /// Create a fresh multi-group replica: `n_groups` independent groups,
+    /// each with its own service instance and stable storage.
+    #[must_use]
+    pub fn new(
+        id: ProcessId,
+        cfg: Config,
+        n_groups: usize,
+        app_factory: &dyn Fn() -> Box<dyn App>,
+        storage_factory: &mut dyn FnMut() -> Box<dyn Storage>,
+        seed: u64,
+        now: Time,
+    ) -> MultiReplica {
+        assert!(n_groups >= 1, "at least one group");
+        let groups = (0..n_groups)
+            .map(|g| {
+                let g = GroupId(g as u32);
+                Replica::new(
+                    id,
+                    group_config(&cfg, g),
+                    app_factory(),
+                    storage_factory(),
+                    group_seed(seed, g),
+                    now,
+                )
+            })
+            .collect();
+        MultiReplica { id, groups }
+    }
+
+    /// Recover a multi-group replica after a crash, one storage per group
+    /// in group order (as returned by [`MultiReplica::into_storages`]).
+    #[must_use]
+    pub fn recover(
+        id: ProcessId,
+        cfg: Config,
+        storages: Vec<Box<dyn Storage>>,
+        app_factory: &dyn Fn() -> Box<dyn App>,
+        seed: u64,
+        now: Time,
+    ) -> MultiReplica {
+        assert!(!storages.is_empty(), "at least one group");
+        let groups = storages
+            .into_iter()
+            .enumerate()
+            .map(|(g, storage)| {
+                let g = GroupId(g as u32);
+                Replica::recover(
+                    id,
+                    group_config(&cfg, g),
+                    app_factory(),
+                    storage,
+                    group_seed(seed, g),
+                    now,
+                )
+            })
+            .collect();
+        MultiReplica { id, groups }
+    }
+
+    /// This process's id.
+    #[must_use]
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Number of groups hosted.
+    #[must_use]
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Access one group's replica.
+    #[must_use]
+    pub fn group(&self, g: GroupId) -> Option<&Replica> {
+        self.groups.get(g.0 as usize)
+    }
+
+    /// Mutable access to one group's replica (tests, harnesses).
+    pub fn group_mut(&mut self, g: GroupId) -> Option<&mut Replica> {
+        self.groups.get_mut(g.0 as usize)
+    }
+
+    /// Consume the process (a crash), keeping each group's stable storage
+    /// in group order.
+    #[must_use]
+    pub fn into_storages(self) -> Vec<Box<dyn Storage>> {
+        self.groups.into_iter().map(Replica::into_storage).collect()
+    }
+
+    /// Start every group. Actions are tagged with the group they belong
+    /// to; timer actions must be keyed per group by the runtime.
+    pub fn on_start(&mut self, now: Time) -> Vec<(GroupId, Action)> {
+        let mut out = Vec::new();
+        for g in 0..self.groups.len() {
+            let gid = GroupId(g as u32);
+            let actions = self.groups[g].on_start(now);
+            self.collect(gid, actions, &mut out);
+        }
+        out
+    }
+
+    /// Route an incoming message to its group: a [`Msg::Grouped`] envelope
+    /// addresses the group it names (unknown groups are dropped — a
+    /// mis-configured peer, not a protocol condition); a bare message can
+    /// only come from a single-group sender and addresses group 0.
+    pub fn on_message(&mut self, from: Addr, msg: Msg, now: Time) -> Vec<(GroupId, Action)> {
+        let (gid, inner) = match msg {
+            Msg::Grouped { group, inner } => (group, *inner),
+            bare => (GroupId::ZERO, bare),
+        };
+        let Some(r) = self.groups.get_mut(gid.0 as usize) else {
+            return Vec::new();
+        };
+        let actions = r.on_message(from, inner, now);
+        let mut out = Vec::new();
+        self.collect(gid, actions, &mut out);
+        out
+    }
+
+    /// Fire a timer belonging to group `g`.
+    pub fn on_timer(&mut self, g: GroupId, kind: TimerKind, now: Time) -> Vec<(GroupId, Action)> {
+        let Some(r) = self.groups.get_mut(g.0 as usize) else {
+            return Vec::new();
+        };
+        let actions = r.on_timer(kind, now);
+        let mut out = Vec::new();
+        self.collect(g, actions, &mut out);
+        out
+    }
+
+    /// Tag `actions` with their group and wrap outgoing message payloads
+    /// in the group envelope (multi-group deployments only: one group
+    /// stays byte-identical to the plain protocol).
+    fn collect(&self, g: GroupId, actions: Vec<Action>, out: &mut Vec<(GroupId, Action)>) {
+        let wrap = self.groups.len() > 1;
+        for a in actions {
+            let a = if wrap {
+                match a {
+                    Action::Send { to, msg } => Action::Send {
+                        to,
+                        msg: wrap_msg(g, msg),
+                    },
+                    Action::ToAllReplicas { msg } => Action::ToAllReplicas {
+                        msg: wrap_msg(g, msg),
+                    },
+                    other => other,
+                }
+            } else {
+                a
+            };
+            out.push((g, a));
+        }
+    }
+}
+
+fn wrap_msg(g: GroupId, msg: Msg) -> Msg {
+    debug_assert!(
+        !matches!(msg, Msg::Grouped { .. }),
+        "group envelopes never nest"
+    );
+    Msg::Grouped {
+        group: g,
+        inner: Box::new(msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Request, RequestId, RequestKind};
+    use crate::service::NoopApp;
+    use crate::storage::MemStorage;
+    use crate::types::{ClientId, Seq};
+    use bytes::Bytes;
+
+    type AppFactory = Box<dyn Fn() -> Box<dyn App>>;
+    type StorageFactory = Box<dyn FnMut() -> Box<dyn Storage>>;
+
+    fn factories() -> (AppFactory, StorageFactory) {
+        (
+            Box::new(|| Box::new(NoopApp::new()) as Box<dyn App>),
+            Box::new(|| Box::new(MemStorage::new()) as Box<dyn Storage>),
+        )
+    }
+
+    fn multi(n_groups: usize, seed: u64) -> MultiReplica {
+        let (apps, mut stores) = factories();
+        MultiReplica::new(
+            ProcessId(0),
+            Config::cluster(3),
+            n_groups,
+            apps.as_ref(),
+            stores.as_mut(),
+            seed,
+            Time::ZERO,
+        )
+    }
+
+    fn write_req(seq: u64) -> Msg {
+        Msg::Request(Request::new(
+            RequestId::new(ClientId(1), Seq(seq)),
+            RequestKind::Write,
+            Bytes::new(),
+        ))
+    }
+
+    #[test]
+    fn single_group_is_action_identical_to_bare_replica() {
+        let seed = 42;
+        let mut bare = Replica::new(
+            ProcessId(0),
+            Config::cluster(3),
+            Box::new(NoopApp::new()),
+            Box::new(MemStorage::new()),
+            seed,
+            Time::ZERO,
+        );
+        let mut m = multi(1, seed);
+
+        let a = bare.on_start(Time::ZERO);
+        let b = m.on_start(Time::ZERO);
+        assert_eq!(a.len(), b.len());
+        for (x, (g, y)) in a.iter().zip(&b) {
+            assert_eq!(*g, GroupId::ZERO);
+            assert_eq!(format!("{x:?}"), format!("{y:?}"), "G=1 must not wrap");
+        }
+
+        let from = Addr::Client(ClientId(1));
+        let a = bare.on_message(from, write_req(1), Time(1));
+        let b = m.on_message(from, write_req(1), Time(1));
+        assert_eq!(a.len(), b.len());
+        for (x, (_, y)) in a.iter().zip(&b) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+    }
+
+    #[test]
+    fn bootstrap_leaders_rotate_across_groups() {
+        let m = multi(4, 7);
+        for g in 0..4u32 {
+            let cfg = m.group(GroupId(g)).unwrap().config();
+            assert_eq!(cfg.bootstrap_leader, Some(ProcessId(g % 3)));
+        }
+        // The rotation only renames the bootstrap leader; n is untouched.
+        assert_eq!(m.group(GroupId(3)).unwrap().config().n, 3);
+    }
+
+    #[test]
+    fn grouped_messages_route_to_their_group_only() {
+        let mut m = multi(2, 9);
+        let _ = m.on_start(Time::ZERO);
+        // Group 1's bootstrap leader is r1, not us; group 0's is r0 = us,
+        // so starting up put group 0 into an election.
+        assert!(m.group(GroupId::ZERO).unwrap().leading_ballot().is_some());
+        // A request enveloped for group 1 must not touch group 0's state.
+        let before = m.group(GroupId::ZERO).unwrap().log_len();
+        let msg = Msg::Grouped {
+            group: GroupId(1),
+            inner: Box::new(write_req(1)),
+        };
+        let out = m.on_message(Addr::Client(ClientId(1)), msg, Time(1));
+        for (g, _) in &out {
+            assert_eq!(*g, GroupId(1));
+        }
+        assert_eq!(m.group(GroupId::ZERO).unwrap().log_len(), before);
+    }
+
+    #[test]
+    fn multi_group_outputs_are_enveloped() {
+        let mut m = multi(2, 11);
+        let out = m.on_start(Time::ZERO);
+        for (g, a) in &out {
+            if let Action::Send { msg, .. } | Action::ToAllReplicas { msg } = a {
+                match msg {
+                    Msg::Grouped { group, inner } => {
+                        assert_eq!(group, g);
+                        assert!(!matches!(**inner, Msg::Grouped { .. }), "no nesting");
+                    }
+                    other => panic!("unwrapped outbound message: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_group_is_dropped() {
+        let mut m = multi(2, 13);
+        let msg = Msg::Grouped {
+            group: GroupId(7),
+            inner: Box::new(write_req(1)),
+        };
+        assert!(m
+            .on_message(Addr::Client(ClientId(1)), msg, Time(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn crash_and_recover_preserves_every_group() {
+        let mut m = multi(2, 15);
+        let _ = m.on_start(Time::ZERO);
+        let storages = m.into_storages();
+        assert_eq!(storages.len(), 2);
+        let (apps, _) = factories();
+        let m2 = MultiReplica::recover(
+            ProcessId(0),
+            Config::cluster(3),
+            storages,
+            apps.as_ref(),
+            15,
+            Time(1),
+        );
+        assert_eq!(m2.n_groups(), 2);
+        assert_eq!(
+            m2.group(GroupId(1)).unwrap().config().bootstrap_leader,
+            Some(ProcessId(1))
+        );
+    }
+
+    #[test]
+    fn group_seed_is_identity_for_group_zero() {
+        assert_eq!(group_seed(0xabcd, GroupId::ZERO), 0xabcd);
+        assert_ne!(group_seed(0xabcd, GroupId(1)), 0xabcd);
+        assert_ne!(
+            group_seed(0xabcd, GroupId(1)),
+            group_seed(0xabcd, GroupId(2))
+        );
+    }
+}

@@ -164,11 +164,10 @@ impl Replica {
         //    highest ballot).
         let mut merged: BTreeMap<Instance, (Ballot, Decree)> = BTreeMap::new();
         let own = self.log.entries_above(prefix, &[]);
-        for e in own.into_iter().chain(
-            promises
-                .into_values()
-                .flat_map(|p| p.accepted.into_iter()),
-        ) {
+        for e in own
+            .into_iter()
+            .chain(promises.into_values().flat_map(|p| p.accepted.into_iter()))
+        {
             if e.instance <= prefix {
                 continue;
             }
@@ -207,6 +206,9 @@ impl Replica {
             chosen: self.log.chosen_prefix(),
             hb_seq: 0,
         }));
-        out.push(Action::timer(TimerKind::Heartbeat, self.cfg.heartbeat_interval));
+        out.push(Action::timer(
+            TimerKind::Heartbeat,
+            self.cfg.heartbeat_interval,
+        ));
     }
 }

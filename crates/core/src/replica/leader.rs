@@ -254,7 +254,9 @@ impl Replica {
                 } else {
                     // No lease (e.g. right after taking over): fall back
                     // to a full consensus instance for safety.
-                    let Role::Leader(l) = &mut self.role else { return };
+                    let Role::Leader(l) = &mut self.role else {
+                        return;
+                    };
                     l.queue.push_back(req);
                     self.try_propose_next(now, out);
                 }
@@ -262,7 +264,9 @@ impl Replica {
             _ => {
                 // Writes, consensus-mode reads, and per-operation
                 // transaction traffic: strict-pipelined consensus.
-                let Role::Leader(l) = &mut self.role else { return };
+                let Role::Leader(l) = &mut self.role else {
+                    return;
+                };
                 l.queue.push_back(req);
                 self.try_propose_next(now, out);
             }
@@ -277,7 +281,9 @@ impl Replica {
         let id = req.id;
         let me = self.id;
         let quiescent = {
-            let Role::Leader(l) = &mut self.role else { return };
+            let Role::Leader(l) = &mut self.role else {
+                return;
+            };
             let mut votes = l.take_early_confirms(id).unwrap_or_default();
             votes.insert(me);
             l.reads.insert(
@@ -346,7 +352,9 @@ impl Replica {
             Requeue(Request),
         }
         let disposition = {
-            let Role::Leader(l) = &mut self.role else { return };
+            let Role::Leader(l) = &mut self.role else {
+                return;
+            };
             match l.reads.get(&id) {
                 None => Disposition::Wait,
                 Some(p) if p.result.is_none() => Disposition::Wait,
@@ -376,7 +384,9 @@ impl Replica {
                 self.reply_to(id, p.result.expect("checked"), out);
             }
             Disposition::Requeue(req) => {
-                let Role::Leader(l) = &mut self.role else { return };
+                let Role::Leader(l) = &mut self.role else {
+                    return;
+                };
                 l.reads.remove(&id);
                 l.queue.push_back(req);
                 self.try_propose_next(now, out);
@@ -395,7 +405,9 @@ impl Replica {
         self.note_ballot(ballot);
         let Some(pid) = from.as_replica() else { return };
         {
-            let Role::Leader(l) = &mut self.role else { return };
+            let Role::Leader(l) = &mut self.role else {
+                return;
+            };
             if l.ballot != ballot {
                 return; // confirm for a different leadership
             }
@@ -420,7 +432,9 @@ impl Replica {
     fn tpaxos_op(&mut self, req: Request, txn: TxnId, now: Time, out: &mut Vec<Action>) {
         let key = (req.id.client, txn);
         let is_new = {
-            let Role::Leader(l) = &mut self.role else { return };
+            let Role::Leader(l) = &mut self.role else {
+                return;
+            };
             if let Some(sess) = l.txns.get(&key) {
                 // Retransmitted op: replay the cached reply.
                 if let Some((_, cached)) = sess.ops.iter().find(|(r, _)| r.id == req.id) {
@@ -472,7 +486,9 @@ impl Replica {
     ) {
         let key = (req.id.client, txn);
         let session = {
-            let Role::Leader(l) = &mut self.role else { return };
+            let Role::Leader(l) = &mut self.role else {
+                return;
+            };
             l.txns.remove(&key)
         };
         match session {
@@ -480,7 +496,9 @@ impl Replica {
                 // Stash the session for decree construction at propose time
                 // and enter the consensus pipeline: this is the *only*
                 // coordination the transaction pays for.
-                let Role::Leader(l) = &mut self.role else { return };
+                let Role::Leader(l) = &mut self.role else {
+                    return;
+                };
                 l.committing.insert(req.id, (key, sess));
                 l.queue.push_back(req);
                 self.try_propose_next(now, out);
@@ -508,7 +526,9 @@ impl Replica {
     fn tpaxos_abort(&mut self, req: Request, txn: TxnId, out: &mut Vec<Action>) {
         let key = (req.id.client, txn);
         let had = {
-            let Role::Leader(l) = &mut self.role else { return };
+            let Role::Leader(l) = &mut self.role else {
+                return;
+            };
             l.txns.remove(&key).is_some()
         };
         if had {
@@ -538,7 +558,9 @@ impl Replica {
     /// is not capped at one request per coordination round-trip.
     fn try_propose_next(&mut self, now: Time, out: &mut Vec<Action>) {
         let batch = {
-            let Role::Leader(l) = &mut self.role else { return };
+            let Role::Leader(l) = &mut self.role else {
+                return;
+            };
             if !l.quiescent() || l.queue.is_empty() {
                 return;
             }
@@ -570,7 +592,9 @@ impl Replica {
     /// the adaptive condition.
     pub(crate) fn on_batch_window_timer(&mut self, now: Time, out: &mut Vec<Action>) {
         let batch = {
-            let Role::Leader(l) = &mut self.role else { return };
+            let Role::Leader(l) = &mut self.role else {
+                return;
+            };
             if !l.quiescent() || l.queue.is_empty() {
                 l.window_armed = false;
                 return;
@@ -624,7 +648,10 @@ impl Replica {
             ballot,
             entries: vec![(instance, decree)],
         }));
-        out.push(Action::timer(TimerKind::Retransmit, self.cfg.retransmit_timeout));
+        out.push(Action::timer(
+            TimerKind::Retransmit,
+            self.cfg.retransmit_timeout,
+        ));
         // A singleton group is its own majority.
         self.check_inflight_commit(now, out);
     }
@@ -731,10 +758,15 @@ impl Replica {
         enum Outcome {
             None,
             Inflight,
-            Recovery { newly_chosen: Vec<Instance>, finished: bool },
+            Recovery {
+                newly_chosen: Vec<Instance>,
+                finished: bool,
+            },
         }
         let outcome = {
-            let Role::Leader(l) = &mut self.role else { return };
+            let Role::Leader(l) = &mut self.role else {
+                return;
+            };
             if l.ballot != ballot {
                 return; // stale ack for an older leadership of ours
             }
@@ -772,7 +804,10 @@ impl Replica {
         match outcome {
             Outcome::None => {}
             Outcome::Inflight => self.check_inflight_commit(now, out),
-            Outcome::Recovery { newly_chosen, finished } => {
+            Outcome::Recovery {
+                newly_chosen,
+                finished,
+            } => {
                 for i in newly_chosen {
                     self.log.mark_chosen(i);
                     self.stats.commits_led += 1;
@@ -792,7 +827,9 @@ impl Replica {
     fn check_inflight_commit(&mut self, now: Time, out: &mut Vec<Action>) {
         let majority = self.cfg.majority();
         let committed = {
-            let Role::Leader(l) = &mut self.role else { return };
+            let Role::Leader(l) = &mut self.role else {
+                return;
+            };
             match &l.inflight {
                 Some(inf) if inf.acks.len() >= majority => {
                     let i = inf.instance;
@@ -848,7 +885,9 @@ impl Replica {
 
     pub(crate) fn on_heartbeat_timer(&mut self, now: Time, out: &mut Vec<Action>) {
         let chosen = self.log.chosen_prefix();
-        let Role::Leader(l) = &mut self.role else { return };
+        let Role::Leader(l) = &mut self.role else {
+            return;
+        };
         l.hb_seq += 1;
         l.hb_sent_at = now;
         l.hb_acks.clear();
@@ -861,7 +900,10 @@ impl Replica {
             chosen,
             hb_seq: l.hb_seq,
         }));
-        out.push(Action::timer(TimerKind::Heartbeat, self.cfg.heartbeat_interval));
+        out.push(Action::timer(
+            TimerKind::Heartbeat,
+            self.cfg.heartbeat_interval,
+        ));
     }
 
     /// A follower granted us a lease vote for heartbeat `hb_seq`. A
@@ -878,7 +920,9 @@ impl Replica {
         let Some(pid) = from.as_replica() else { return };
         let majority = self.cfg.majority();
         let lease_dur = self.cfg.lease_dur.min(self.cfg.suspect_timeout);
-        let Role::Leader(l) = &mut self.role else { return };
+        let Role::Leader(l) = &mut self.role else {
+            return;
+        };
         if l.ballot != ballot || l.hb_seq != hb_seq {
             return; // stale ack
         }
@@ -907,7 +951,10 @@ impl Replica {
         if !entries.is_empty() {
             out.push(Action::broadcast(Msg::Accept { ballot, entries }));
         }
-        out.push(Action::timer(TimerKind::Retransmit, self.cfg.retransmit_timeout));
+        out.push(Action::timer(
+            TimerKind::Retransmit,
+            self.cfg.retransmit_timeout,
+        ));
     }
 
     // ------------------------------------------------------------------
@@ -921,7 +968,9 @@ impl Replica {
         out: &mut Vec<Action>,
     ) {
         let (ballot, entries) = {
-            let Role::Leader(l) = &mut self.role else { return };
+            let Role::Leader(l) = &mut self.role else {
+                return;
+            };
             if batch.is_empty() {
                 return;
             }
@@ -944,17 +993,14 @@ impl Replica {
             ballot,
             entries: entries.clone(),
         }));
-        out.push(Action::timer(TimerKind::Retransmit, self.cfg.retransmit_timeout));
+        out.push(Action::timer(
+            TimerKind::Retransmit,
+            self.cfg.retransmit_timeout,
+        ));
         // A singleton group commits immediately.
         if self.cfg.majority() == 1 {
             let instances: Vec<Instance> = entries.iter().map(|(i, _)| *i).collect();
-            self.handle_accepted(
-                Addr::Replica(self.id),
-                ballot,
-                &instances,
-                now,
-                out,
-            );
+            self.handle_accepted(Addr::Replica(self.id), ballot, &instances, now, out);
         }
     }
 }

@@ -327,7 +327,15 @@ impl Replica {
                 chosen_prefix,
                 accepted,
                 snapshot,
-            } => self.handle_promise(from, ballot, chosen_prefix, accepted, snapshot, now, &mut out),
+            } => self.handle_promise(
+                from,
+                ballot,
+                chosen_prefix,
+                accepted,
+                snapshot,
+                now,
+                &mut out,
+            ),
             Msg::PrepareNack { ballot, promised } => {
                 self.handle_prepare_nack(ballot, promised, now, &mut out)
             }
@@ -344,10 +352,12 @@ impl Replica {
                 }
             }
             Msg::Chosen { ballot, upto } => self.handle_chosen(ballot, upto, now, &mut out),
-            Msg::Confirm { ballot, read } => {
-                self.handle_confirm(from, ballot, read, now, &mut out)
-            }
-            Msg::Heartbeat { ballot, chosen, hb_seq } => {
+            Msg::Confirm { ballot, read } => self.handle_confirm(from, ballot, read, now, &mut out),
+            Msg::Heartbeat {
+                ballot,
+                chosen,
+                hb_seq,
+            } => {
                 self.handle_chosen(ballot, chosen, now, &mut out);
                 // Lease mode: grant the leader a lease vote by acking.
                 if self.cfg.read_mode == crate::config::ReadMode::Lease
@@ -371,6 +381,10 @@ impl Replica {
                 upto,
             } => self.handle_catchup(ballot, entries, snapshot, upto, now, &mut out),
             Msg::Reply(_) => {} // replicas never receive replies
+            // A bare replica is a single-group deployment; the envelope can
+            // only mean group 0, so unwrap it. Multi-group routing happens
+            // one layer up, in [`crate::multi::MultiReplica`].
+            Msg::Grouped { inner, .. } => return self.on_message(from, *inner, now),
         }
         out
     }
@@ -382,7 +396,10 @@ impl Replica {
             TimerKind::LeaderCheck => {
                 if matches!(self.role, Role::Follower) && self.fd.suspects(now) {
                     self.start_election(now, &mut out);
-                    out.push(Action::timer(TimerKind::LeaderCheck, self.cfg.suspect_timeout));
+                    out.push(Action::timer(
+                        TimerKind::LeaderCheck,
+                        self.cfg.suspect_timeout,
+                    ));
                 } else {
                     let next = match self.role {
                         Role::Follower => self.fd.next_check(now).max(Dur(1)),

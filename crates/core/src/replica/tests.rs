@@ -349,7 +349,8 @@ fn tentative_proposal_resurfaces_through_new_leader() {
     assert!(s
         .client_inbox
         .iter()
-        .any(|(cid, m)| *cid == ClientId(9) && matches!(m, Msg::Reply(r) if r.leader == ProcessId(1))));
+        .any(|(cid, m)| *cid == ClientId(9)
+            && matches!(m, Msg::Reply(r) if r.leader == ProcessId(1))));
 }
 
 #[test]
@@ -592,9 +593,12 @@ fn xpaxos_read_defers_behind_tentative_write() {
     let r0 = s.replicas[0].as_mut().unwrap();
     let withheld = r0.on_message(Addr::Client(ClientId(8)), Msg::Request(w), s.now);
     assert!(
-        withheld
-            .iter()
-            .any(|a| matches!(a, Action::ToAllReplicas { msg: Msg::Accept { .. } })),
+        withheld.iter().any(|a| matches!(
+            a,
+            Action::ToAllReplicas {
+                msg: Msg::Accept { .. }
+            }
+        )),
         "the write was proposed"
     );
 
@@ -610,17 +614,29 @@ fn xpaxos_read_defers_behind_tentative_write() {
     let a1 = r0.on_message(Addr::Client(ClientId(9)), Msg::Request(read.clone()), s.now);
     let a2 = r0.on_message(
         Addr::Replica(ProcessId(1)),
-        Msg::Confirm { ballot, read: read.id },
+        Msg::Confirm {
+            ballot,
+            read: read.id,
+        },
         s.now,
     );
     let a3 = r0.on_message(
         Addr::Replica(ProcessId(2)),
-        Msg::Confirm { ballot, read: read.id },
+        Msg::Confirm {
+            ballot,
+            read: read.id,
+        },
         s.now,
     );
     for a in a1.iter().chain(&a2).chain(&a3) {
         assert!(
-            !matches!(a, Action::Send { to: Addr::Client(_), msg: Msg::Reply(_) }),
+            !matches!(
+                a,
+                Action::Send {
+                    to: Addr::Client(_),
+                    msg: Msg::Reply(_)
+                }
+            ),
             "read must not be answered before the tentative write resolves"
         );
     }
@@ -630,12 +646,18 @@ fn xpaxos_read_defers_behind_tentative_write() {
     let r0 = s.replicas[0].as_mut().unwrap();
     let mut actions = r0.on_message(
         Addr::Replica(ProcessId(1)),
-        Msg::Accepted { ballot, instances: vec![instance] },
+        Msg::Accepted {
+            ballot,
+            instances: vec![instance],
+        },
         s.now,
     );
     actions.extend(r0.on_message(
         Addr::Replica(ProcessId(2)),
-        Msg::Accepted { ballot, instances: vec![instance] },
+        Msg::Accepted {
+            ballot,
+            instances: vec![instance],
+        },
         s.now,
     ));
     // The commit unblocks the deferred read, which already has its
@@ -708,7 +730,10 @@ fn confirm_outracing_read_request_is_buffered() {
     // Confirms arrive first...
     let a = r0.on_message(
         Addr::Replica(ProcessId(1)),
-        Msg::Confirm { ballot, read: read.id },
+        Msg::Confirm {
+            ballot,
+            read: read.id,
+        },
         s.now,
     );
     assert!(a.is_empty(), "nothing to do yet");
@@ -718,7 +743,10 @@ fn confirm_outracing_read_request_is_buffered() {
     assert!(
         actions.iter().any(|act| matches!(
             act,
-            Action::Send { to: Addr::Client(ClientId(5)), msg: Msg::Reply(_) }
+            Action::Send {
+                to: Addr::Client(ClientId(5)),
+                msg: Msg::Reply(_)
+            }
         )),
         "buffered early confirm must complete the read"
     );
@@ -738,7 +766,11 @@ fn stale_leader_cannot_answer_reads_after_deposition() {
     let r0 = s.replicas[0].as_mut().unwrap();
     let _ = r0.on_message(
         Addr::Replica(ProcessId(1)),
-        Msg::Prepare { ballot: higher, chosen_prefix: Instance(1), known_above: vec![] },
+        Msg::Prepare {
+            ballot: higher,
+            chosen_prefix: Instance(1),
+            known_above: vec![],
+        },
         s.now,
     );
     assert!(!s.replica(0).is_leader());
@@ -754,7 +786,13 @@ fn stale_leader_cannot_answer_reads_after_deposition() {
     let actions = r0.on_message(Addr::Client(ClientId(9)), Msg::Request(read.clone()), s.now);
     for a in &actions {
         assert!(
-            !matches!(a, Action::Send { msg: Msg::Reply(_), .. }),
+            !matches!(
+                a,
+                Action::Send {
+                    msg: Msg::Reply(_),
+                    ..
+                }
+            ),
             "a deposed leader must not answer reads"
         );
     }
@@ -839,7 +877,10 @@ fn retransmitted_tpaxos_op_replays_cached_reply_without_restaging() {
     for _ in 0..2 {
         s.enqueue(
             Addr::Client(ClientId(1)),
-            vec![Action::send(Addr::Replica(ProcessId(0)), Msg::Request(op.clone()))],
+            vec![Action::send(
+                Addr::Replica(ProcessId(0)),
+                Msg::Request(op.clone()),
+            )],
         );
         s.run();
     }
@@ -914,7 +955,10 @@ fn candidate_restarts_election_with_higher_ballot_on_timeout() {
     assert!(matches!(r1.role(), Role::Candidate(_)));
     let _dropped = r1.on_timer(TimerKind::Election, s.now);
     let b2 = r1.promised();
-    assert!(b2 > b1, "retry must outbid the previous attempt: {b1} -> {b2}");
+    assert!(
+        b2 > b1,
+        "retry must outbid the previous attempt: {b1} -> {b2}"
+    );
     assert!(matches!(r1.role(), Role::Candidate(_)));
     assert!(r1.stats.elections_started >= 2);
 }
@@ -930,7 +974,10 @@ fn duplicate_accepted_acks_do_not_double_commit() {
     let r0 = s.replicas[0].as_mut().unwrap();
     let _ = r0.on_message(
         Addr::Replica(ProcessId(1)),
-        Msg::Accepted { ballot, instances: vec![Instance(1)] },
+        Msg::Accepted {
+            ballot,
+            instances: vec![Instance(1)],
+        },
         s.now,
     );
     assert_eq!(s.replica(0).stats.commits_led, before, "no double commit");
@@ -949,6 +996,222 @@ fn heartbeats_propagate_chosen_to_slow_followers() {
     // Heartbeat on top is harmless and idempotent.
     s.fire(0, TimerKind::Heartbeat);
     assert_eq!(s.replica(1).chosen_prefix(), Instance(1));
+    s.assert_replica_states_converged();
+}
+
+// ----------------------------------------------------------------------
+// Decree batching edges. The shuttle drops timer actions, so the batch
+// window only advances when a test fires TimerKind::BatchWindow itself —
+// exactly the control these edges need.
+// ----------------------------------------------------------------------
+
+/// Queue a raw write at the leader (r0) without running the shuttle.
+fn push_write(s: &mut Shuttle, client: u64, seq: u64) -> crate::request::RequestId {
+    let id = crate::request::RequestId::new(ClientId(client), crate::types::Seq(seq));
+    let req = crate::request::Request::new(id, RequestKind::Write, Bytes::new());
+    s.queue.push_back((
+        Addr::Client(ClientId(client)),
+        Addr::Replica(ProcessId(0)),
+        Msg::Request(req),
+    ));
+    id
+}
+
+/// Every request id committed on r0, in log order — duplicates included,
+/// so callers can assert nothing was dropped or double-proposed.
+fn committed_ids(s: &Shuttle) -> Vec<crate::request::RequestId> {
+    let r = s.replica(0);
+    let mut ids = Vec::new();
+    let mut i = Instance(1);
+    while i <= r.chosen_prefix() {
+        let (_, d) = r.log.get(i).expect("chosen instance present");
+        for e in &d.entries {
+            match &e.cmd {
+                crate::command::Command::Req(req) => ids.push(req.id),
+                crate::command::Command::TxnCommit { id, .. } => ids.push(*id),
+                crate::command::Command::Noop => {}
+            }
+        }
+        i = i.next();
+    }
+    ids
+}
+
+fn batch_sizes(s: &Shuttle) -> Vec<usize> {
+    let r = s.replica(0);
+    let mut sizes = Vec::new();
+    let mut i = Instance(1);
+    while i <= r.chosen_prefix() {
+        sizes.push(r.log.get(i).expect("chosen").1.entries.len());
+        i = i.next();
+    }
+    sizes
+}
+
+#[test]
+fn queue_exactly_at_max_batch_proposes_one_full_decree() {
+    let mut cfg = cluster_cfg(3);
+    cfg.max_batch = 4;
+    let mut s = Shuttle::new(3, cfg);
+
+    // Burst of 1 + max_batch concurrent writes: the first proposes alone
+    // (pipeline free), the other four queue behind it and must come out as
+    // exactly one full decree — not 4 singletons, not split.
+    let mut expected = Vec::new();
+    for i in 0..5u64 {
+        expected.push(push_write(&mut s, 10 + i, 1));
+    }
+    s.run();
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(2));
+    assert_eq!(batch_sizes(&s), vec![1, 4]);
+
+    // last_batch is now 4 (> 1), so the adaptive window applies. A second
+    // burst that reaches exactly max_batch while the window is armed must
+    // propose immediately — `queue.len() < max_batch` no longer holds —
+    // without any BatchWindow timer ever firing (the shuttle drops them).
+    for i in 0..4u64 {
+        expected.push(push_write(&mut s, 20 + i, 1));
+    }
+    s.run();
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(3));
+    assert_eq!(batch_sizes(&s), vec![1, 4, 4]);
+
+    // Nothing dropped, nothing double-proposed.
+    let mut ids = committed_ids(&s);
+    assert_eq!(ids.len(), expected.len());
+    ids.sort();
+    expected.sort();
+    assert_eq!(ids, expected);
+    s.assert_replica_states_converged();
+}
+
+#[test]
+fn batch_window_rearm_exhaustion_flushes_the_queue() {
+    let mut cfg = cluster_cfg(3);
+    cfg.max_batch = 4;
+    let mut s = Shuttle::new(3, cfg);
+
+    // Prime last_batch = 2 so the adaptive window arms for small queues.
+    for i in 0..3u64 {
+        push_write(&mut s, 10 + i, 1);
+    }
+    s.run();
+    assert_eq!(batch_sizes(&s), vec![1, 2]);
+
+    // A lone write now arms the window instead of proposing: it waits for
+    // company that never comes.
+    let lonely = push_write(&mut s, 30, 1);
+    s.run();
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(2), "held back");
+    {
+        let Role::Leader(l) = s.replica(0).role() else {
+            panic!("r0 leads")
+        };
+        assert!(l.window_armed);
+        assert_eq!(l.window_rearms, 8);
+        assert_eq!(l.queue.len(), 1);
+    }
+
+    // Each firing below the previous batch size burns one re-arm...
+    for burns in 1..=8u32 {
+        s.fire(0, TimerKind::BatchWindow);
+        let Role::Leader(l) = s.replica(0).role() else {
+            panic!("r0 leads")
+        };
+        assert_eq!(l.window_rearms, 8 - burns);
+        assert_eq!(
+            s.replica(0).chosen_prefix(),
+            Instance(2),
+            "still waiting after {burns} re-arms"
+        );
+    }
+    // ...and with re-arms exhausted the next firing flushes the queue as an
+    // undersized decree rather than holding the request forever.
+    s.fire(0, TimerKind::BatchWindow);
+    assert_eq!(s.replica(0).chosen_prefix(), Instance(3));
+    assert_eq!(batch_sizes(&s), vec![1, 2, 1]);
+    assert_eq!(committed_ids(&s).last(), Some(&lonely));
+    {
+        let Role::Leader(l) = s.replica(0).role() else {
+            panic!("r0 leads")
+        };
+        assert!(!l.window_armed);
+        assert!(l.queue.is_empty());
+    }
+    // The request completed exactly once.
+    let ids = committed_ids(&s);
+    assert_eq!(ids.iter().filter(|id| **id == lonely).count(), 1);
+    s.assert_replica_states_converged();
+}
+
+#[test]
+fn tpaxos_commit_queued_behind_full_batch_is_neither_dropped_nor_doubled() {
+    let mut cfg = cluster_cfg(3).with_txn_mode(TxnMode::TPaxos);
+    cfg.max_batch = 2;
+    cfg.batch_window = Dur::ZERO; // window edges are covered above
+    let mut s = Shuttle::new(3, cfg);
+    let txn = TxnId(1);
+
+    // T-Paxos op: answered immediately, no coordination yet.
+    let op_id = crate::request::RequestId::new(ClientId(1), crate::types::Seq(1));
+    let op = crate::request::Request::txn_op(op_id, RequestKind::Write, txn, Bytes::new());
+    s.queue.push_back((
+        Addr::Client(ClientId(1)),
+        Addr::Replica(ProcessId(0)),
+        Msg::Request(op),
+    ));
+    s.run();
+    assert_eq!(s.replica(0).chosen_prefix(), Instance::ZERO);
+
+    // Now a burst: w1 proposes alone, w2+w3 fill a max_batch decree, and
+    // the commit request lands behind that full batch in the queue.
+    let w1 = push_write(&mut s, 11, 1);
+    let w2 = push_write(&mut s, 12, 1);
+    let w3 = push_write(&mut s, 13, 1);
+    let commit_id = crate::request::RequestId::new(ClientId(1), crate::types::Seq(2));
+    let commit = crate::request::Request::txn_commit(commit_id, txn, 1);
+    s.queue.push_back((
+        Addr::Client(ClientId(1)),
+        Addr::Replica(ProcessId(0)),
+        Msg::Request(commit),
+    ));
+    s.run();
+
+    // Three decrees: [w1], [w2, w3] (full), [commit].
+    assert_eq!(batch_sizes(&s), vec![1, 2, 1]);
+    assert_eq!(committed_ids(&s), vec![w1, w2, w3, commit_id]);
+
+    // The commit decree reconstructs the session's ops and the stash is
+    // drained — a retransmitted commit would abort, not re-propose.
+    let (_, d) = s.replica(0).log.get(Instance(3)).expect("commit decree");
+    match &d.entries[0].cmd {
+        crate::command::Command::TxnCommit { id, txn: t, ops } => {
+            assert_eq!(*id, commit_id);
+            assert_eq!(*t, txn);
+            assert_eq!(ops.len(), 1);
+            assert_eq!(ops[0].id, op_id);
+        }
+        other => panic!("expected TxnCommit, got {other:?}"),
+    }
+    {
+        let Role::Leader(l) = s.replica(0).role() else {
+            panic!("r0 leads")
+        };
+        assert!(l.committing.is_empty(), "commit stash drained");
+        assert!(l.txns.is_empty(), "session closed");
+        assert!(l.queue.is_empty());
+    }
+    // The client saw the committed transaction exactly once.
+    let commit_replies = s
+        .client_inbox
+        .iter()
+        .filter(|(c, m)| {
+            *c == ClientId(1)
+                && matches!(m, Msg::Reply(r) if r.id == commit_id
+                    && r.body == ReplyBody::TxnCommitted { txn })
+        })
+        .count();
+    assert_eq!(commit_replies, 1);
     s.assert_replica_states_converged();
 }
 

@@ -67,6 +67,15 @@ pub trait App: Send {
     /// Replace the service state with a snapshot produced by [`App::snapshot`].
     fn restore(&mut self, snap: &[u8]);
 
+    /// The shard key of `req`, for multi-group (sharded) deployments: two
+    /// requests returning the same key are guaranteed to land in the same
+    /// consensus group and therefore observe each other in a total order.
+    /// `None` means the request is keyless (or the service is unsharded)
+    /// and routes to group 0. The default keeps every service unsharded.
+    fn shard_key(&self, _req: &Request) -> Option<u64> {
+        None
+    }
+
     /// Begin staging transaction `txn` (leader only).
     fn txn_begin(&mut self, _txn: TxnId) {}
 
@@ -114,7 +123,10 @@ pub trait App: Send {
             // No ops recorded but a state change shipped: apply it against a
             // synthetic empty request.
             let dummy = Request::new(
-                crate::request::RequestId::new(crate::types::ClientId(u64::MAX), crate::types::Seq(0)),
+                crate::request::RequestId::new(
+                    crate::types::ClientId(u64::MAX),
+                    crate::types::Seq(0),
+                ),
                 crate::request::RequestKind::Write,
                 Bytes::new(),
             );

@@ -8,7 +8,9 @@ use std::fmt;
 
 /// Identifier of a service process (a replica). Replicas are numbered
 /// `0..n` within a replica group.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct ProcessId(pub u32);
 
 impl fmt::Debug for ProcessId {
@@ -24,7 +26,9 @@ impl fmt::Display for ProcessId {
 }
 
 /// Identifier of a client process.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct ClientId(pub u64);
 
 impl fmt::Debug for ClientId {
@@ -42,7 +46,19 @@ impl fmt::Display for ClientId {
 /// Per-client monotonically increasing request sequence number. Together
 /// with [`ClientId`] it uniquely identifies a request, which is what makes
 /// retransmissions idempotent (at-most-once execution).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    Debug,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Seq(pub u64);
 
 impl Seq {
@@ -56,7 +72,9 @@ impl Seq {
 /// A consensus instance number. The decree chosen by instance `i` is the
 /// `i`-th command executed by the replicated service. Instances start at 1;
 /// instance 0 is a sentinel meaning "nothing chosen yet".
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Instance(pub u64);
 
 impl Instance {
@@ -90,8 +108,60 @@ impl fmt::Display for Instance {
 
 /// Identifier of a client transaction (T-Paxos). Unique per client; the
 /// pair `(ClientId, TxnId)` is globally unique.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    Debug,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct TxnId(pub u64);
+
+/// Identifier of a consensus group in a multi-group (sharded) deployment.
+///
+/// Each group is a complete, independent instance of the replication
+/// protocol — its own log, ballot space, leader and pipeline — hosted on
+/// the same set of processes. Group 0 is the default: single-group
+/// deployments never mention any other group (and never tag messages).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// The default group (also the home of keyless/global requests).
+    pub const ZERO: GroupId = GroupId(0);
+}
+
+impl fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Map a service-level shard key hash onto one of `n_groups` consensus
+/// groups. With one group (or zero, treated as one) everything maps to
+/// [`GroupId::ZERO`].
+#[must_use]
+pub fn shard_of(key_hash: u64, n_groups: usize) -> GroupId {
+    if n_groups <= 1 {
+        GroupId::ZERO
+    } else {
+        GroupId((key_hash % n_groups as u64) as u32)
+    }
+}
 
 /// Absolute time in nanoseconds since an arbitrary epoch.
 ///
@@ -99,7 +169,9 @@ pub struct TxnId(pub u64);
 /// units; the real transport maps `std::time::Instant` onto the same type.
 /// The protocol core never reads a wall clock — it is always *told* the
 /// current time, which is what keeps it deterministic.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Time(pub u64);
 
 impl Time {
@@ -136,7 +208,9 @@ impl fmt::Debug for Time {
 ///
 /// Named `Dur` to avoid clashing with `std::time::Duration`, which the
 /// real transport converts to and from at its boundary.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Dur(pub u64);
 
 impl Dur {
@@ -344,5 +418,19 @@ mod tests {
         assert_eq!(ClientId(12).to_string(), "c12");
         assert_eq!(Instance(5).to_string(), "i5");
         assert_eq!(Addr::Replica(ProcessId(1)).to_string(), "r1");
+        assert_eq!(GroupId(2).to_string(), "g2");
+    }
+
+    #[test]
+    fn shard_of_partitions_and_degenerates() {
+        // Single group (or zero): everything routes to group 0.
+        assert_eq!(shard_of(0xdead_beef, 1), GroupId::ZERO);
+        assert_eq!(shard_of(u64::MAX, 0), GroupId::ZERO);
+        // Multi-group: simple modulo, full coverage of the group range.
+        for g in 0..4u64 {
+            assert_eq!(shard_of(g, 4), GroupId(g as u32));
+            assert_eq!(shard_of(g + 4, 4), GroupId(g as u32));
+        }
+        assert!(shard_of(u64::MAX, 8).0 < 8);
     }
 }

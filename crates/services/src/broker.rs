@@ -91,8 +91,12 @@ impl BrokerOp {
                 task: get_u64(&mut b)?,
                 units: get_u32(&mut b)?,
             }),
-            2 => Some(BrokerOp::Release { task: get_u64(&mut b)? }),
-            3 => Some(BrokerOp::Placement { task: get_u64(&mut b)? }),
+            2 => Some(BrokerOp::Release {
+                task: get_u64(&mut b)?,
+            }),
+            3 => Some(BrokerOp::Placement {
+                task: get_u64(&mut b)?,
+            }),
             4 => Some(BrokerOp::FreeUnits),
             _ => None,
         }
@@ -176,10 +180,7 @@ impl Broker {
     fn apply_op(&mut self, op: &BrokerOp, decided: Option<&str>) {
         match op {
             BrokerOp::AddResource { name, capacity } => {
-                self.resources
-                    .entry(name.clone())
-                    .or_default()
-                    .capacity += capacity;
+                self.resources.entry(name.clone()).or_default().capacity += capacity;
             }
             BrokerOp::Request { task, units } => {
                 if let Some(r) = decided {
@@ -275,7 +276,10 @@ impl App for Broker {
                 self.apply_op(&op, None);
                 // Deterministic writes replicate as themselves: backups
                 // re-derive the effect from the request alone.
-                (Bytes::from_static(b"ok"), StateUpdate::Reproduce(Bytes::new()))
+                (
+                    Bytes::from_static(b"ok"),
+                    StateUpdate::Reproduce(Bytes::new()),
+                )
             }
         }
     }
@@ -336,10 +340,14 @@ mod tests {
         for (i, cap) in [("m1", 4), ("m2", 4), ("m3", 4)] {
             exec_seeded(
                 &mut b,
-                &req(0, RequestKind::Write, &BrokerOp::AddResource {
-                    name: i.into(),
-                    capacity: cap,
-                }),
+                &req(
+                    0,
+                    RequestKind::Write,
+                    &BrokerOp::AddResource {
+                        name: i.into(),
+                        capacity: cap,
+                    },
+                ),
                 0,
             );
         }
@@ -349,7 +357,10 @@ mod tests {
     #[test]
     fn ops_roundtrip_encoding() {
         for op in [
-            BrokerOp::AddResource { name: "m".into(), capacity: 3 },
+            BrokerOp::AddResource {
+                name: "m".into(),
+                capacity: 3,
+            },
             BrokerOp::Request { task: 9, units: 2 },
             BrokerOp::Release { task: 9 },
             BrokerOp::Placement { task: 9 },
@@ -363,7 +374,11 @@ mod tests {
     fn request_allocates_and_release_frees() {
         let mut b = setup();
         assert_eq!(b.free_units(), 12);
-        let r = req(1, RequestKind::Write, &BrokerOp::Request { task: 1, units: 2 });
+        let r = req(
+            1,
+            RequestKind::Write,
+            &BrokerOp::Request { task: 1, units: 2 },
+        );
         let (reply, up) = exec_seeded(&mut b, &r, 7);
         assert!(matches!(up, StateUpdate::Reproduce(_)));
         let chosen = String::from_utf8(reply.to_vec()).unwrap();
@@ -403,7 +418,11 @@ mod tests {
         let mut leader = setup();
         let mut backup = setup();
         for task in 0..8u64 {
-            let r = req(task + 1, RequestKind::Write, &BrokerOp::Request { task, units: 1 });
+            let r = req(
+                task + 1,
+                RequestKind::Write,
+                &BrokerOp::Request { task, units: 1 },
+            );
             let (_, up) = exec_seeded(&mut leader, &r, 0xfeed + task);
             backup.apply(&r, &up);
         }
@@ -413,7 +432,11 @@ mod tests {
     #[test]
     fn infeasible_request_is_refused() {
         let mut b = setup();
-        let r = req(1, RequestKind::Write, &BrokerOp::Request { task: 1, units: 99 });
+        let r = req(
+            1,
+            RequestKind::Write,
+            &BrokerOp::Request { task: 1, units: 99 },
+        );
         let (reply, up) = exec_seeded(&mut b, &r, 1);
         assert_eq!(reply.as_ref(), NO_RESOURCE);
         assert!(up.is_none());
@@ -423,11 +446,37 @@ mod tests {
     #[test]
     fn two_choices_balances_load() {
         let mut b = Broker::new();
-        exec_seeded(&mut b, &req(0, RequestKind::Write, &BrokerOp::AddResource { name: "a".into(), capacity: 100 }), 0);
-        exec_seeded(&mut b, &req(0, RequestKind::Write, &BrokerOp::AddResource { name: "b".into(), capacity: 100 }), 0);
+        exec_seeded(
+            &mut b,
+            &req(
+                0,
+                RequestKind::Write,
+                &BrokerOp::AddResource {
+                    name: "a".into(),
+                    capacity: 100,
+                },
+            ),
+            0,
+        );
+        exec_seeded(
+            &mut b,
+            &req(
+                0,
+                RequestKind::Write,
+                &BrokerOp::AddResource {
+                    name: "b".into(),
+                    capacity: 100,
+                },
+            ),
+            0,
+        );
         let mut rng = SmallRng::seed_from_u64(5);
         for task in 0..100u64 {
-            let r = req(task, RequestKind::Write, &BrokerOp::Request { task, units: 1 });
+            let r = req(
+                task,
+                RequestKind::Write,
+                &BrokerOp::Request { task, units: 1 },
+            );
             let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
             b.execute(&r, &mut ctx);
         }
@@ -441,7 +490,15 @@ mod tests {
     #[test]
     fn snapshot_roundtrip() {
         let mut b = setup();
-        exec_seeded(&mut b, &req(1, RequestKind::Write, &BrokerOp::Request { task: 5, units: 3 }), 11);
+        exec_seeded(
+            &mut b,
+            &req(
+                1,
+                RequestKind::Write,
+                &BrokerOp::Request { task: 5, units: 3 },
+            ),
+            11,
+        );
         let snap = b.snapshot();
         let mut restored = Broker::new();
         restored.restore(&snap);

@@ -20,6 +20,7 @@
 
 use crate::codec::{get_i64, get_str, get_u32, get_u64, get_u8, put_str};
 use bytes::{BufMut, Bytes, BytesMut};
+use gridpaxos_core::client::ShardRouter;
 use gridpaxos_core::command::StateUpdate;
 use gridpaxos_core::request::{AbortReason, Request, TxnCtl};
 use gridpaxos_core::service::{App, ExecCtx};
@@ -37,6 +38,9 @@ pub enum KvOp {
     Del(String),
     /// Add `delta` to the integer value of a key (missing = 0).
     Add(String, i64),
+    /// Read all keys with the given prefix. `kind` must be `Read`.
+    /// Cross-key: refused on sharded stores (see [`CROSS_SHARD`]).
+    Scan(String),
 }
 
 impl KvOp {
@@ -63,6 +67,10 @@ impl KvOp {
                 put_str(&mut out, k);
                 out.put_i64_le(*d);
             }
+            KvOp::Scan(p) => {
+                out.put_u8(4);
+                put_str(&mut out, p);
+            }
         }
         out.freeze()
     }
@@ -75,19 +83,49 @@ impl KvOp {
             1 => Some(KvOp::Put(get_str(&mut b)?, get_str(&mut b)?)),
             2 => Some(KvOp::Del(get_str(&mut b)?)),
             3 => Some(KvOp::Add(get_str(&mut b)?, get_i64(&mut b)?)),
+            4 => Some(KvOp::Scan(get_str(&mut b)?)),
             _ => None,
+        }
+    }
+
+    /// The shard key of this op: an FNV-1a hash of the target key, so all
+    /// ops on one key land in one consensus group. `Scan` is cross-key and
+    /// has no shard key.
+    #[must_use]
+    pub fn shard_key(&self) -> Option<u64> {
+        match self {
+            KvOp::Scan(_) => None,
+            single => Some(fnv1a(single.key().as_bytes())),
         }
     }
 
     fn key(&self) -> &str {
         match self {
-            KvOp::Get(k) | KvOp::Put(k, _) | KvOp::Del(k) | KvOp::Add(k, _) => k,
+            KvOp::Get(k) | KvOp::Put(k, _) | KvOp::Del(k) | KvOp::Add(k, _) | KvOp::Scan(k) => k,
         }
     }
 
     fn is_write(&self) -> bool {
-        !matches!(self, KvOp::Get(_))
+        !matches!(self, KvOp::Get(_) | KvOp::Scan(_))
     }
+}
+
+/// FNV-1a — stable across processes (unlike `std`'s `DefaultHasher`), so
+/// clients and replicas agree on shard placement.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Client-side routing function for sharded deployments: decodes the op
+/// and hashes its key exactly as [`KvStore`]'s [`App::shard_key`] does.
+#[must_use]
+pub fn shard_router() -> ShardRouter {
+    ShardRouter::new(|req| KvOp::decode(req.op.clone()).and_then(|op| op.shard_key()))
 }
 
 /// One staged or committed mutation.
@@ -232,16 +270,36 @@ pub struct KvStore {
     durable: Staging,
     /// Leader-local staging (T-Paxos). Never snapshotted.
     volatile: Staging,
+    /// Whether this store is one shard of a multi-group deployment.
+    /// Deployment configuration, not replicated state: never snapshotted,
+    /// preserved across restore.
+    sharded: bool,
 }
 
 /// Reply payload for a missing key.
 const NOT_FOUND: &[u8] = b"\0NOT_FOUND";
+
+/// Reply payload refusing a cross-key op on a sharded store. A `Scan`
+/// would need a consistent view across consensus groups, which multi-group
+/// sharding deliberately does not provide.
+pub const CROSS_SHARD: &[u8] = b"\0CROSS_SHARD";
 
 impl KvStore {
     /// Empty store.
     #[must_use]
     pub fn new() -> KvStore {
         KvStore::default()
+    }
+
+    /// Empty store acting as one shard of a multi-group deployment:
+    /// [`App::shard_key`] reports per-key placement and cross-key ops
+    /// (`Scan`) are refused with [`CROSS_SHARD`].
+    #[must_use]
+    pub fn sharded() -> KvStore {
+        KvStore {
+            sharded: true,
+            ..KvStore::default()
+        }
     }
 
     /// Committed value of `key` (tests / examples).
@@ -301,11 +359,33 @@ impl KvStore {
         }
     }
 
+    /// Prefix scan over committed state (staged transaction writes are not
+    /// visible to scans), `key=value` per line. Sharded stores refuse: the
+    /// matching keys are spread across groups with no consistent cut.
+    fn scan_reply(&self, prefix: &str) -> Bytes {
+        if self.sharded {
+            return Bytes::from_static(CROSS_SHARD);
+        }
+        let mut out = String::new();
+        for (k, v) in self.committed.range(prefix.to_owned()..) {
+            if !k.starts_with(prefix) {
+                break;
+            }
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+        }
+        Bytes::from(out.into_bytes())
+    }
+
     /// Resolve an op to the write it implies, reading through staged state
     /// (needed by `Add`).
     fn write_of(&self, txn: Option<u64>, op: &KvOp) -> Option<(KvWrite, Bytes)> {
         match op {
-            KvOp::Get(_) => None,
+            KvOp::Get(_) | KvOp::Scan(_) => None,
             KvOp::Put(k, v) => Some((
                 KvWrite::Put(k.clone(), v.clone()),
                 Bytes::from(v.clone().into_bytes()),
@@ -386,6 +466,7 @@ impl App for KvStore {
                 Self::reply_for(self.read_through(None, &k)),
                 StateUpdate::None,
             ),
+            KvOp::Scan(p) => (self.scan_reply(&p), StateUpdate::None),
             other => {
                 // A non-transactional write still respects transaction
                 // locks: refuse to clobber a key a transaction holds.
@@ -396,7 +477,10 @@ impl App for KvStore {
                 }
                 let (w, reply) = self.write_of(None, &other).expect("write op");
                 self.apply_write(&w);
-                (reply, StateUpdate::Delta(KvDelta::ApplyWrites(vec![w]).encode()))
+                (
+                    reply,
+                    StateUpdate::Delta(KvDelta::ApplyWrites(vec![w]).encode()),
+                )
             }
         }
     }
@@ -411,7 +495,8 @@ impl App for KvStore {
                 }
             }
             StateUpdate::Full(b) => {
-                if let Some(s) = KvStore::decode_state(b.clone()) {
+                if let Some(mut s) = KvStore::decode_state(b.clone()) {
+                    s.sharded = self.sharded; // deployment config, not state
                     *self = s;
                 }
             }
@@ -442,9 +527,17 @@ impl App for KvStore {
     }
 
     fn restore(&mut self, snap: &[u8]) {
-        if let Some(s) = KvStore::decode_state(Bytes::copy_from_slice(snap)) {
+        if let Some(mut s) = KvStore::decode_state(Bytes::copy_from_slice(snap)) {
+            s.sharded = self.sharded; // deployment config, not state
             *self = s; // volatile staging cleared by construction
         }
+    }
+
+    fn shard_key(&self, req: &Request) -> Option<u64> {
+        if !self.sharded {
+            return None;
+        }
+        KvOp::decode(req.op.clone()).and_then(|op| op.shard_key())
     }
 
     fn txn_begin(&mut self, _txn: TxnId) {}
@@ -473,6 +566,7 @@ impl App for KvStore {
                 Self::reply_for(self.read_through(Some(t), &k)),
                 StateUpdate::None,
             )),
+            KvOp::Scan(p) => Ok((self.scan_reply(&p), StateUpdate::None)),
             other => {
                 let (w, reply) = self.write_of(Some(t), &other).expect("write op");
                 let staging = if durable {
@@ -541,7 +635,12 @@ mod tests {
     }
 
     fn txn_req(seq: u64, kind: RequestKind, txn: TxnId, op: &KvOp) -> Request {
-        Request::txn_op(RequestId::new(ClientId(1), Seq(seq)), kind, txn, op.encode())
+        Request::txn_op(
+            RequestId::new(ClientId(1), Seq(seq)),
+            kind,
+            txn,
+            op.encode(),
+        )
     }
 
     fn exec(store: &mut KvStore, r: &Request) -> (Bytes, StateUpdate) {
@@ -557,6 +656,7 @@ mod tests {
             KvOp::Put("k".into(), "v".into()),
             KvOp::Del("k".into()),
             KvOp::Add("k".into(), -7),
+            KvOp::Scan("k".into()),
         ] {
             assert_eq!(KvOp::decode(op.encode()), Some(op));
         }
@@ -589,9 +689,15 @@ mod tests {
     #[test]
     fn add_reads_through_and_increments() {
         let mut s = KvStore::new();
-        let (r1, _) = exec(&mut s, &req(1, RequestKind::Write, &KvOp::Add("n".into(), 5)));
+        let (r1, _) = exec(
+            &mut s,
+            &req(1, RequestKind::Write, &KvOp::Add("n".into(), 5)),
+        );
         assert_eq!(KvStore::decode_reply(&r1), Some("5".into()));
-        let (r2, _) = exec(&mut s, &req(2, RequestKind::Write, &KvOp::Add("n".into(), -2)));
+        let (r2, _) = exec(
+            &mut s,
+            &req(2, RequestKind::Write, &KvOp::Add("n".into(), -2)),
+        );
         assert_eq!(KvStore::decode_reply(&r2), Some("3".into()));
         assert_eq!(s.get("n"), Some("3"));
     }
@@ -599,7 +705,10 @@ mod tests {
     #[test]
     fn missing_key_reply_decodes_to_none() {
         let mut s = KvStore::new();
-        let (reply, _) = exec(&mut s, &req(1, RequestKind::Read, &KvOp::Get("nope".into())));
+        let (reply, _) = exec(
+            &mut s,
+            &req(1, RequestKind::Read, &KvOp::Get("nope".into())),
+        );
         assert_eq!(KvStore::decode_reply(&reply), None);
     }
 
@@ -611,12 +720,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
 
         leader.txn_begin(t);
-        for (i, op) in [
-            KvOp::Put("x".into(), "1".into()),
-            KvOp::Add("x".into(), 2),
-        ]
-        .iter()
-        .enumerate()
+        for (i, op) in [KvOp::Put("x".into(), "1".into()), KvOp::Add("x".into(), 2)]
+            .iter()
+            .enumerate()
         {
             let r = txn_req(i as u64 + 1, RequestKind::Write, t, op);
             let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
@@ -644,7 +750,11 @@ mod tests {
         let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
         let (_, up) = leader.txn_execute(t, &r, true, &mut ctx).unwrap();
         backup.apply(&r, &up); // staging record replicated
-        assert_eq!(leader.snapshot(), backup.snapshot(), "durable staging in snapshot");
+        assert_eq!(
+            leader.snapshot(),
+            backup.snapshot(),
+            "durable staging in snapshot"
+        );
 
         let commit_update = leader.txn_commit(t);
         let commit_req = Request::txn_commit(RequestId::new(ClientId(1), Seq(2)), t, 1);
@@ -658,11 +768,21 @@ mod tests {
         let mut s = KvStore::new();
         let mut rng = SmallRng::seed_from_u64(1);
         let (t1, t2) = (TxnId(1), TxnId(2));
-        let r1 = txn_req(1, RequestKind::Write, t1, &KvOp::Put("k".into(), "a".into()));
+        let r1 = txn_req(
+            1,
+            RequestKind::Write,
+            t1,
+            &KvOp::Put("k".into(), "a".into()),
+        );
         let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
         s.txn_execute(t1, &r1, false, &mut ctx).unwrap();
 
-        let r2 = txn_req(2, RequestKind::Write, t2, &KvOp::Put("k".into(), "b".into()));
+        let r2 = txn_req(
+            2,
+            RequestKind::Write,
+            t2,
+            &KvOp::Put("k".into(), "b".into()),
+        );
         let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
         assert_eq!(
             s.txn_execute(t2, &r2, false, &mut ctx).unwrap_err(),
@@ -688,7 +808,10 @@ mod tests {
         let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
         s.txn_execute(t, &r, false, &mut ctx).unwrap();
 
-        let (reply, up) = exec(&mut s, &req(2, RequestKind::Write, &KvOp::Put("k".into(), "x".into())));
+        let (reply, up) = exec(
+            &mut s,
+            &req(2, RequestKind::Write, &KvOp::Put("k".into(), "x".into())),
+        );
         assert_eq!(reply.as_ref(), b"\0LOCKED");
         assert!(up.is_none());
     }
@@ -697,7 +820,10 @@ mod tests {
     fn snapshot_restore_roundtrip_drops_volatile() {
         let mut s = KvStore::new();
         let mut rng = SmallRng::seed_from_u64(1);
-        exec(&mut s, &req(1, RequestKind::Write, &KvOp::Put("a".into(), "1".into())));
+        exec(
+            &mut s,
+            &req(1, RequestKind::Write, &KvOp::Put("a".into(), "1".into())),
+        );
         // Durable staging present.
         let t = TxnId(7);
         let r = txn_req(2, RequestKind::Write, t, &KvOp::Put("b".into(), "2".into()));
@@ -705,7 +831,12 @@ mod tests {
         s.txn_execute(t, &r, true, &mut ctx).unwrap();
         // Volatile staging present.
         let tv = TxnId(8);
-        let rv = txn_req(3, RequestKind::Write, tv, &KvOp::Put("c".into(), "3".into()));
+        let rv = txn_req(
+            3,
+            RequestKind::Write,
+            tv,
+            &KvOp::Put("c".into(), "3".into()),
+        );
         let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
         s.txn_execute(tv, &rv, false, &mut ctx).unwrap();
 
@@ -723,13 +854,102 @@ mod tests {
     }
 
     #[test]
+    fn scan_returns_prefix_matches_in_order() {
+        let mut s = KvStore::new();
+        for (k, v) in [("a:1", "x"), ("a:2", "y"), ("b:1", "z")] {
+            exec(
+                &mut s,
+                &req(1, RequestKind::Write, &KvOp::Put(k.into(), v.into())),
+            );
+        }
+        let (reply, up) = exec(&mut s, &req(2, RequestKind::Read, &KvOp::Scan("a:".into())));
+        assert!(up.is_none(), "scans are pure reads");
+        assert_eq!(reply.as_ref(), b"a:1=x\na:2=y");
+        let (empty, _) = exec(&mut s, &req(3, RequestKind::Read, &KvOp::Scan("zz".into())));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn sharded_store_refuses_scan_but_serves_single_key_ops() {
+        let mut s = KvStore::sharded();
+        let (r, _) = exec(
+            &mut s,
+            &req(1, RequestKind::Write, &KvOp::Put("k".into(), "v".into())),
+        );
+        assert_eq!(KvStore::decode_reply(&r), Some("v".into()));
+        let (reply, up) = exec(&mut s, &req(2, RequestKind::Read, &KvOp::Scan("".into())));
+        assert_eq!(reply.as_ref(), CROSS_SHARD);
+        assert!(up.is_none());
+        // Same refusal inside a transaction.
+        let t = TxnId(1);
+        let rs = txn_req(3, RequestKind::Read, t, &KvOp::Scan("".into()));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
+        let (reply, _) = s.txn_execute(t, &rs, false, &mut ctx).unwrap();
+        assert_eq!(reply.as_ref(), CROSS_SHARD);
+    }
+
+    #[test]
+    fn shard_router_matches_replica_shard_key() {
+        let sharded = KvStore::sharded();
+        let router = crate::kvstore::shard_router();
+        let ops = [
+            KvOp::Get("alpha".into()),
+            KvOp::Put("alpha".into(), "1".into()),
+            KvOp::Del("beta".into()),
+            KvOp::Add("gamma".into(), 1),
+        ];
+        for op in &ops {
+            let kind = if op.is_write() {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            };
+            let r = req(1, kind, op);
+            let k = gridpaxos_core::service::App::shard_key(&sharded, &r);
+            assert!(k.is_some());
+            assert_eq!(router.key_of(&r), k, "client and replica agree on {op:?}");
+        }
+        // All ops on the same key share a shard key; Scan has none.
+        assert_eq!(ops[0].shard_key(), ops[1].shard_key());
+        assert_eq!(KvOp::Scan("a".into()).shard_key(), None);
+        // An unsharded store reports keyless for everything.
+        let plain = KvStore::new();
+        let r = req(1, RequestKind::Read, &ops[0]);
+        assert_eq!(gridpaxos_core::service::App::shard_key(&plain, &r), None);
+    }
+
+    #[test]
+    fn restore_preserves_sharded_flag() {
+        let mut donor = KvStore::new();
+        exec(
+            &mut donor,
+            &req(1, RequestKind::Write, &KvOp::Put("a".into(), "1".into())),
+        );
+        let snap = donor.snapshot();
+        let mut s = KvStore::sharded();
+        s.restore(&snap);
+        assert_eq!(s.get("a"), Some("1"));
+        let (reply, _) = exec(&mut s, &req(2, RequestKind::Read, &KvOp::Scan("".into())));
+        assert_eq!(reply.as_ref(), CROSS_SHARD, "still sharded after restore");
+    }
+
+    #[test]
     fn txn_read_sees_own_staged_writes_only() {
         let mut s = KvStore::new();
         let mut rng = SmallRng::seed_from_u64(1);
-        exec(&mut s, &req(1, RequestKind::Write, &KvOp::Put("k".into(), "old".into())));
+        exec(
+            &mut s,
+            &req(1, RequestKind::Write, &KvOp::Put("k".into(), "old".into())),
+        );
 
         let (t1, t2) = (TxnId(1), TxnId(2));
-        let w = txn_req(2, RequestKind::Write, t1, &KvOp::Put("k".into(), "new".into()));
+        let w = txn_req(
+            2,
+            RequestKind::Write,
+            t1,
+            &KvOp::Put("k".into(), "new".into()),
+        );
         let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
         s.txn_execute(t1, &w, false, &mut ctx).unwrap();
 
@@ -741,6 +961,10 @@ mod tests {
         let other = txn_req(4, RequestKind::Read, t2, &KvOp::Get("k".into()));
         let mut ctx = ExecCtx::new(Time::ZERO, &mut rng);
         let (reply, _) = s.txn_execute(t2, &other, false, &mut ctx).unwrap();
-        assert_eq!(KvStore::decode_reply(&reply), Some("old".into()), "no dirty reads");
+        assert_eq!(
+            KvStore::decode_reply(&reply),
+            Some("old".into()),
+            "no dirty reads"
+        );
     }
 }

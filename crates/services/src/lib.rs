@@ -28,6 +28,6 @@ pub mod payload;
 pub mod scheduler;
 
 pub use broker::{Broker, BrokerOp};
-pub use kvstore::{KvOp, KvStore};
+pub use kvstore::{shard_router, KvOp, KvStore, CROSS_SHARD};
 pub use payload::{ShipMode, SizedApp};
 pub use scheduler::{SchedOp, Scheduler};

@@ -102,9 +102,13 @@ impl SchedOp {
                 priority: get_u32(&mut b)?,
             }),
             2 => Some(SchedOp::Dispatch),
-            3 => Some(SchedOp::Complete { job: get_u64(&mut b)? }),
+            3 => Some(SchedOp::Complete {
+                job: get_u64(&mut b)?,
+            }),
             4 => Some(SchedOp::QueueLen),
-            5 => Some(SchedOp::Status { job: get_u64(&mut b)? }),
+            5 => Some(SchedOp::Status {
+                job: get_u64(&mut b)?,
+            }),
             _ => None,
         }
     }
@@ -242,7 +246,14 @@ impl Scheduler {
             let priority = get_u32(&mut b)?;
             let submitted_ns = get_u64(&mut b)?;
             let arrival = get_u64(&mut b)?;
-            s.waiting.insert(j, WaitingJob { priority, submitted_ns, arrival });
+            s.waiting.insert(
+                j,
+                WaitingJob {
+                    priority,
+                    submitted_ns,
+                    arrival,
+                },
+            );
         }
         let nr = get_u32(&mut b)? as usize;
         for _ in 0..nr {
@@ -309,9 +320,7 @@ impl App for Scheduler {
                 // The time-dependent decision: what is visible *now*?
                 let decision = self
                     .pick(ctx.now.0)
-                    .and_then(|job| {
-                        self.machine_with_free_slot().cloned().map(|m| (job, m))
-                    });
+                    .and_then(|job| self.machine_with_free_slot().cloned().map(|m| (job, m)));
                 self.apply_op(&op, decision.clone(), 0);
                 let reply = match &decision {
                     None => Bytes::from_static(IDLE),
@@ -385,7 +394,14 @@ mod tests {
         let mut s = Scheduler::new();
         exec_at(
             &mut s,
-            &req(0, RequestKind::Write, &SchedOp::AddMachine { name: "m1".into(), slots: 2 }),
+            &req(
+                0,
+                RequestKind::Write,
+                &SchedOp::AddMachine {
+                    name: "m1".into(),
+                    slots: 2,
+                },
+            ),
             Time::ZERO,
         );
         s
@@ -394,8 +410,14 @@ mod tests {
     #[test]
     fn ops_roundtrip_encoding() {
         for op in [
-            SchedOp::AddMachine { name: "m".into(), slots: 2 },
-            SchedOp::Submit { job: 1, priority: 5 },
+            SchedOp::AddMachine {
+                name: "m".into(),
+                slots: 2,
+            },
+            SchedOp::Submit {
+                job: 1,
+                priority: 5,
+            },
             SchedOp::Dispatch,
             SchedOp::Complete { job: 1 },
             SchedOp::QueueLen,
@@ -409,10 +431,36 @@ mod tests {
     fn fcfs_within_priority() {
         let mut s = setup();
         let t0 = Time(1_000_000);
-        exec_at(&mut s, &req(1, RequestKind::Write, &SchedOp::Submit { job: 1, priority: 1 }), t0);
-        exec_at(&mut s, &req(2, RequestKind::Write, &SchedOp::Submit { job: 2, priority: 1 }), t0);
+        exec_at(
+            &mut s,
+            &req(
+                1,
+                RequestKind::Write,
+                &SchedOp::Submit {
+                    job: 1,
+                    priority: 1,
+                },
+            ),
+            t0,
+        );
+        exec_at(
+            &mut s,
+            &req(
+                2,
+                RequestKind::Write,
+                &SchedOp::Submit {
+                    job: 2,
+                    priority: 1,
+                },
+            ),
+            t0,
+        );
         let late = Time(t0.0 + VISIBILITY_DELAY.0 * 10);
-        let (reply, _) = exec_at(&mut s, &req(3, RequestKind::Write, &SchedOp::Dispatch), late);
+        let (reply, _) = exec_at(
+            &mut s,
+            &req(3, RequestKind::Write, &SchedOp::Dispatch),
+            late,
+        );
         assert!(reply.starts_with(b"1@"), "job 1 arrived first: {reply:?}");
     }
 
@@ -425,23 +473,59 @@ mod tests {
         let t2 = Time(t1.0 + 500_000); // 0.5 ms later
 
         let submit = |s: &mut Scheduler| {
-            exec_at(s, &req(1, RequestKind::Write, &SchedOp::Submit { job: 1, priority: 1 }), t1);
-            exec_at(s, &req(2, RequestKind::Write, &SchedOp::Submit { job: 2, priority: 9 }), t2);
+            exec_at(
+                s,
+                &req(
+                    1,
+                    RequestKind::Write,
+                    &SchedOp::Submit {
+                        job: 1,
+                        priority: 1,
+                    },
+                ),
+                t1,
+            );
+            exec_at(
+                s,
+                &req(
+                    2,
+                    RequestKind::Write,
+                    &SchedOp::Submit {
+                        job: 2,
+                        priority: 9,
+                    },
+                ),
+                t2,
+            );
         };
 
         // Fast scheduler: examines just after A becomes visible.
         let mut fast = setup();
         submit(&mut fast);
         let examine_early = Time(t1.0 + VISIBILITY_DELAY.0);
-        let (reply, _) = exec_at(&mut fast, &req(3, RequestKind::Write, &SchedOp::Dispatch), examine_early);
-        assert!(reply.starts_with(b"1@"), "early examination picks A: {reply:?}");
+        let (reply, _) = exec_at(
+            &mut fast,
+            &req(3, RequestKind::Write, &SchedOp::Dispatch),
+            examine_early,
+        );
+        assert!(
+            reply.starts_with(b"1@"),
+            "early examination picks A: {reply:?}"
+        );
 
         // Slow scheduler: examines after B is visible.
         let mut slow = setup();
         submit(&mut slow);
         let examine_late = Time(t2.0 + VISIBILITY_DELAY.0);
-        let (reply, _) = exec_at(&mut slow, &req(3, RequestKind::Write, &SchedOp::Dispatch), examine_late);
-        assert!(reply.starts_with(b"2@"), "late examination picks B: {reply:?}");
+        let (reply, _) = exec_at(
+            &mut slow,
+            &req(3, RequestKind::Write, &SchedOp::Dispatch),
+            examine_late,
+        );
+        assert!(
+            reply.starts_with(b"2@"),
+            "late examination picks B: {reply:?}"
+        );
     }
 
     #[test]
@@ -452,8 +536,20 @@ mod tests {
         let mut backup = setup();
         let t = Time(5_000_000);
         for (seq, op) in [
-            (1, SchedOp::Submit { job: 1, priority: 1 }),
-            (2, SchedOp::Submit { job: 2, priority: 9 }),
+            (
+                1,
+                SchedOp::Submit {
+                    job: 1,
+                    priority: 1,
+                },
+            ),
+            (
+                2,
+                SchedOp::Submit {
+                    job: 2,
+                    priority: 9,
+                },
+            ),
         ] {
             let r = req(seq, RequestKind::Write, &op);
             let (_, up) = exec_at(&mut leader, &r, t);
@@ -470,18 +566,71 @@ mod tests {
     fn complete_frees_the_slot() {
         let mut s = setup();
         let t = Time(1_000_000);
-        exec_at(&mut s, &req(1, RequestKind::Write, &SchedOp::Submit { job: 1, priority: 1 }), t);
-        exec_at(&mut s, &req(2, RequestKind::Write, &SchedOp::Submit { job: 2, priority: 1 }), t);
-        exec_at(&mut s, &req(3, RequestKind::Write, &SchedOp::Submit { job: 3, priority: 1 }), t);
+        exec_at(
+            &mut s,
+            &req(
+                1,
+                RequestKind::Write,
+                &SchedOp::Submit {
+                    job: 1,
+                    priority: 1,
+                },
+            ),
+            t,
+        );
+        exec_at(
+            &mut s,
+            &req(
+                2,
+                RequestKind::Write,
+                &SchedOp::Submit {
+                    job: 2,
+                    priority: 1,
+                },
+            ),
+            t,
+        );
+        exec_at(
+            &mut s,
+            &req(
+                3,
+                RequestKind::Write,
+                &SchedOp::Submit {
+                    job: 3,
+                    priority: 1,
+                },
+            ),
+            t,
+        );
         let late = Time(t.0 + VISIBILITY_DELAY.0 * 2);
-        exec_at(&mut s, &req(4, RequestKind::Write, &SchedOp::Dispatch), late);
-        exec_at(&mut s, &req(5, RequestKind::Write, &SchedOp::Dispatch), late);
+        exec_at(
+            &mut s,
+            &req(4, RequestKind::Write, &SchedOp::Dispatch),
+            late,
+        );
+        exec_at(
+            &mut s,
+            &req(5, RequestKind::Write, &SchedOp::Dispatch),
+            late,
+        );
         // Two slots used; third dispatch idles.
-        let (reply, _) = exec_at(&mut s, &req(6, RequestKind::Write, &SchedOp::Dispatch), late);
+        let (reply, _) = exec_at(
+            &mut s,
+            &req(6, RequestKind::Write, &SchedOp::Dispatch),
+            late,
+        );
         assert_eq!(reply.as_ref(), IDLE);
         // Completing one frees a slot for job 3.
-        exec_at(&mut s, &req(7, RequestKind::Write, &SchedOp::Complete { job: 1 }), late);
-        let (reply, _) = exec_at(&mut s, &req(8, RequestKind::Write, &SchedOp::Dispatch), late);
+        exec_at(
+            &mut s,
+            &req(7, RequestKind::Write, &SchedOp::Complete { job: 1 }),
+            late,
+        );
+        let (reply, _) = exec_at(
+            &mut s,
+            &req(8, RequestKind::Write, &SchedOp::Dispatch),
+            late,
+        );
         assert!(reply.starts_with(b"3@"), "{reply:?}");
     }
 
@@ -489,12 +638,27 @@ mod tests {
     fn reads_report_without_mutation() {
         let mut s = setup();
         let t = Time(1_000_000);
-        exec_at(&mut s, &req(1, RequestKind::Write, &SchedOp::Submit { job: 7, priority: 3 }), t);
+        exec_at(
+            &mut s,
+            &req(
+                1,
+                RequestKind::Write,
+                &SchedOp::Submit {
+                    job: 7,
+                    priority: 3,
+                },
+            ),
+            t,
+        );
         let before = s.clone();
         let (reply, up) = exec_at(&mut s, &req(2, RequestKind::Read, &SchedOp::QueueLen), t);
         assert_eq!(reply.as_ref(), b"1");
         assert!(up.is_none());
-        let (reply, up) = exec_at(&mut s, &req(3, RequestKind::Read, &SchedOp::Status { job: 7 }), t);
+        let (reply, up) = exec_at(
+            &mut s,
+            &req(3, RequestKind::Read, &SchedOp::Status { job: 7 }),
+            t,
+        );
         assert_eq!(reply.as_ref(), b"waiting");
         assert!(up.is_none());
         assert_eq!(s, before);
@@ -504,7 +668,18 @@ mod tests {
     fn snapshot_roundtrip() {
         let mut s = setup();
         let t = Time(1_000_000);
-        exec_at(&mut s, &req(1, RequestKind::Write, &SchedOp::Submit { job: 1, priority: 4 }), t);
+        exec_at(
+            &mut s,
+            &req(
+                1,
+                RequestKind::Write,
+                &SchedOp::Submit {
+                    job: 1,
+                    priority: 4,
+                },
+            ),
+            t,
+        );
         exec_at(
             &mut s,
             &req(2, RequestKind::Write, &SchedOp::Dispatch),

@@ -57,7 +57,8 @@ impl CpuModel {
         }
     }
 
-    /// Cost to receive and handle `msg`.
+    /// Cost to receive and handle `msg`. The group envelope is priced as
+    /// its payload — demuxing a 4-byte tag is noise next to the handling.
     #[must_use]
     pub fn recv_cost(&self, msg: &Msg) -> Dur {
         match msg {
@@ -65,6 +66,7 @@ impl CpuModel {
             Msg::Accept { entries, .. } => self
                 .coord_msg
                 .saturating_add(self.accept_entry.mul(total_entries(entries))),
+            Msg::Grouped { inner, .. } => self.recv_cost(inner),
             _ => self.coord_msg,
         }
     }
@@ -76,12 +78,18 @@ impl CpuModel {
             Msg::Accept { entries, .. } => self
                 .send
                 .saturating_add(self.accept_entry.mul(total_entries(entries))),
+            Msg::Grouped { inner, .. } => self.send_cost_one(inner),
             _ => self.send,
         }
     }
 }
 
-fn total_entries(entries: &[(gridpaxos_core::types::Instance, gridpaxos_core::command::Decree)]) -> u64 {
+fn total_entries(
+    entries: &[(
+        gridpaxos_core::types::Instance,
+        gridpaxos_core::command::Decree,
+    )],
+) -> u64 {
     entries.iter().map(|(_, d)| d.entries.len() as u64).sum()
 }
 
@@ -130,7 +138,8 @@ mod tests {
         let mut d = Decree::noop();
         for _ in 0..3 {
             let (cmd, update, reply) = entry();
-            d.entries.push(gridpaxos_core::command::DecreeEntry { cmd, update, reply });
+            d.entries
+                .push(gridpaxos_core::command::DecreeEntry { cmd, update, reply });
         }
         let small = Msg::Accept {
             ballot: Ballot::ZERO,

@@ -113,7 +113,10 @@ mod tests {
 
     #[test]
     fn normal_mean_converges() {
-        let m = LatencyModel::Normal { mean: 10.0, std: 1.0 };
+        let m = LatencyModel::Normal {
+            mean: 10.0,
+            std: 1.0,
+        };
         let mut r = rng();
         let n = 20_000;
         let total: f64 = (0..n).map(|_| m.sample(&mut r).as_millis_f64()).sum();
@@ -123,7 +126,10 @@ mod tests {
 
     #[test]
     fn normal_never_negative() {
-        let m = LatencyModel::Normal { mean: 1.0, std: 10.0 };
+        let m = LatencyModel::Normal {
+            mean: 1.0,
+            std: 10.0,
+        };
         let mut r = rng();
         for _ in 0..5000 {
             assert!(m.sample(&mut r).as_millis_f64() >= 0.0);
@@ -132,7 +138,10 @@ mod tests {
 
     #[test]
     fn lognormal_median_converges_and_tails_high() {
-        let m = LatencyModel::LogNormal { median: 40.0, sigma: 0.2 };
+        let m = LatencyModel::LogNormal {
+            median: 40.0,
+            sigma: 0.2,
+        };
         let mut r = rng();
         let n = 20_001;
         let mut xs: Vec<f64> = (0..n).map(|_| m.sample(&mut r).as_millis_f64()).collect();
@@ -145,7 +154,10 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        let m = LatencyModel::LogNormal { median: 40.0, sigma: 0.2 };
+        let m = LatencyModel::LogNormal {
+            median: 40.0,
+            sigma: 0.2,
+        };
         let a: Vec<Dur> = {
             let mut r = rng();
             (0..10).map(|_| m.sample(&mut r)).collect()

@@ -117,8 +117,18 @@ mod tests {
             measure_start: Some(Time::ZERO),
             ..Metrics::default()
         };
-        m.record_op(&req(RequestKind::Read), Dur::from_millis(1), Time(2_000_000_000), 0);
-        m.record_op(&req(RequestKind::Write), Dur::from_millis(2), Time(4_000_000_000), 1);
+        m.record_op(
+            &req(RequestKind::Read),
+            Dur::from_millis(1),
+            Time(2_000_000_000),
+            0,
+        );
+        m.record_op(
+            &req(RequestKind::Write),
+            Dur::from_millis(2),
+            Time(4_000_000_000),
+            1,
+        );
         assert_eq!(m.rtt_summary("read").n, 1);
         assert_eq!(m.rtt_summary("write").n, 1);
         assert_eq!(m.rtt_summary("original").n, 0);

@@ -39,7 +39,11 @@ impl Experiment {
             gridpaxos_core::types::Addr::Client(gridpaxos_core::types::ClientId(0)),
             gridpaxos_core::types::Addr::Replica(gridpaxos_core::types::ProcessId(0)),
         ) > 5.0;
-        let cfg = if wan { Config::wan(n) } else { Config::cluster(n) };
+        let cfg = if wan {
+            Config::wan(n)
+        } else {
+            Config::cluster(n)
+        };
         Experiment {
             cfg,
             topology,
@@ -102,14 +106,16 @@ pub fn measure_rrt_with(
     w.add_client(Box::new(OpLoop::new(kind, total)), None, CLIENT_START);
     let ok = w.run_to_completion(Time::ZERO.after(deadline));
     assert!(ok, "rrt run did not complete within the deadline");
-    w.metrics.rtt_summary(crate::metrics::kind_key(&gridpaxos_core::request::Request::new(
-        gridpaxos_core::request::RequestId::new(
-            gridpaxos_core::types::ClientId(0),
-            gridpaxos_core::types::Seq(0),
+    w.metrics.rtt_summary(crate::metrics::kind_key(
+        &gridpaxos_core::request::Request::new(
+            gridpaxos_core::request::RequestId::new(
+                gridpaxos_core::types::ClientId(0),
+                gridpaxos_core::types::Seq(0),
+            ),
+            kind,
+            bytes::Bytes::new(),
         ),
-        kind,
-        bytes::Bytes::new(),
-    )))
+    ))
 }
 
 /// Measure service throughput: `clients` concurrent closed-loop clients,
@@ -165,7 +171,10 @@ pub fn measure_txn_throughput(
         );
     }
     let ok = w.run_to_completion(Time::ZERO.after(deadline));
-    assert!(ok, "txn throughput run did not complete within the deadline");
+    assert!(
+        ok,
+        "txn throughput run did not complete within the deadline"
+    );
     let tput = w.metrics.txns_per_sec();
     (tput, w.metrics)
 }
@@ -182,7 +191,11 @@ mod tests {
             RequestKind::Original,
             200,
         );
-        let read = measure_rrt(Experiment::on(Topology::sysnet(3), 1), RequestKind::Read, 200);
+        let read = measure_rrt(
+            Experiment::on(Topology::sysnet(3), 1),
+            RequestKind::Read,
+            200,
+        );
         let write = measure_rrt(
             Experiment::on(Topology::sysnet(3), 1),
             RequestKind::Write,
@@ -198,7 +211,11 @@ mod tests {
         // Within a loose band of the paper's absolute numbers.
         assert!((0.10..0.30).contains(&orig.mean), "orig {:.3}", orig.mean);
         assert!((0.18..0.40).contains(&read.mean), "read {:.3}", read.mean);
-        assert!((0.25..0.50).contains(&write.mean), "write {:.3}", write.mean);
+        assert!(
+            (0.25..0.50).contains(&write.mean),
+            "write {:.3}",
+            write.mean
+        );
         // X-Paxos saves a meaningful fraction vs the basic protocol.
         let saving = 1.0 - read.mean / write.mean;
         assert!(saving > 0.10, "X-Paxos saving {saving:.2}");
@@ -229,7 +246,11 @@ mod tests {
     #[test]
     fn wan_spread_xpaxos_beats_consensus_reads() {
         // §4.1 configuration 3: read RRT well below write RRT.
-        let read = measure_rrt(Experiment::on(Topology::wan_spread(), 3), RequestKind::Read, 40);
+        let read = measure_rrt(
+            Experiment::on(Topology::wan_spread(), 3),
+            RequestKind::Read,
+            40,
+        );
         let write = measure_rrt(
             Experiment::on(Topology::wan_spread(), 3),
             RequestKind::Write,

@@ -5,9 +5,9 @@
 //! evaluation configurations (§4).
 
 use crate::latency::LatencyModel;
-use gridpaxos_core::types::{Addr, ClientId, Dur};
 #[cfg(test)]
 use gridpaxos_core::types::ProcessId;
+use gridpaxos_core::types::{Addr, ClientId, Dur};
 use rand::rngs::SmallRng;
 use std::collections::HashMap;
 
@@ -103,8 +103,18 @@ impl Topology {
             default_client_site: 1,
             links: Self::symmetric(
                 2,
-                LatencyModel::Uniform { lo: 0.071, hi: 0.079 }, // server↔server
-                &[(0, 1, LatencyModel::Uniform { lo: 0.078, hi: 0.086 })],
+                LatencyModel::Uniform {
+                    lo: 0.071,
+                    hi: 0.079,
+                }, // server↔server
+                &[(
+                    0,
+                    1,
+                    LatencyModel::Uniform {
+                        lo: 0.078,
+                        hi: 0.086,
+                    },
+                )],
             ),
             loss: 0.0,
             ns_per_byte: 0.8,
@@ -128,7 +138,14 @@ impl Topology {
             links: Self::symmetric(
                 2,
                 LatencyModel::Uniform { lo: 0.2, hi: 0.3 },
-                &[(0, 1, LatencyModel::LogNormal { median: 45.8, sigma: 0.004 })],
+                &[(
+                    0,
+                    1,
+                    LatencyModel::LogNormal {
+                        median: 45.8,
+                        sigma: 0.004,
+                    },
+                )],
             ),
             loss: 0.0,
             ns_per_byte: 80.0,
@@ -151,8 +168,18 @@ impl Topology {
             default_client_site: 1,
             links: Self::symmetric(
                 2,
-                LatencyModel::Uniform { lo: 0.072, hi: 0.080 },
-                &[(0, 1, LatencyModel::LogNormal { median: median_ms, sigma })],
+                LatencyModel::Uniform {
+                    lo: 0.072,
+                    hi: 0.080,
+                },
+                &[(
+                    0,
+                    1,
+                    LatencyModel::LogNormal {
+                        median: median_ms,
+                        sigma,
+                    },
+                )],
             ),
             loss: 0.0,
             ns_per_byte: 0.8,
@@ -173,7 +200,10 @@ impl Topology {
     #[must_use]
     pub fn heterogeneous_wan(n: usize, fast_ms: f64, slow_ms: f64, sigma: f64) -> Topology {
         let n_sites = n + 1;
-        let lan = LatencyModel::Uniform { lo: 0.072, hi: 0.080 };
+        let lan = LatencyModel::Uniform {
+            lo: 0.072,
+            hi: 0.080,
+        };
         let mut links = vec![vec![lan; n_sites]; n_sites];
         for (i, row) in links.iter_mut().enumerate().take(n) {
             // Leader (replica 0) and replica 1 get the fast client path.
@@ -204,7 +234,10 @@ impl Topology {
     /// 2 = UT Austin (r2), 3 = Berkeley (clients).
     #[must_use]
     pub fn wan_spread() -> Topology {
-        let jitter = |median: f64| LatencyModel::LogNormal { median, sigma: 0.01 };
+        let jitter = |median: f64| LatencyModel::LogNormal {
+            median,
+            sigma: 0.01,
+        };
         Topology {
             replica_sites: vec![0, 1, 2],
             client_sites: HashMap::new(),
@@ -238,8 +271,16 @@ mod tests {
         let t = Topology::sysnet(3);
         assert_eq!(t.n_replicas(), 3);
         let mut rng = SmallRng::seed_from_u64(1);
-        let rr = t.sample(Addr::Replica(ProcessId(0)), Addr::Replica(ProcessId(1)), &mut rng);
-        let cr = t.sample(Addr::Client(ClientId(1)), Addr::Replica(ProcessId(0)), &mut rng);
+        let rr = t.sample(
+            Addr::Replica(ProcessId(0)),
+            Addr::Replica(ProcessId(1)),
+            &mut rng,
+        );
+        let cr = t.sample(
+            Addr::Client(ClientId(1)),
+            Addr::Replica(ProcessId(0)),
+            &mut rng,
+        );
         assert!(rr.as_millis_f64() < 0.1);
         assert!(cr.as_millis_f64() < 0.1);
         // Client→replica slightly slower than replica→replica (M > m).

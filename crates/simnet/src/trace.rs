@@ -60,7 +60,6 @@ impl Trace {
     }
 
     /// Retained events, oldest first.
-    #[must_use]
     pub fn events(&self) -> impl Iterator<Item = &(Time, TraceEvent)> {
         self.ring.iter()
     }
@@ -138,8 +137,14 @@ mod tests {
     fn render_mentions_every_event_kind() {
         let mut t = Trace::new(10);
         t.record(Time(1_000_000), deliver("prepare"));
-        t.record(Time(2_000_000), TraceEvent::Crash(Addr::Replica(ProcessId(1))));
-        t.record(Time(3_000_000), TraceEvent::Recover(Addr::Replica(ProcessId(1))));
+        t.record(
+            Time(2_000_000),
+            TraceEvent::Crash(Addr::Replica(ProcessId(1))),
+        );
+        t.record(
+            Time(3_000_000),
+            TraceEvent::Recover(Addr::Replica(ProcessId(1))),
+        );
         t.record(Time(4_000_000), TraceEvent::Partition { active: true });
         let s = t.render();
         assert!(s.contains("prepare"));

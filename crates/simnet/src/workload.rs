@@ -5,11 +5,11 @@
 //! request until it receives the reply associated with the previous one."
 
 use crate::metrics::Metrics;
+use bytes::Bytes;
 use gridpaxos_core::action::Action;
 use gridpaxos_core::client::{ClientCore, CompletedOp, TxnDriver, TxnOutcome, TxnScript};
 use gridpaxos_core::request::RequestKind;
 use gridpaxos_core::types::Time;
-use bytes::Bytes;
 
 /// A client workload. The world calls [`Driver::kick`] whenever the client
 /// is idle (at start and after each completion) and forwards every

@@ -9,17 +9,18 @@
 
 use crate::cpu::CpuModel;
 use crate::metrics::Metrics;
-use crate::trace::{Trace, TraceEvent};
 use crate::topology::{SiteId, Topology};
+use crate::trace::{Trace, TraceEvent};
 use crate::workload::Driver;
 use gridpaxos_core::action::{Action, TimerKind};
-use gridpaxos_core::client::ClientCore;
+use gridpaxos_core::client::{ClientCore, ShardRouter};
 use gridpaxos_core::config::Config;
 use gridpaxos_core::msg::Msg;
+use gridpaxos_core::multi::MultiReplica;
 use gridpaxos_core::replica::Replica;
 use gridpaxos_core::service::App;
 use gridpaxos_core::storage::{MemStorage, Storage};
-use gridpaxos_core::types::{Addr, ClientId, Dur, ProcessId, Time};
+use gridpaxos_core::types::{Addr, ClientId, Dur, GroupId, ProcessId, Time};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -55,8 +56,17 @@ impl SimOpts {
 }
 
 enum Payload {
-    Deliver { from: Addr, to: Addr, msg: Msg },
-    Timer { who: Addr, kind: TimerKind, gen: u64 },
+    Deliver {
+        from: Addr,
+        to: Addr,
+        msg: Msg,
+    },
+    Timer {
+        who: Addr,
+        group: GroupId,
+        kind: TimerKind,
+        gen: u64,
+    },
     ClientStart(ClientId),
     Crash(ProcessId),
     Recover(ProcessId),
@@ -87,8 +97,9 @@ impl Ord for Scheduled {
 
 #[allow(clippy::large_enum_variant)] // n slots per world; boxing would cost a hop per event
 enum Slot {
-    Up(Replica),
-    Down(Box<dyn Storage>),
+    Up(MultiReplica),
+    /// Crashed node: each group's stable storage, in group order.
+    Down(Vec<Box<dyn Storage>>),
 }
 
 struct SimClient {
@@ -131,13 +142,15 @@ pub struct World {
     pub metrics: Metrics,
     cfg: Config,
     opts: SimOpts,
+    n_groups: usize,
+    router: Option<ShardRouter>,
     queue: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
     replicas: Vec<Slot>,
     busy_until: Vec<Time>,
     clients: HashMap<ClientId, SimClient>,
     next_client_id: u64,
-    timer_gen: HashMap<(Addr, TimerKind), u64>,
+    timer_gen: HashMap<(Addr, GroupId, TimerKind), u64>,
     rng: SmallRng,
     app_factory: Box<dyn Fn() -> Box<dyn App> + Send>,
     partitions: Vec<Partition>,
@@ -153,8 +166,23 @@ impl World {
         opts: SimOpts,
         app_factory: Box<dyn Fn() -> Box<dyn App> + Send>,
     ) -> World {
+        World::new_sharded(cfg, opts, app_factory, 1, None)
+    }
+
+    /// Build a multi-group world: every node hosts `n_groups` independent
+    /// consensus groups, and clients added via [`World::add_client`] route
+    /// requests with `router`. With `n_groups == 1` this is exactly
+    /// [`World::new`] — the same protocol, byte for byte.
+    pub fn new_sharded(
+        cfg: Config,
+        opts: SimOpts,
+        app_factory: Box<dyn Fn() -> Box<dyn App> + Send>,
+        n_groups: usize,
+        router: Option<ShardRouter>,
+    ) -> World {
         let n = opts.topology.n_replicas();
         assert_eq!(cfg.n, n, "config and topology disagree on group size");
+        assert!(n_groups >= 1, "need at least one group");
         let mut w = World {
             now: Time::ZERO,
             metrics: Metrics::default(),
@@ -168,16 +196,20 @@ impl World {
             rng: SmallRng::seed_from_u64(opts.seed),
             cfg,
             opts,
+            n_groups,
+            router,
             app_factory,
             partitions: Vec::new(),
             trace: None,
         };
         for i in 0..n {
-            let r = Replica::new(
+            let mut storages = || Box::new(MemStorage::new()) as Box<dyn Storage>;
+            let r = MultiReplica::new(
                 ProcessId(i as u32),
                 w.cfg.clone(),
-                (w.app_factory)(),
-                Box::new(MemStorage::new()),
+                n_groups,
+                w.app_factory.as_ref(),
+                &mut storages,
                 w.opts.seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64),
                 Time::ZERO,
             );
@@ -210,7 +242,8 @@ impl World {
         if let Some(s) = site {
             self.opts.topology.client_sites.insert(id, s);
         }
-        let core = ClientCore::new(id, self.cfg.n, self.opts.client_retry);
+        let core = ClientCore::new(id, self.cfg.n, self.opts.client_retry)
+            .with_groups(self.n_groups, self.router.clone());
         self.clients.insert(id, SimClient { core, driver });
         self.schedule(start_at, Payload::ClientStart(id));
         id
@@ -228,7 +261,11 @@ impl World {
 
     /// Partition the replica group between `from` and `until`.
     pub fn partition(&mut self, groups: Vec<Vec<u32>>, from: Time, until: Time) {
-        self.partitions.push(Partition { groups, from, until });
+        self.partitions.push(Partition {
+            groups,
+            from,
+            until,
+        });
     }
 
     /// Start recording a bounded event trace (see [`Trace::render`]).
@@ -246,13 +283,21 @@ impl World {
     // Inspection
     // ------------------------------------------------------------------
 
-    /// The current leader, if exactly one replica believes it leads.
+    /// The current group-0 leader, if exactly one replica believes it
+    /// leads that group. (Single-group worlds: *the* leader.)
     #[must_use]
     pub fn leader(&self) -> Option<ProcessId> {
+        self.leader_of(GroupId::ZERO)
+    }
+
+    /// The current leader of group `g`, if exactly one replica believes it
+    /// leads that group.
+    #[must_use]
+    pub fn leader_of(&self, g: GroupId) -> Option<ProcessId> {
         let mut found = None;
         for (i, s) in self.replicas.iter().enumerate() {
-            if let Slot::Up(r) = s {
-                if r.is_leader() {
+            if let Slot::Up(m) = s {
+                if m.group(g).is_some_and(Replica::is_leader) {
                     if found.is_some() {
                         return None; // transiently two self-believed leaders
                     }
@@ -263,26 +308,50 @@ impl World {
         found
     }
 
-    /// Access a live replica.
+    /// Access a live replica's group-0 state machine.
     #[must_use]
     pub fn replica(&self, p: ProcessId) -> Option<&Replica> {
+        self.group_replica(p, GroupId::ZERO)
+    }
+
+    /// Access one group of a live replica.
+    #[must_use]
+    pub fn group_replica(&self, p: ProcessId, g: GroupId) -> Option<&Replica> {
         match &self.replicas[p.0 as usize] {
-            Slot::Up(r) => Some(r),
+            Slot::Up(m) => m.group(g),
             Slot::Down(_) => None,
         }
     }
 
-    /// `(chosen_prefix, service_snapshot)` of every live replica — equal
-    /// across replicas when the system is quiescent and caught up.
+    /// `(chosen_prefix, service_snapshot)` of every live replica's group 0
+    /// — equal across replicas when the system is quiescent and caught up.
     #[must_use]
     pub fn replica_states(&self) -> Vec<(gridpaxos_core::types::Instance, bytes::Bytes)> {
+        self.replica_states_of(GroupId::ZERO)
+    }
+
+    /// `(chosen_prefix, service_snapshot)` of group `g` on every live
+    /// replica.
+    #[must_use]
+    pub fn replica_states_of(
+        &self,
+        g: GroupId,
+    ) -> Vec<(gridpaxos_core::types::Instance, bytes::Bytes)> {
         self.replicas
             .iter()
             .filter_map(|s| match s {
-                Slot::Up(r) => Some((r.chosen_prefix(), r.service_snapshot())),
+                Slot::Up(m) => m
+                    .group(g)
+                    .map(|r| (r.chosen_prefix(), r.service_snapshot())),
                 Slot::Down(_) => None,
             })
             .collect()
+    }
+
+    /// Number of consensus groups per node.
+    #[must_use]
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
     }
 
     /// Whether every client workload has finished.
@@ -332,11 +401,23 @@ impl World {
         match ev.payload {
             Payload::Deliver { from, to, msg } => {
                 if let Some(tr) = &mut self.trace {
-                    tr.record(self.now, TraceEvent::Deliver { from, to, tag: msg.tag() });
+                    tr.record(
+                        self.now,
+                        TraceEvent::Deliver {
+                            from,
+                            to,
+                            tag: msg.tag(),
+                        },
+                    );
                 }
                 self.deliver(from, to, msg)
             }
-            Payload::Timer { who, kind, gen } => self.fire_timer(who, kind, gen),
+            Payload::Timer {
+                who,
+                group,
+                kind,
+                gen,
+            } => self.fire_timer(who, group, kind, gen),
             Payload::ClientStart(c) => {
                 let start = self.now;
                 self.metrics.measure_start =
@@ -349,11 +430,10 @@ impl World {
                 }
                 let slot = &mut self.replicas[p.0 as usize];
                 if let Slot::Up(_) = slot {
-                    let Slot::Up(r) = std::mem::replace(slot, Slot::Down(Box::new(MemStorage::new())))
-                    else {
+                    let Slot::Up(m) = std::mem::replace(slot, Slot::Down(Vec::new())) else {
                         unreachable!()
                     };
-                    *slot = Slot::Down(r.into_storage());
+                    *slot = Slot::Down(m.into_storages());
                 }
             }
             Payload::Recover(p) => {
@@ -361,25 +441,24 @@ impl World {
                     tr.record(self.now, TraceEvent::Recover(Addr::Replica(p)));
                 }
                 let slot = &mut self.replicas[p.0 as usize];
-                if let Slot::Down(_) = slot {
-                    let Slot::Down(storage) =
-                        std::mem::replace(slot, Slot::Down(Box::new(MemStorage::new())))
-                    else {
-                        unreachable!()
-                    };
-                    let mut r = Replica::recover(
+                if let Slot::Down(storages) = slot {
+                    if storages.is_empty() {
+                        return true; // double-recover of a node that never crashed
+                    }
+                    let storages = std::mem::take(storages);
+                    let mut m = MultiReplica::recover(
                         p,
                         self.cfg.clone(),
-                        (self.app_factory)(),
-                        storage,
+                        storages,
+                        self.app_factory.as_ref(),
                         self.opts
                             .seed
                             .wrapping_add(0xec0e4)
                             .wrapping_add(u64::from(p.0)),
                         self.now,
                     );
-                    let actions = r.on_start(self.now);
-                    *slot = Slot::Up(r);
+                    let actions = m.on_start(self.now);
+                    self.replicas[p.0 as usize] = Slot::Up(m);
                     self.busy_until[p.0 as usize] = self.now;
                     let now = self.now;
                     self.dispatch(Addr::Replica(p), actions, now);
@@ -407,21 +486,25 @@ impl World {
             Addr::Replica(p) => {
                 let idx = p.0 as usize;
                 // Single-server queueing: wait until the process is free.
+                // One node's groups share the node's CPU — the multicore
+                // speedup of a real sharded node is modeled by the bench's
+                // per-group topology scaling, not here.
                 let busy = self.busy_until[idx];
                 if busy > self.now {
                     self.schedule(busy, Payload::Deliver { from, to, msg });
                     return;
                 }
-                let Slot::Up(r) = &mut self.replicas[idx] else {
+                let Slot::Up(m) = &mut self.replicas[idx] else {
                     return; // crashed: message lost
                 };
                 *self.metrics.msgs_by_tag.entry(msg.tag()).or_default() += 1;
                 let recv_cost = self.opts.cpu.recv_cost(&msg);
-                let actions = r.on_message(from, msg, self.now);
-                let done_at = self
-                    .now
-                    .after(recv_cost)
-                    .after(actions_send_cost(&self.opts.cpu, &actions, self.cfg.n));
+                let actions = m.on_message(from, msg, self.now);
+                let done_at = self.now.after(recv_cost).after(actions_send_cost(
+                    &self.opts.cpu,
+                    &actions,
+                    self.cfg.n,
+                ));
                 self.busy_until[idx] = done_at;
                 self.dispatch(to, actions, done_at);
             }
@@ -432,12 +515,13 @@ impl World {
                     return;
                 };
                 let (done, actions) = cl.core.on_message(msg, now);
-                self.dispatch(to, actions, now);
+                self.dispatch_flat(to, actions, now);
                 if let Some(done) = done {
                     let Some(cl) = self.clients.get_mut(&c) else {
                         return;
                     };
-                    self.metrics.record_op(&done.req, done.rtt, now, done.retries);
+                    self.metrics
+                        .record_op(&done.req, done.rtt, now, done.retries);
                     cl.driver.on_complete(&done, now, &mut self.metrics);
                     self.kick_client(c);
                 }
@@ -445,8 +529,8 @@ impl World {
         }
     }
 
-    fn fire_timer(&mut self, who: Addr, kind: TimerKind, gen: u64) {
-        if self.timer_gen.get(&(who, kind)).copied() != Some(gen) {
+    fn fire_timer(&mut self, who: Addr, group: GroupId, kind: TimerKind, gen: u64) {
+        if self.timer_gen.get(&(who, group, kind)).copied() != Some(gen) {
             return; // cancelled or replaced
         }
         match who {
@@ -454,16 +538,24 @@ impl World {
                 let idx = p.0 as usize;
                 let busy = self.busy_until[idx];
                 if busy > self.now {
-                    self.schedule(busy, Payload::Timer { who, kind, gen });
+                    self.schedule(
+                        busy,
+                        Payload::Timer {
+                            who,
+                            group,
+                            kind,
+                            gen,
+                        },
+                    );
                     return;
                 }
-                let Slot::Up(r) = &mut self.replicas[idx] else {
+                let Slot::Up(m) = &mut self.replicas[idx] else {
                     return;
                 };
-                let actions = r.on_timer(kind, self.now);
-                let done_at = self
-                    .now
-                    .after(actions_send_cost(&self.opts.cpu, &actions, self.cfg.n));
+                let actions = m.on_timer(group, kind, self.now);
+                let done_at =
+                    self.now
+                        .after(actions_send_cost(&self.opts.cpu, &actions, self.cfg.n));
                 self.busy_until[idx] = done_at;
                 self.dispatch(who, actions, done_at);
             }
@@ -473,7 +565,7 @@ impl World {
                     return;
                 };
                 let actions = cl.core.on_timer(kind, now);
-                self.dispatch(who, actions, now);
+                self.dispatch_flat(who, actions, now);
             }
         }
     }
@@ -487,12 +579,19 @@ impl World {
             return;
         }
         if let Some(actions) = cl.driver.kick(&mut cl.core, now) {
-            self.dispatch(Addr::Client(c), actions, now);
+            self.dispatch_flat(Addr::Client(c), actions, now);
         }
     }
 
-    fn dispatch(&mut self, from: Addr, actions: Vec<Action>, depart: Time) {
-        for a in actions {
+    /// Dispatch untagged actions (clients, which run no per-group state):
+    /// their timers key under group 0.
+    fn dispatch_flat(&mut self, from: Addr, actions: Vec<Action>, depart: Time) {
+        let tagged = actions.into_iter().map(|a| (GroupId::ZERO, a)).collect();
+        self.dispatch(from, tagged, depart);
+    }
+
+    fn dispatch(&mut self, from: Addr, actions: Vec<(GroupId, Action)>, depart: Time) {
+        for (g, a) in actions {
             match a {
                 Action::Send { to, msg } => self.send_one(from, to, msg, depart),
                 Action::ToAllReplicas { msg } => {
@@ -504,13 +603,21 @@ impl World {
                     }
                 }
                 Action::SetTimer { kind, after } => {
-                    let gen = self.timer_gen.entry((from, kind)).or_insert(0);
+                    let gen = self.timer_gen.entry((from, g, kind)).or_insert(0);
                     *gen += 1;
                     let gen = *gen;
-                    self.schedule(depart.after(after), Payload::Timer { who: from, kind, gen });
+                    self.schedule(
+                        depart.after(after),
+                        Payload::Timer {
+                            who: from,
+                            group: g,
+                            kind,
+                            gen,
+                        },
+                    );
                 }
                 Action::CancelTimer { kind } => {
-                    *self.timer_gen.entry((from, kind)).or_insert(0) += 1;
+                    *self.timer_gen.entry((from, g, kind)).or_insert(0) += 1;
                 }
             }
         }
@@ -539,16 +646,20 @@ impl World {
 }
 
 /// Total CPU cost of emitting every message in `actions`.
-fn actions_send_cost(cpu: &CpuModel, actions: &[Action], n: usize) -> gridpaxos_core::types::Dur {
+fn actions_send_cost(
+    cpu: &CpuModel,
+    actions: &[(GroupId, Action)],
+    n: usize,
+) -> gridpaxos_core::types::Dur {
     let mut total = gridpaxos_core::types::Dur::ZERO;
-    for a in actions {
+    for (_, a) in actions {
         match a {
             Action::Send { msg, .. } => {
                 total = total.saturating_add(cpu.send_cost_one(msg));
             }
             Action::ToAllReplicas { msg } => {
-                total = total
-                    .saturating_add(cpu.send_cost_one(msg).mul(n.saturating_sub(1) as u64));
+                total =
+                    total.saturating_add(cpu.send_cost_one(msg).mul(n.saturating_sub(1) as u64));
             }
             _ => {}
         }
@@ -657,6 +768,86 @@ mod tests {
         assert!(rendered.contains("RECOVER"));
         assert!(rendered.contains("request"));
         assert!(rendered.contains("accept"));
+    }
+
+    #[test]
+    fn sharded_world_partitions_writes_across_groups() {
+        // Two groups, routed on the first payload byte. Each group must
+        // choose its own writes, converge independently, and elect its
+        // rotated bootstrap leader.
+        let cfg = Config::cluster(3);
+        let opts = SimOpts::for_topology(Topology::sysnet(3), 21);
+        let router = ShardRouter::new(|req| req.op.first().map(|b| u64::from(*b)));
+        let mut w = World::new_sharded(
+            cfg,
+            opts,
+            Box::new(|| Box::new(NoopApp::new())),
+            2,
+            Some(router),
+        );
+        w.add_client(
+            Box::new(OpLoop::with_payload(
+                RequestKind::Write,
+                20,
+                bytes::Bytes::from_static(&[0]),
+            )),
+            None,
+            START,
+        );
+        w.add_client(
+            Box::new(OpLoop::with_payload(
+                RequestKind::Write,
+                20,
+                bytes::Bytes::from_static(&[1]),
+            )),
+            None,
+            START,
+        );
+        assert!(w.run_to_completion(DEADLINE));
+        assert_eq!(w.metrics.completed_ops, 40);
+
+        // Rotated bootstrap leadership: group 0 led by r0, group 1 by r1.
+        assert_eq!(w.leader_of(GroupId(0)), Some(ProcessId(0)));
+        assert_eq!(w.leader_of(GroupId(1)), Some(ProcessId(1)));
+
+        // Let in-flight chosen notifications settle, then check per-group
+        // convergence and that both groups did real work.
+        let settle = w.now.after(Dur::from_millis(500));
+        w.run_until(settle);
+        for g in [GroupId(0), GroupId(1)] {
+            let states = w.replica_states_of(g);
+            assert_eq!(states.len(), 3);
+            assert!(
+                states.windows(2).all(|s| s[0] == s[1]),
+                "group {g} replicas diverged: {states:?}"
+            );
+            assert!(states[0].0 .0 >= 1, "group {g} chose nothing");
+        }
+    }
+
+    #[test]
+    fn sharded_world_crash_recover_preserves_all_groups() {
+        let cfg = Config::cluster(3);
+        let opts = SimOpts::for_topology(Topology::sysnet(3), 22);
+        let router = ShardRouter::new(|req| req.op.first().map(|b| u64::from(*b)));
+        let mut w = World::new_sharded(
+            cfg,
+            opts,
+            Box::new(|| Box::new(NoopApp::new())),
+            2,
+            Some(router),
+        );
+        w.crash_at(ProcessId(2), Time(Dur::from_millis(50).0));
+        w.recover_at(ProcessId(2), Time(Dur::from_millis(150).0));
+        w.run_until(Time(Dur::from_millis(100).0));
+        assert!(w.group_replica(ProcessId(2), GroupId(1)).is_none());
+        w.run_until(Time(Dur::from_millis(200).0));
+        for g in [GroupId(0), GroupId(1)] {
+            assert!(
+                w.group_replica(ProcessId(2), g).is_some(),
+                "group {g} must come back"
+            );
+        }
     }
 
     #[test]

@@ -79,8 +79,8 @@ impl FileStorage {
                             break; // corrupt record: treat as torn tail
                         }
                     }
-                    Ok(None) => break,   // clean EOF
-                    Err(_) => break,      // torn tail
+                    Ok(None) => break, // clean EOF
+                    Err(_) => break,   // torn tail
                 }
             }
         }

@@ -10,7 +10,10 @@
 //!   checkpoints ([`fstorage`]), making deployments crash-recoverable,
 //! * event loops mapping wall-clock time onto the core's logical clock
 //!   ([`node`]): threaded [`node::ReplicaNode`]s and a blocking
-//!   [`node::SyncClient`].
+//!   [`node::SyncClient`],
+//! * multi-group (sharded) nodes hosting one replica state machine per
+//!   consensus group behind a single endpoint, with per-group execution
+//!   threads ([`shard`]).
 //!
 //! The protocol code running here is byte-for-byte the same as under the
 //! `gridpaxos-simnet` simulator — that is the point of the sans-io design.
@@ -22,11 +25,13 @@ pub mod framing;
 pub mod fstorage;
 pub mod inproc;
 pub mod node;
+pub mod shard;
 pub mod tcp;
 pub mod wire;
 
 pub use fstorage::FileStorage;
 pub use inproc::{Hub, HubEndpoint};
 pub use node::{spawn_replica, RecvResult, ReplicaNode, SyncClient, Transport};
+pub use shard::{spawn_sharded_node, GroupPort, ShardedNode, ShardedTcpCluster};
 pub use tcp::{TcpCluster, TcpNode};
 pub use wire::{decode_msg, encode_msg, encode_to_bytes, WireError};

@@ -145,9 +145,7 @@ impl<T: Transport> ReplicaNode<T> {
             let wait = self
                 .timers
                 .peek()
-                .map(|Reverse((due, _, _))| {
-                    Duration::from_nanos(due.saturating_sub(self.now().0))
-                })
+                .map(|Reverse((due, _, _))| Duration::from_nanos(due.saturating_sub(self.now().0)))
                 .unwrap_or(MAX_WAIT)
                 .min(MAX_WAIT);
             match self.transport.recv_timeout(wait) {
@@ -209,7 +207,8 @@ impl<T: Transport> SyncClient<T> {
                 Action::Send { to, msg } => self.transport.send(to, msg),
                 Action::ToAllReplicas { msg } => {
                     for i in 0..self.n {
-                        self.transport.send(Addr::Replica(ProcessId(i as u32)), msg.clone());
+                        self.transport
+                            .send(Addr::Replica(ProcessId(i as u32)), msg.clone());
                     }
                 }
                 Action::SetTimer {

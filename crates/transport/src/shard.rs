@@ -1,0 +1,359 @@
+//! Sharded (multi-group) deployment over any [`Transport`].
+//!
+//! A node hosts `G` independent replica state machines — one consensus
+//! group each — behind a single transport endpoint. A demux thread owns
+//! the real transport: inbound frames are routed to the destination
+//! group's channel by their [`Msg::Grouped`] envelope (bare messages go to
+//! group 0), and outbound messages from every group drain through a shared
+//! channel, so the `Transport` needs no `Sync` bound. Each group runs its
+//! own [`crate::node::ReplicaNode`] event loop on its own thread, giving
+//! per-group parallel execution on multicore nodes — the throughput lever
+//! the sharding extension exists for.
+
+use crate::node::{spawn_replica, RecvResult, SyncClient, Transport};
+use crate::tcp::TcpNode;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gridpaxos_core::client::{ClientCore, ShardRouter};
+use gridpaxos_core::config::Config;
+use gridpaxos_core::msg::Msg;
+use gridpaxos_core::multi::{group_config, group_seed};
+use gridpaxos_core::replica::Replica;
+use gridpaxos_core::service::App;
+use gridpaxos_core::storage::{MemStorage, Storage};
+use gridpaxos_core::types::{Addr, ClientId, Dur, GroupId, ProcessId, Time};
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the demux thread blocks per receive before draining the
+/// outbound queue again. Bounds the extra latency a queued outbound
+/// message can see.
+const DEMUX_TICK: Duration = Duration::from_millis(1);
+
+/// The [`Transport`] facade handed to one group's replica event loop:
+/// receives that group's demuxed messages, tags everything it sends with
+/// the group envelope (when the node is actually multi-group).
+pub struct GroupPort {
+    group: GroupId,
+    n_groups: usize,
+    local: Addr,
+    rx: Receiver<(Addr, Msg)>,
+    out: Sender<(Addr, Msg)>,
+}
+
+impl Transport for GroupPort {
+    fn send(&self, to: Addr, msg: Msg) {
+        debug_assert!(
+            !matches!(msg, Msg::Grouped { .. }),
+            "replicas never emit pre-wrapped messages"
+        );
+        let msg = if self.n_groups > 1 {
+            Msg::Grouped {
+                group: self.group,
+                inner: Box::new(msg),
+            }
+        } else {
+            msg
+        };
+        let _ = self.out.send((to, msg));
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> RecvResult {
+        match self.rx.recv_timeout(timeout) {
+            Ok((from, msg)) => RecvResult::Msg(from, msg),
+            Err(RecvTimeoutError::Timeout) => RecvResult::Timeout,
+            Err(RecvTimeoutError::Disconnected) => RecvResult::Closed,
+        }
+    }
+
+    fn local_addr(&self) -> Addr {
+        self.local
+    }
+}
+
+/// Join handles for one sharded node.
+pub struct ShardedNode {
+    /// One replica event-loop thread per group, in group order.
+    pub replicas: Vec<std::thread::JoinHandle<Replica>>,
+    /// The demux thread (exits once `stop` is raised or the transport
+    /// closes).
+    pub router: std::thread::JoinHandle<()>,
+}
+
+impl ShardedNode {
+    /// Join all threads, returning the per-group replicas.
+    pub fn join(self) -> Vec<Replica> {
+        let replicas = self
+            .replicas
+            .into_iter()
+            .map(|h| h.join().expect("replica thread panicked"))
+            .collect();
+        let _ = self.router.join();
+        replicas
+    }
+}
+
+/// Spawn a node hosting `group_replicas` (group `g` at index `g`) behind
+/// `transport`. All replicas must carry the same [`ProcessId`] — they are
+/// the same node's share of `G` different consensus groups.
+pub fn spawn_sharded_node<T: Transport + 'static>(
+    group_replicas: Vec<Replica>,
+    transport: T,
+    stop: Arc<AtomicBool>,
+) -> ShardedNode {
+    let n_groups = group_replicas.len();
+    assert!(n_groups >= 1, "need at least one group");
+    let local = Addr::Replica(group_replicas[0].id());
+    let (out_tx, out_rx) = unbounded::<(Addr, Msg)>();
+    let mut group_txs = Vec::with_capacity(n_groups);
+    let mut replicas = Vec::with_capacity(n_groups);
+    for (gi, replica) in group_replicas.into_iter().enumerate() {
+        assert_eq!(
+            Addr::Replica(replica.id()),
+            local,
+            "one node hosts one process id across all groups"
+        );
+        let (tx, rx) = unbounded();
+        group_txs.push(tx);
+        let port = GroupPort {
+            group: GroupId(gi as u32),
+            n_groups,
+            local,
+            rx,
+            out: out_tx.clone(),
+        };
+        replicas.push(spawn_replica(replica, port, Arc::clone(&stop)));
+    }
+
+    let router = std::thread::Builder::new()
+        .name(format!("gp-demux-{local}"))
+        .spawn(move || {
+            loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Ship everything the groups queued for the wire.
+                while let Ok((to, msg)) = out_rx.try_recv() {
+                    transport.send(to, msg);
+                }
+                match transport.recv_timeout(DEMUX_TICK) {
+                    RecvResult::Msg(from, Msg::Grouped { group, inner }) => {
+                        // Unknown group: drop (a peer from a differently
+                        // sized deployment).
+                        if let Some(tx) = group_txs.get(group.0 as usize) {
+                            let _ = tx.send((from, *inner));
+                        }
+                    }
+                    RecvResult::Msg(from, msg) => {
+                        let _ = group_txs[0].send((from, msg));
+                    }
+                    RecvResult::Timeout => {}
+                    RecvResult::Closed => break,
+                }
+            }
+            // Final drain so shutdown doesn't strand queued replies.
+            while let Ok((to, msg)) = out_rx.try_recv() {
+                transport.send(to, msg);
+            }
+        })
+        .expect("spawn demux thread");
+
+    ShardedNode { replicas, router }
+}
+
+/// A whole multi-group replica cluster over loopback TCP: `cfg.n` nodes,
+/// each hosting `n_groups` replica state machines.
+pub struct ShardedTcpCluster {
+    /// Listen addresses of the replica nodes.
+    pub addrs: HashMap<ProcessId, SocketAddr>,
+    stop: Arc<AtomicBool>,
+    nodes: Vec<ShardedNode>,
+    n: usize,
+    n_groups: usize,
+    router: Option<ShardRouter>,
+    next_client: AtomicU64,
+}
+
+impl ShardedTcpCluster {
+    /// Launch the cluster on ephemeral loopback ports with in-memory
+    /// storage. `router` is handed to every client created via
+    /// [`ShardedTcpCluster::client`]; with `None` all requests route to
+    /// group 0.
+    pub fn launch(
+        cfg: Config,
+        n_groups: usize,
+        app_factory: impl Fn() -> Box<dyn App> + Send + Sync,
+        router: Option<ShardRouter>,
+    ) -> io::Result<ShardedTcpCluster> {
+        let n = cfg.n;
+        let mut addrs = HashMap::new();
+        let mut pending = Vec::new();
+        for i in 0..n {
+            let id = ProcessId(i as u32);
+            let (node, bound) =
+                TcpNode::bind_replica(id, "127.0.0.1:0".parse().unwrap(), HashMap::new())?;
+            addrs.insert(id, bound);
+            pending.push((id, node));
+        }
+        for (_, node) in &mut pending {
+            node.peers = addrs.clone();
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut nodes = Vec::new();
+        for (id, transport) in pending {
+            let group_replicas = (0..n_groups)
+                .map(|gi| {
+                    let g = GroupId(gi as u32);
+                    Replica::new(
+                        id,
+                        group_config(&cfg, g),
+                        app_factory(),
+                        Box::new(MemStorage::new()) as Box<dyn Storage>,
+                        group_seed(0xace0 + u64::from(id.0), g),
+                        Time::ZERO,
+                    )
+                })
+                .collect();
+            nodes.push(spawn_sharded_node(
+                group_replicas,
+                transport,
+                Arc::clone(&stop),
+            ));
+        }
+        Ok(ShardedTcpCluster {
+            addrs,
+            stop,
+            nodes,
+            n,
+            n_groups,
+            router,
+            // Unique across incarnations: replicas' dedup tables outlive
+            // any single client.
+            next_client: AtomicU64::new(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(1)
+                    | 1,
+            ),
+        })
+    }
+
+    /// Number of consensus groups per node.
+    #[must_use]
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
+    }
+
+    /// Create a blocking shard-aware client connected to the whole group.
+    #[must_use]
+    pub fn client(&self) -> SyncClient<TcpNode> {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        let node = TcpNode::client(id, self.addrs.clone());
+        let core = ClientCore::new(id, self.n, Dur::from_millis(500))
+            .with_groups(self.n_groups, self.router.clone());
+        SyncClient::new(core, node, self.n)
+    }
+
+    /// Stop everything and join, returning each node's per-group replicas
+    /// (`result[node][group]`).
+    pub fn shutdown(self) -> Vec<Vec<Replica>> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.nodes.into_iter().map(ShardedNode::join).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inproc::Hub;
+    use bytes::Bytes;
+    use gridpaxos_core::request::{ReplyBody, RequestKind};
+    use gridpaxos_core::service::NoopApp;
+
+    /// Shard on the first payload byte.
+    fn byte_router() -> ShardRouter {
+        ShardRouter::new(|req| req.op.first().map(|b| u64::from(*b)))
+    }
+
+    fn noop_factory() -> Box<dyn App> {
+        Box::new(NoopApp::new())
+    }
+
+    #[test]
+    fn sharded_hub_cluster_serves_both_groups() {
+        let cfg = Config::cluster(3);
+        let n_groups = 2;
+        let hub = Hub::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut nodes = Vec::new();
+        for i in 0..cfg.n {
+            let id = ProcessId(i as u32);
+            let group_replicas = (0..n_groups)
+                .map(|gi| {
+                    let g = GroupId(gi as u32);
+                    Replica::new(
+                        id,
+                        group_config(&cfg, g),
+                        noop_factory(),
+                        Box::new(MemStorage::new()) as Box<dyn Storage>,
+                        group_seed(7 + u64::from(id.0), g),
+                        Time::ZERO,
+                    )
+                })
+                .collect();
+            let endpoint = hub.endpoint(Addr::Replica(id));
+            nodes.push(spawn_sharded_node(
+                group_replicas,
+                endpoint,
+                Arc::clone(&stop),
+            ));
+        }
+
+        let cid = ClientId(400);
+        let core = ClientCore::new(cid, cfg.n, Dur::from_millis(200))
+            .with_groups(n_groups, Some(byte_router()));
+        let mut client = SyncClient::new(core, hub.endpoint(Addr::Client(cid)), cfg.n);
+
+        // Even first byte → group 0, odd → group 1: both must serve.
+        for key in [0u8, 1, 2, 3] {
+            let body = client
+                .call(RequestKind::Write, Bytes::copy_from_slice(&[key]))
+                .expect("write completes");
+            assert!(matches!(body, ReplyBody::Ok(_)), "got {body:?}");
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        let per_node: Vec<Vec<Replica>> = nodes.into_iter().map(ShardedNode::join).collect();
+        // Each group chose exactly its two writes somewhere; group logs are
+        // independent, so per-group chosen prefixes agree across nodes.
+        for g in 0..n_groups {
+            let prefixes: Vec<_> = per_node.iter().map(|rs| rs[g].chosen_prefix()).collect();
+            assert!(
+                prefixes.iter().all(|p| p.0 >= 1),
+                "group {g} chose nothing: {prefixes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_tcp_cluster_round_trips() {
+        let cluster =
+            ShardedTcpCluster::launch(Config::cluster(3), 2, noop_factory, Some(byte_router()))
+                .expect("launch");
+        let mut client = cluster.client();
+        for key in [0u8, 1, 2, 3, 4, 5] {
+            let body = client
+                .call(RequestKind::Write, Bytes::copy_from_slice(&[key]))
+                .expect("write completes");
+            assert!(matches!(body, ReplyBody::Ok(_)), "got {body:?}");
+        }
+        let per_node = cluster.shutdown();
+        assert_eq!(per_node.len(), 3);
+        assert!(per_node.iter().all(|rs| rs.len() == 2));
+    }
+}

@@ -31,7 +31,7 @@ pub struct TcpNode {
     /// Open outbound writers by peer address.
     conns: Arc<Mutex<HashMap<Addr, Sender<Bytes>>>>,
     /// Listen addresses of the replicas (for dialing).
-    peers: HashMap<ProcessId, SocketAddr>,
+    pub(crate) peers: HashMap<ProcessId, SocketAddr>,
 }
 
 impl TcpNode {

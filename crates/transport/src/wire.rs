@@ -11,8 +11,10 @@ use gridpaxos_core::command::{
     AcceptedEntry, Command, Decree, DecreeEntry, DedupEntry, SnapshotBlob, StateUpdate,
 };
 use gridpaxos_core::msg::Msg;
-use gridpaxos_core::request::{AbortReason, Reply, ReplyBody, Request, RequestId, RequestKind, TxnCtl};
-use gridpaxos_core::types::{Addr, ClientId, Instance, ProcessId, Seq, TxnId};
+use gridpaxos_core::request::{
+    AbortReason, Reply, ReplyBody, Request, RequestId, RequestKind, TxnCtl,
+};
+use gridpaxos_core::types::{Addr, ClientId, GroupId, Instance, ProcessId, Seq, TxnId};
 
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,7 +105,10 @@ fn get_opt<T>(buf: &mut Bytes, dec: impl FnOnce(&mut Bytes) -> Result<T>) -> Res
     match get_u8(buf)? {
         0 => Ok(None),
         1 => Ok(Some(dec(buf)?)),
-        tag => Err(WireError::BadTag { what: "option", tag }),
+        tag => Err(WireError::BadTag {
+            what: "option",
+            tag,
+        }),
     }
 }
 
@@ -196,7 +201,10 @@ fn get_kind(buf: &mut Bytes) -> Result<RequestKind> {
         0 => Ok(RequestKind::Read),
         1 => Ok(RequestKind::Write),
         2 => Ok(RequestKind::Original),
-        tag => Err(WireError::BadTag { what: "request_kind", tag }),
+        tag => Err(WireError::BadTag {
+            what: "request_kind",
+            tag,
+        }),
     }
 }
 
@@ -220,13 +228,20 @@ fn put_txn_ctl(out: &mut BytesMut, t: &TxnCtl) {
 
 fn get_txn_ctl(buf: &mut Bytes) -> Result<TxnCtl> {
     match get_u8(buf)? {
-        0 => Ok(TxnCtl::Op { txn: TxnId(get_u64(buf)?) }),
+        0 => Ok(TxnCtl::Op {
+            txn: TxnId(get_u64(buf)?),
+        }),
         1 => Ok(TxnCtl::Commit {
             txn: TxnId(get_u64(buf)?),
             n_ops: get_u32(buf)?,
         }),
-        2 => Ok(TxnCtl::Abort { txn: TxnId(get_u64(buf)?) }),
-        tag => Err(WireError::BadTag { what: "txn_ctl", tag }),
+        2 => Ok(TxnCtl::Abort {
+            txn: TxnId(get_u64(buf)?),
+        }),
+        tag => Err(WireError::BadTag {
+            what: "txn_ctl",
+            tag,
+        }),
     }
 }
 
@@ -260,7 +275,10 @@ fn get_abort_reason(buf: &mut Bytes) -> Result<AbortReason> {
         1 => Ok(AbortReason::LeaderSwitch),
         2 => Ok(AbortReason::Conflict),
         3 => Ok(AbortReason::Unsupported),
-        tag => Err(WireError::BadTag { what: "abort_reason", tag }),
+        tag => Err(WireError::BadTag {
+            what: "abort_reason",
+            tag,
+        }),
     }
 }
 
@@ -286,13 +304,18 @@ fn put_reply_body(out: &mut BytesMut, b: &ReplyBody) {
 fn get_reply_body(buf: &mut Bytes) -> Result<ReplyBody> {
     match get_u8(buf)? {
         0 => Ok(ReplyBody::Ok(get_bytes(buf)?)),
-        1 => Ok(ReplyBody::TxnCommitted { txn: TxnId(get_u64(buf)?) }),
+        1 => Ok(ReplyBody::TxnCommitted {
+            txn: TxnId(get_u64(buf)?),
+        }),
         2 => Ok(ReplyBody::TxnAborted {
             txn: TxnId(get_u64(buf)?),
             reason: get_abort_reason(buf)?,
         }),
         3 => Ok(ReplyBody::Empty),
-        tag => Err(WireError::BadTag { what: "reply_body", tag }),
+        tag => Err(WireError::BadTag {
+            what: "reply_body",
+            tag,
+        }),
     }
 }
 
@@ -320,7 +343,10 @@ fn get_state_update(buf: &mut Bytes) -> Result<StateUpdate> {
         1 => Ok(StateUpdate::Full(get_bytes(buf)?)),
         2 => Ok(StateUpdate::Delta(get_bytes(buf)?)),
         3 => Ok(StateUpdate::Reproduce(get_bytes(buf)?)),
-        tag => Err(WireError::BadTag { what: "state_update", tag }),
+        tag => Err(WireError::BadTag {
+            what: "state_update",
+            tag,
+        }),
     }
 }
 
@@ -349,7 +375,10 @@ fn get_command(buf: &mut Bytes) -> Result<Command> {
             txn: TxnId(get_u64(buf)?),
             ops: get_vec(buf, get_request)?,
         }),
-        tag => Err(WireError::BadTag { what: "command", tag }),
+        tag => Err(WireError::BadTag {
+            what: "command",
+            tag,
+        }),
     }
 }
 
@@ -489,7 +518,11 @@ pub fn encode_msg(msg: &Msg, out: &mut BytesMut) {
             put_ballot(out, ballot);
             put_request_id(out, read);
         }
-        Msg::Heartbeat { ballot, chosen, hb_seq } => {
+        Msg::Heartbeat {
+            ballot,
+            chosen,
+            hb_seq,
+        } => {
             out.put_u8(10);
             put_ballot(out, ballot);
             put_instance(out, chosen);
@@ -515,6 +548,15 @@ pub fn encode_msg(msg: &Msg, out: &mut BytesMut) {
             put_vec(out, entries, put_inst_decree);
             put_opt(out, snapshot, put_snapshot);
             put_instance(out, upto);
+        }
+        Msg::Grouped { group, inner } => {
+            debug_assert!(
+                !matches!(**inner, Msg::Grouped { .. }),
+                "group envelopes must not nest"
+            );
+            out.put_u8(14);
+            out.put_u32_le(group.0);
+            encode_msg(inner, out);
         }
     }
 }
@@ -572,13 +614,30 @@ pub fn decode_msg(buf: &mut Bytes) -> Result<Msg> {
             ballot: get_ballot(buf)?,
             hb_seq: get_u64(buf)?,
         }),
-        11 => Ok(Msg::CatchUpReq { have: get_instance(buf)? }),
+        11 => Ok(Msg::CatchUpReq {
+            have: get_instance(buf)?,
+        }),
         12 => Ok(Msg::CatchUp {
             ballot: get_ballot(buf)?,
             entries: get_vec(buf, get_inst_decree)?,
             snapshot: get_opt(buf, get_snapshot)?,
             upto: get_instance(buf)?,
         }),
+        14 => {
+            let group = GroupId(get_u32(buf)?);
+            let inner = decode_msg(buf)?;
+            if matches!(inner, Msg::Grouped { .. }) {
+                // Envelopes never nest; a nested tag is corruption.
+                return Err(WireError::BadTag {
+                    what: "nested grouped",
+                    tag: 14,
+                });
+            }
+            Ok(Msg::Grouped {
+                group,
+                inner: Box::new(inner),
+            })
+        }
         tag => Err(WireError::BadTag { what: "msg", tag }),
     }
 }
@@ -639,6 +698,32 @@ mod tests {
         ));
     }
 
+    /// A realistic incremental state update: the kind of tagged,
+    /// length-prefixed key/value records a service delta actually carries
+    /// (cf. the kvstore's delta codec), so truncation sweeps cross several
+    /// nested length prefixes of varying sizes.
+    fn realistic_delta() -> Bytes {
+        let mut d = BytesMut::new();
+        for (i, (key, val)) in [
+            (&b"user:1042"[..], &b"{\"balance\":3141,\"v\":17}"[..]),
+            (&b"session:9f"[..], &b""[..]),
+            (
+                &b"k"[..],
+                &b"a-longer-value-with-some-entropy-0123456789"[..],
+            ),
+        ]
+        .iter()
+        .enumerate()
+        {
+            d.put_u8(i as u8); // record tag
+            d.put_u32_le(key.len() as u32);
+            d.put_slice(key);
+            d.put_u32_le(val.len() as u32);
+            d.put_slice(val);
+        }
+        d.freeze()
+    }
+
     #[test]
     fn decode_rejects_truncation_everywhere() {
         let msg = Msg::Promise {
@@ -653,7 +738,7 @@ mod tests {
                         RequestKind::Write,
                         Bytes::from_static(b"payload"),
                     )),
-                    StateUpdate::Delta(Bytes::from_static(b"delta")),
+                    StateUpdate::Delta(realistic_delta()),
                     ReplyBody::Ok(Bytes::from_static(b"ok")),
                 ),
             }],
@@ -679,12 +764,55 @@ mod tests {
 
     #[test]
     fn addr_roundtrip() {
-        for a in [Addr::Replica(ProcessId(7)), Addr::Client(ClientId(u64::MAX))] {
+        for a in [
+            Addr::Replica(ProcessId(7)),
+            Addr::Client(ClientId(u64::MAX)),
+        ] {
             let mut out = BytesMut::new();
             put_addr(&mut out, &a);
             let mut b = out.freeze();
             assert_eq!(get_addr(&mut b).unwrap(), a);
         }
+    }
+
+    #[test]
+    fn grouped_envelope_roundtrips() {
+        let inner = Msg::Request(Request::new(
+            RequestId::new(ClientId(11), Seq(3)),
+            RequestKind::Write,
+            Bytes::from_static(b"sharded-op"),
+        ));
+        let msg = Msg::Grouped {
+            group: GroupId(7),
+            inner: Box::new(inner),
+        };
+        assert_eq!(roundtrip(&msg), msg);
+
+        // Truncation sweep across the envelope too.
+        let full = encode_to_bytes(&msg);
+        for cut in 0..full.len() {
+            let mut b = full.slice(0..cut);
+            assert!(decode_msg(&mut b).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn nested_grouped_envelope_is_rejected() {
+        // Hand-encode tag 14 wrapping tag 14: the decoder must refuse.
+        let mut out = BytesMut::new();
+        out.put_u8(14);
+        out.put_u32_le(1);
+        out.put_u8(14);
+        out.put_u32_le(2);
+        encode_msg(&Msg::CatchUpReq { have: Instance(0) }, &mut out);
+        let mut b = out.freeze();
+        assert!(matches!(
+            decode_msg(&mut b),
+            Err(WireError::BadTag {
+                what: "nested grouped",
+                tag: 14
+            })
+        ));
     }
 
     #[test]
@@ -727,8 +855,10 @@ mod tests {
     fn arb_txn_ctl() -> impl Strategy<Value = TxnCtl> {
         prop_oneof![
             any::<u64>().prop_map(|t| TxnCtl::Op { txn: TxnId(t) }),
-            (any::<u64>(), any::<u32>())
-                .prop_map(|(t, n)| TxnCtl::Commit { txn: TxnId(t), n_ops: n }),
+            (any::<u64>(), any::<u32>()).prop_map(|(t, n)| TxnCtl::Commit {
+                txn: TxnId(t),
+                n_ops: n
+            }),
             any::<u64>().prop_map(|t| TxnCtl::Abort { txn: TxnId(t) }),
         ]
     }
@@ -801,10 +931,7 @@ mod tests {
         (
             any::<u64>(),
             arb_bytes(),
-            proptest::collection::vec(
-                (any::<u64>(), any::<u64>(), arb_reply_body()),
-                0..4,
-            ),
+            proptest::collection::vec((any::<u64>(), any::<u64>(), arb_reply_body()), 0..4),
         )
             .prop_map(|(u, app, d)| SnapshotBlob {
                 upto: Instance(u),
@@ -843,10 +970,7 @@ mod tests {
             (
                 arb_ballot(),
                 any::<u64>(),
-                proptest::collection::vec(
-                    (any::<u64>(), arb_ballot(), arb_decree()),
-                    0..3
-                ),
+                proptest::collection::vec((any::<u64>(), arb_ballot(), arb_decree()), 0..3),
                 proptest::option::of(arb_snapshot())
             )
                 .prop_map(|(b, p, acc, snap)| Msg::Promise {
@@ -870,29 +994,30 @@ mod tests {
                     ballot: b,
                     entries: es.into_iter().map(|(i, d)| (Instance(i), d)).collect(),
                 }),
-            (
-                arb_ballot(),
-                proptest::collection::vec(any::<u64>(), 0..5)
-            )
-                .prop_map(|(b, is)| Msg::Accepted {
+            (arb_ballot(), proptest::collection::vec(any::<u64>(), 0..5)).prop_map(|(b, is)| {
+                Msg::Accepted {
                     ballot: b,
                     instances: is.into_iter().map(Instance).collect(),
-                }),
-            (arb_ballot(), arb_ballot())
-                .prop_map(|(b, p)| Msg::AcceptNack { ballot: b, promised: p }),
+                }
+            }),
+            (arb_ballot(), arb_ballot()).prop_map(|(b, p)| Msg::AcceptNack {
+                ballot: b,
+                promised: p
+            }),
             (arb_ballot(), any::<u64>()).prop_map(|(b, u)| Msg::Chosen {
                 ballot: b,
                 upto: Instance(u)
             }),
-            (arb_ballot(), arb_request_id())
-                .prop_map(|(b, r)| Msg::Confirm { ballot: b, read: r }),
+            (arb_ballot(), arb_request_id()).prop_map(|(b, r)| Msg::Confirm { ballot: b, read: r }),
             (arb_ballot(), any::<u64>(), any::<u64>()).prop_map(|(b, c, h)| Msg::Heartbeat {
                 ballot: b,
                 chosen: Instance(c),
                 hb_seq: h,
             }),
-            (arb_ballot(), any::<u64>())
-                .prop_map(|(b, h)| Msg::HeartbeatAck { ballot: b, hb_seq: h }),
+            (arb_ballot(), any::<u64>()).prop_map(|(b, h)| Msg::HeartbeatAck {
+                ballot: b,
+                hb_seq: h
+            }),
             any::<u64>().prop_map(|h| Msg::CatchUpReq { have: Instance(h) }),
             (
                 arb_ballot(),
@@ -905,6 +1030,32 @@ mod tests {
                     entries: es.into_iter().map(|(i, d)| (Instance(i), d)).collect(),
                     snapshot: snap,
                     upto: Instance(u),
+                }),
+            // Group envelope around the message shapes that actually cross
+            // the wire enveloped in multi-group deployments.
+            (
+                any::<u32>(),
+                prop_oneof![
+                    arb_request().prop_map(Msg::Request),
+                    (arb_request_id(), any::<u32>(), arb_reply_body()).prop_map(|(id, l, body)| {
+                        Msg::Reply(Reply {
+                            id,
+                            leader: ProcessId(l),
+                            body,
+                        })
+                    }),
+                    (arb_ballot(), any::<u64>(), any::<u64>()).prop_map(|(b, c, h)| {
+                        Msg::Heartbeat {
+                            ballot: b,
+                            chosen: Instance(c),
+                            hb_seq: h,
+                        }
+                    }),
+                ]
+            )
+                .prop_map(|(g, inner)| Msg::Grouped {
+                    group: GroupId(g),
+                    inner: Box::new(inner),
                 }),
         ]
     }

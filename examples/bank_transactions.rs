@@ -98,7 +98,10 @@ fn main() {
     // the client's explicit abort request path.
     let outcome = carol
         .run_txn(TxnScript {
-            ops: vec![(RequestKind::Write, KvOp::Add("alice".into(), -1000).encode())],
+            ops: vec![(
+                RequestKind::Write,
+                KvOp::Add("alice".into(), -1000).encode(),
+            )],
         })
         .expect("txn finishes");
     println!("carol's big withdrawal committed? {outcome:?}");
@@ -110,5 +113,8 @@ fn main() {
     let replicas: Vec<Replica> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     let snaps: Vec<_> = replicas.iter().map(|r| r.service_snapshot()).collect();
     assert!(snaps.windows(2).all(|w| w[0] == w[1]), "replicas diverged");
-    println!("all replicas agree after {} instances", replicas[0].chosen_prefix());
+    println!(
+        "all replicas agree after {} instances",
+        replicas[0].chosen_prefix()
+    );
 }

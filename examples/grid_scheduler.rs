@@ -23,11 +23,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn req(seq: u64, kind: RequestKind, op: &SchedOp) -> gridpaxos::core::request::Request {
-    gridpaxos::core::request::Request::new(
-        RequestId::new(ClientId(1), Seq(seq)),
-        kind,
-        op.encode(),
-    )
+    gridpaxos::core::request::Request::new(RequestId::new(ClientId(1), Seq(seq)), kind, op.encode())
 }
 
 fn demonstrate_divergence() {
@@ -48,9 +44,30 @@ fn demonstrate_divergence() {
     let run = |examine_at: Time| -> String {
         let mut s = Scheduler::new();
         let mut rng = SmallRng::seed_from_u64(1);
-        let add = req(1, RequestKind::Write, &SchedOp::AddMachine { name: "m".into(), slots: 1 });
-        let a = req(2, RequestKind::Write, &SchedOp::Submit { job: 1, priority: 1 });
-        let b = req(3, RequestKind::Write, &SchedOp::Submit { job: 2, priority: 9 });
+        let add = req(
+            1,
+            RequestKind::Write,
+            &SchedOp::AddMachine {
+                name: "m".into(),
+                slots: 1,
+            },
+        );
+        let a = req(
+            2,
+            RequestKind::Write,
+            &SchedOp::Submit {
+                job: 1,
+                priority: 1,
+            },
+        );
+        let b = req(
+            3,
+            RequestKind::Write,
+            &SchedOp::Submit {
+                job: 2,
+                priority: 9,
+            },
+        );
         let dispatch = req(4, RequestKind::Write, &SchedOp::Dispatch);
         exec(&mut s, &mut rng, &add, Time::ZERO);
         exec(&mut s, &mut rng, &a, t1);
@@ -63,7 +80,10 @@ fn demonstrate_divergence() {
     let slow = run(Time(t2.0 + VISIBILITY_DELAY.0)); // examines late
     println!("  fast scheduler (examines early): dispatches {fast}");
     println!("  slow scheduler (examines late):  dispatches {slow}");
-    assert_ne!(fast, slow, "the same request sequence produced different schedules");
+    assert_ne!(
+        fast, slow,
+        "the same request sequence produced different schedules"
+    );
     println!("  -> same requests, different outcomes: replication must ship decisions\n");
 }
 
@@ -117,17 +137,30 @@ fn main() {
     let mut world = World::new(cfg, opts, Box::new(|| Box::new(Scheduler::new())));
 
     let mut steps = vec![
-        SchedOp::AddMachine { name: "worker-1".into(), slots: 2 },
-        SchedOp::AddMachine { name: "worker-2".into(), slots: 2 },
+        SchedOp::AddMachine {
+            name: "worker-1".into(),
+            slots: 2,
+        },
+        SchedOp::AddMachine {
+            name: "worker-2".into(),
+            slots: 2,
+        },
     ];
     for job in 0..6u64 {
-        steps.push(SchedOp::Submit { job, priority: (job % 3) as u32 });
+        steps.push(SchedOp::Submit {
+            job,
+            priority: (job % 3) as u32,
+        });
     }
     for _ in 0..4 {
         steps.push(SchedOp::Dispatch);
     }
     world.add_client(
-        Box::new(SchedulerWorkload { steps, next: 0, outstanding: false }),
+        Box::new(SchedulerWorkload {
+            steps,
+            next: 0,
+            outstanding: false,
+        }),
         None,
         Time(Dur::from_millis(200).0),
     );

@@ -109,13 +109,11 @@ fn main() {
                 })
                 .collect();
             match ops {
-                Some(ops) if !ops.is_empty() => {
-                    match client.run_txn(TxnScript { ops }) {
-                        Some(TxnOutcome::Committed) => println!("committed"),
-                        Some(TxnOutcome::Aborted(r)) => println!("aborted: {r:?}"),
-                        None => println!("error: transaction timed out"),
-                    }
-                }
+                Some(ops) if !ops.is_empty() => match client.run_txn(TxnScript { ops }) {
+                    Some(TxnOutcome::Committed) => println!("committed"),
+                    Some(TxnOutcome::Aborted(r)) => println!("aborted: {r:?}"),
+                    None => println!("error: transaction timed out"),
+                },
                 _ => println!("parse error (txn put K V ; add K N ; ...)"),
             }
         } else {

@@ -78,13 +78,19 @@ fn main() {
         }
         i += 1;
     }
-    let (Some(id), Some(listen)) = (id, listen) else { usage() };
+    let (Some(id), Some(listen)) = (id, listen) else {
+        usage()
+    };
     if peers.is_empty() {
         usage();
     }
     let n = peers.len();
 
-    let mut cfg = if wan { Config::wan(n) } else { Config::cluster(n) };
+    let mut cfg = if wan {
+        Config::wan(n)
+    } else {
+        Config::cluster(n)
+    };
     if tpaxos {
         cfg.txn_mode = TxnMode::TPaxos;
     }
@@ -119,10 +125,24 @@ fn main() {
                 && storage.load().accepted.is_empty()
                 && storage.load().checkpoint.is_none();
             if fresh {
-                Replica::new(ProcessId(id), cfg, Box::new(KvStore::new()), Box::new(storage), seed, Time::ZERO)
+                Replica::new(
+                    ProcessId(id),
+                    cfg,
+                    Box::new(KvStore::new()),
+                    Box::new(storage),
+                    seed,
+                    Time::ZERO,
+                )
             } else {
                 eprintln!("gridpaxos-server r{id}: recovering from {dir}");
-                Replica::recover(ProcessId(id), cfg, Box::new(KvStore::new()), Box::new(storage), seed, Time::ZERO)
+                Replica::recover(
+                    ProcessId(id),
+                    cfg,
+                    Box::new(KvStore::new()),
+                    Box::new(storage),
+                    seed,
+                    Time::ZERO,
+                )
             }
         }
         None => Replica::new(

@@ -28,8 +28,7 @@ fn launch(dirs: &[PathBuf]) -> TcpCluster {
         || Box::new(KvStore::new()),
         move |p: ProcessId| {
             Box::new(
-                FileStorage::open_with_sync(&dirs[p.0 as usize], false)
-                    .expect("open file storage"),
+                FileStorage::open_with_sync(&dirs[p.0 as usize], false).expect("open file storage"),
             )
         },
     )

@@ -1,6 +1,7 @@
 //! Failure-handling integration tests: leader crashes, replica recovery,
 //! catch-up, and T-Paxos leader-switch semantics (§3.6).
 
+use bytes::Bytes;
 use gridpaxos::core::prelude::*;
 use gridpaxos::simnet::workload::{OpLoop, TxnLoop};
 use gridpaxos::simnet::{SimOpts, Topology, World};
@@ -70,7 +71,11 @@ fn crashed_leader_recovers_as_follower_and_catches_up() {
 fn double_leader_crash_is_survived() {
     let mut w = world(4, Config::cluster(3));
     for _ in 0..4 {
-        w.add_client(Box::new(OpLoop::new(RequestKind::Write, 10_000)), None, START);
+        w.add_client(
+            Box::new(OpLoop::new(RequestKind::Write, 10_000)),
+            None,
+            START,
+        );
     }
     // Crash the bootstrap leader, then whoever is likely to succeed it.
     w.crash_at(ProcessId(0), Time(Dur::from_millis(500).0));
@@ -178,9 +183,98 @@ fn minority_crash_in_five_replica_group_is_transparent() {
 }
 
 #[test]
+fn sharded_group_leader_crash_is_isolated_to_its_group() {
+    // Four consensus groups over three nodes; group g's bootstrap leader
+    // is node g mod 3, so crashing node 0 decapitates groups 0 and 3 while
+    // groups 1 and 2 keep their leaders on the surviving nodes.
+    let n_groups = 4usize;
+    let router = ShardRouter::new(|req: &Request| req.op.first().map(|b| u64::from(*b)));
+    let opts = SimOpts::for_topology(Topology::sysnet(3), 10);
+    let mut w = World::new_sharded(
+        Config::cluster(3),
+        opts,
+        Box::new(|| Box::new(NoopApp::new())),
+        n_groups,
+        Some(router),
+    );
+    for g in 0..n_groups as u8 {
+        for _ in 0..2 {
+            w.add_client(
+                Box::new(OpLoop::with_payload(
+                    RequestKind::Write,
+                    4000,
+                    Bytes::from(vec![g]),
+                )),
+                None,
+                START,
+            );
+        }
+    }
+    let crash = Time(Dur::from_millis(600).0);
+    w.crash_at(ProcessId(0), crash);
+
+    // Just inside the suspect window after the crash: group 0 has no
+    // leader yet, but the groups led by surviving nodes keep choosing.
+    w.run_until(crash);
+    let chosen_at_crash: Vec<_> = (1..3u32)
+        .map(|g| {
+            w.group_replica(ProcessId(1), GroupId(g))
+                .unwrap()
+                .chosen_prefix()
+        })
+        .collect();
+    w.run_until(Time(crash.0 + Dur::from_millis(30).0));
+    assert_eq!(
+        w.leader_of(GroupId(0)),
+        None,
+        "group 0 is leaderless during the suspect window"
+    );
+    for (i, g) in (1..3u32).enumerate() {
+        let chosen = w
+            .group_replica(ProcessId(1), GroupId(g))
+            .unwrap()
+            .chosen_prefix();
+        assert!(
+            chosen > chosen_at_crash[i],
+            "group {g} kept serving through the crash"
+        );
+    }
+
+    // The decapitated groups re-elect and the whole workload completes.
+    assert!(w.run_to_completion(DEADLINE));
+    assert_eq!(w.metrics.completed_ops, 4 * 2 * 4000);
+    assert_ne!(w.leader_of(GroupId(0)), Some(ProcessId(0)));
+    assert_ne!(w.leader_of(GroupId(3)), Some(ProcessId(0)));
+    assert_eq!(
+        w.leader_of(GroupId(1)),
+        Some(ProcessId(1)),
+        "undisturbed group keeps its leader"
+    );
+    assert_eq!(
+        w.leader_of(GroupId(2)),
+        Some(ProcessId(2)),
+        "undisturbed group keeps its leader"
+    );
+    // Per-group convergence across the surviving nodes.
+    let settle = w.now.after(Dur::from_secs(2));
+    w.run_until(settle);
+    for g in 0..n_groups as u32 {
+        let states = w.replica_states_of(GroupId(g));
+        assert!(
+            states.windows(2).all(|p| p[0] == p[1]),
+            "group {g} diverged"
+        );
+    }
+}
+
+#[test]
 fn majority_crash_stalls_until_recovery() {
     let mut w = world(9, Config::cluster(3));
-    w.add_client(Box::new(OpLoop::new(RequestKind::Write, 50_000)), None, START);
+    w.add_client(
+        Box::new(OpLoop::new(RequestKind::Write, 50_000)),
+        None,
+        START,
+    );
     // Take down a majority shortly after start...
     w.crash_at(ProcessId(1), Time(Dur::from_millis(400).0));
     w.crash_at(ProcessId(2), Time(Dur::from_millis(400).0));

@@ -28,7 +28,11 @@ fn settle_and_check(w: &mut World) {
 fn isolated_leader_cannot_commit_majority_side_takes_over() {
     let mut w = world(1, Config::cluster(3));
     for _ in 0..2 {
-        w.add_client(Box::new(OpLoop::new(RequestKind::Write, 20_000)), None, START);
+        w.add_client(
+            Box::new(OpLoop::new(RequestKind::Write, 20_000)),
+            None,
+            START,
+        );
     }
     // Cut the bootstrap leader r0 away from {r1, r2} for two seconds.
     w.partition(
@@ -48,7 +52,11 @@ fn isolated_leader_cannot_commit_majority_side_takes_over() {
 #[test]
 fn minority_partition_makes_no_progress() {
     let mut w = world(2, Config::cluster(5));
-    w.add_client(Box::new(OpLoop::new(RequestKind::Write, 50_000)), None, START);
+    w.add_client(
+        Box::new(OpLoop::new(RequestKind::Write, 50_000)),
+        None,
+        START,
+    );
     // {r0, r1} (leader side) vs {r2, r3, r4}: the client keeps reaching
     // everyone, but the old leader's side lacks a majority.
     w.partition(
@@ -64,7 +72,11 @@ fn minority_partition_makes_no_progress() {
 #[test]
 fn full_partition_stalls_and_heals() {
     let mut w = world(3, Config::cluster(3));
-    w.add_client(Box::new(OpLoop::new(RequestKind::Write, 30_000)), None, START);
+    w.add_client(
+        Box::new(OpLoop::new(RequestKind::Write, 30_000)),
+        None,
+        START,
+    );
     // Everyone isolated from everyone for one second: zero progress.
     w.partition(
         vec![vec![0], vec![1], vec![2]],
@@ -90,7 +102,11 @@ fn xpaxos_reads_are_blocked_on_the_minority_side() {
     // must not answer reads — even though it still *thinks* it leads at
     // the instant the partition starts.
     let mut w = world(4, Config::cluster(3));
-    w.add_client(Box::new(OpLoop::new(RequestKind::Read, 30_000)), None, START);
+    w.add_client(
+        Box::new(OpLoop::new(RequestKind::Read, 30_000)),
+        None,
+        START,
+    );
     w.partition(
         vec![vec![0], vec![1, 2]],
         Time(Dur::from_millis(500).0),
@@ -106,7 +122,11 @@ fn xpaxos_reads_are_blocked_on_the_minority_side() {
 fn repeated_flapping_partitions_preserve_safety() {
     let mut w = world(5, Config::cluster(3));
     for _ in 0..2 {
-        w.add_client(Box::new(OpLoop::new(RequestKind::Write, 15_000)), None, START);
+        w.add_client(
+            Box::new(OpLoop::new(RequestKind::Write, 15_000)),
+            None,
+            START,
+        );
     }
     // Alternate which pair is cut, several times.
     for k in 0..4u64 {

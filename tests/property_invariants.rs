@@ -218,7 +218,8 @@ fn converges<A: App + Clone + PartialEq + std::fmt::Debug>(
 fn arb_kv_ops() -> impl Strategy<Value = Vec<(RequestKind, Bytes)>> {
     proptest::collection::vec(
         prop_oneof![
-            ("[a-d]", "[x-z]{0,3}").prop_map(|(k, v)| (RequestKind::Write, KvOp::Put(k, v).encode())),
+            ("[a-d]", "[x-z]{0,3}")
+                .prop_map(|(k, v)| (RequestKind::Write, KvOp::Put(k, v).encode())),
             "[a-d]".prop_map(|k| (RequestKind::Write, KvOp::Del(k).encode())),
             ("[a-d]", -5i64..5).prop_map(|(k, d)| (RequestKind::Write, KvOp::Add(k, d).encode())),
             "[a-d]".prop_map(|k| (RequestKind::Read, KvOp::Get(k).encode())),
@@ -231,10 +232,20 @@ fn arb_broker_ops() -> impl Strategy<Value = Vec<(RequestKind, Bytes)>> {
     proptest::collection::vec(
         prop_oneof![
             ("[a-c]", 1u32..5).prop_map(|(n, c)| {
-                (RequestKind::Write, BrokerOp::AddResource { name: n, capacity: c }.encode())
+                (
+                    RequestKind::Write,
+                    BrokerOp::AddResource {
+                        name: n,
+                        capacity: c,
+                    }
+                    .encode(),
+                )
             }),
             (0u64..10, 1u32..3).prop_map(|(t, u)| {
-                (RequestKind::Write, BrokerOp::Request { task: t, units: u }.encode())
+                (
+                    RequestKind::Write,
+                    BrokerOp::Request { task: t, units: u }.encode(),
+                )
             }),
             (0u64..10).prop_map(|t| (RequestKind::Write, BrokerOp::Release { task: t }.encode())),
             Just((RequestKind::Read, BrokerOp::FreeUnits.encode())),
@@ -247,10 +258,20 @@ fn arb_sched_ops() -> impl Strategy<Value = Vec<(RequestKind, Bytes)>> {
     proptest::collection::vec(
         prop_oneof![
             ("[a-b]", 1u32..4).prop_map(|(n, sl)| {
-                (RequestKind::Write, SchedOp::AddMachine { name: n, slots: sl }.encode())
+                (
+                    RequestKind::Write,
+                    SchedOp::AddMachine { name: n, slots: sl }.encode(),
+                )
             }),
             (0u64..12, 0u32..5).prop_map(|(j, p)| {
-                (RequestKind::Write, SchedOp::Submit { job: j, priority: p }.encode())
+                (
+                    RequestKind::Write,
+                    SchedOp::Submit {
+                        job: j,
+                        priority: p,
+                    }
+                    .encode(),
+                )
             }),
             Just((RequestKind::Write, SchedOp::Dispatch.encode())),
             (0u64..12).prop_map(|j| (RequestKind::Write, SchedOp::Complete { job: j }.encode())),

@@ -30,7 +30,10 @@ fn arb_request() -> impl Strategy<Value = gridpaxos::core::request::Request> {
         ],
         proptest::option::of(prop_oneof![
             (0u64..3).prop_map(|t| TxnCtl::Op { txn: TxnId(t) }),
-            (0u64..3, 0u32..4).prop_map(|(t, n)| TxnCtl::Commit { txn: TxnId(t), n_ops: n }),
+            (0u64..3, 0u32..4).prop_map(|(t, n)| TxnCtl::Commit {
+                txn: TxnId(t),
+                n_ops: n
+            }),
             (0u64..3).prop_map(|t| TxnCtl::Abort { txn: TxnId(t) }),
         ]),
     )
@@ -43,27 +46,25 @@ fn arb_request() -> impl Strategy<Value = gridpaxos::core::request::Request> {
 }
 
 fn arb_decree() -> impl Strategy<Value = Decree> {
-    proptest::collection::vec(
-        (arb_request(), proptest::option::of(0u64..3)),
-        0..3,
-    )
-    .prop_map(|entries| Decree {
-        entries: entries
-            .into_iter()
-            .map(|(r, txn)| gridpaxos::core::command::DecreeEntry {
-                cmd: match txn {
-                    None => Command::Req(r),
-                    Some(t) => Command::TxnCommit {
-                        id: r.id,
-                        txn: TxnId(t),
-                        ops: vec![r],
+    proptest::collection::vec((arb_request(), proptest::option::of(0u64..3)), 0..3).prop_map(
+        |entries| Decree {
+            entries: entries
+                .into_iter()
+                .map(|(r, txn)| gridpaxos::core::command::DecreeEntry {
+                    cmd: match txn {
+                        None => Command::Req(r),
+                        Some(t) => Command::TxnCommit {
+                            id: r.id,
+                            txn: TxnId(t),
+                            ops: vec![r],
+                        },
                     },
-                },
-                update: StateUpdate::Full(Bytes::from_static(&[1, 2, 3, 4, 5, 6, 7, 8])),
-                reply: ReplyBody::Empty,
-            })
-            .collect(),
-    })
+                    update: StateUpdate::Full(Bytes::from_static(&[1, 2, 3, 4, 5, 6, 7, 8])),
+                    reply: ReplyBody::Empty,
+                })
+                .collect(),
+        },
+    )
 }
 
 fn arb_snapshot() -> impl Strategy<Value = Option<SnapshotBlob>> {
@@ -82,8 +83,8 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
             chosen_prefix: i,
             known_above: vec![],
         }),
-        (arb_ballot(), arb_instance(), arb_decree(), arb_snapshot()).prop_map(
-            |(b, i, d, snap)| Msg::Promise {
+        (arb_ballot(), arb_instance(), arb_decree(), arb_snapshot()).prop_map(|(b, i, d, snap)| {
+            Msg::Promise {
                 ballot: b,
                 chosen_prefix: i,
                 accepted: vec![AcceptedEntry {
@@ -93,32 +94,46 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 }],
                 snapshot: snap,
             }
-        ),
-        (arb_ballot(), arb_instance(), arb_decree())
-            .prop_map(|(b, i, d)| Msg::Accept { ballot: b, entries: vec![(i, d)] }),
-        (arb_ballot(), arb_instance())
-            .prop_map(|(b, i)| Msg::Accepted { ballot: b, instances: vec![i] }),
-        (arb_ballot(), arb_ballot())
-            .prop_map(|(b, p)| Msg::AcceptNack { ballot: b, promised: p }),
-        (arb_ballot(), arb_ballot())
-            .prop_map(|(b, p)| Msg::PrepareNack { ballot: b, promised: p }),
+        }),
+        (arb_ballot(), arb_instance(), arb_decree()).prop_map(|(b, i, d)| Msg::Accept {
+            ballot: b,
+            entries: vec![(i, d)]
+        }),
+        (arb_ballot(), arb_instance()).prop_map(|(b, i)| Msg::Accepted {
+            ballot: b,
+            instances: vec![i]
+        }),
+        (arb_ballot(), arb_ballot()).prop_map(|(b, p)| Msg::AcceptNack {
+            ballot: b,
+            promised: p
+        }),
+        (arb_ballot(), arb_ballot()).prop_map(|(b, p)| Msg::PrepareNack {
+            ballot: b,
+            promised: p
+        }),
         (arb_ballot(), arb_instance()).prop_map(|(b, i)| Msg::Chosen { ballot: b, upto: i }),
         (arb_ballot(), 0u64..4, 0u64..6).prop_map(|(b, c, s)| Msg::Confirm {
             ballot: b,
             read: RequestId::new(ClientId(c), Seq(s)),
         }),
-        (arb_ballot(), arb_instance(), 0u64..9)
-            .prop_map(|(b, c, h)| Msg::Heartbeat { ballot: b, chosen: c, hb_seq: h }),
-        (arb_ballot(), 0u64..9).prop_map(|(b, h)| Msg::HeartbeatAck { ballot: b, hb_seq: h }),
+        (arb_ballot(), arb_instance(), 0u64..9).prop_map(|(b, c, h)| Msg::Heartbeat {
+            ballot: b,
+            chosen: c,
+            hb_seq: h
+        }),
+        (arb_ballot(), 0u64..9).prop_map(|(b, h)| Msg::HeartbeatAck {
+            ballot: b,
+            hb_seq: h
+        }),
         arb_instance().prop_map(|i| Msg::CatchUpReq { have: i }),
-        (arb_ballot(), arb_instance(), arb_decree(), arb_snapshot()).prop_map(
-            |(b, i, d, snap)| Msg::CatchUp {
+        (arb_ballot(), arb_instance(), arb_decree(), arb_snapshot()).prop_map(|(b, i, d, snap)| {
+            Msg::CatchUp {
                 ballot: b,
                 entries: vec![(i, d)],
                 snapshot: snap,
                 upto: i,
             }
-        ),
+        }),
     ]
 }
 

@@ -18,37 +18,34 @@ struct FaultPlan {
 }
 
 fn arb_fault_plan(n: u32) -> impl Strategy<Value = FaultPlan> {
-    proptest::collection::vec(
-        (0..n, 300u64..3000, 200u64..1500),
-        0..3,
-    )
-    .prop_map(|faults| FaultPlan { faults })
-    .prop_filter("at most a minority down at once", move |p| {
-        // Conservative: distinct replicas only, so with n=3 at most ... we
-        // allow two faults but require different replicas and
-        // non-overlapping down windows OR different replicas with overlap
-        // counting < majority.
-        let mut events: Vec<(u64, i32, u32)> = Vec::new();
-        for (r, at, down) in &p.faults {
-            events.push((*at, 1, *r));
-            events.push((at + down, -1, *r));
-        }
-        events.sort();
-        let mut down_now = std::collections::HashSet::new();
-        for (_, delta, r) in events {
-            if delta == 1 {
-                if !down_now.insert(r) {
-                    return false; // same replica crashed twice while down
+    proptest::collection::vec((0..n, 300u64..3000, 200u64..1500), 0..3)
+        .prop_map(|faults| FaultPlan { faults })
+        .prop_filter("at most a minority down at once", move |p| {
+            // Conservative: distinct replicas only, so with n=3 at most ... we
+            // allow two faults but require different replicas and
+            // non-overlapping down windows OR different replicas with overlap
+            // counting < majority.
+            let mut events: Vec<(u64, i32, u32)> = Vec::new();
+            for (r, at, down) in &p.faults {
+                events.push((*at, 1, *r));
+                events.push((at + down, -1, *r));
+            }
+            events.sort();
+            let mut down_now = std::collections::HashSet::new();
+            for (_, delta, r) in events {
+                if delta == 1 {
+                    if !down_now.insert(r) {
+                        return false; // same replica crashed twice while down
+                    }
+                } else {
+                    down_now.remove(&r);
                 }
-            } else {
-                down_now.remove(&r);
+                if down_now.len() > ((n as usize) - 1) / 2 {
+                    return false; // would lose the majority
+                }
             }
-            if down_now.len() > ((n as usize) - 1) / 2 {
-                return false; // would lose the majority
-            }
-        }
-        true
-    })
+            true
+        })
 }
 
 fn apply_plan(w: &mut World, plan: &FaultPlan) {

@@ -77,7 +77,11 @@ fn broker_randomized_placements_replicate_consistently_across_crash() {
         .map(|m| {
             (
                 RequestKind::Write,
-                BrokerOp::AddResource { name: (*m).into(), capacity: 20 }.encode(),
+                BrokerOp::AddResource {
+                    name: (*m).into(),
+                    capacity: 20,
+                }
+                .encode(),
             )
         })
         .collect();
@@ -113,12 +117,20 @@ fn scheduler_decisions_replicate_across_crash() {
 
     let mut steps: Vec<(RequestKind, Bytes)> = vec![(
         RequestKind::Write,
-        SchedOp::AddMachine { name: "m".into(), slots: 8 }.encode(),
+        SchedOp::AddMachine {
+            name: "m".into(),
+            slots: 8,
+        }
+        .encode(),
     )];
     for job in 0..8u64 {
         steps.push((
             RequestKind::Write,
-            SchedOp::Submit { job, priority: (job % 4) as u32 }.encode(),
+            SchedOp::Submit {
+                job,
+                priority: (job % 4) as u32,
+            }
+            .encode(),
         ));
     }
     for _ in 0..8 {
@@ -130,7 +142,10 @@ fn scheduler_decisions_replicate_across_crash() {
     assert!(w.run_to_completion(DEADLINE));
 
     let states = settle_states(&mut w);
-    assert!(states.windows(2).all(|p| p[0] == p[1]), "schedulers diverged");
+    assert!(
+        states.windows(2).all(|p| p[0] == p[1]),
+        "schedulers diverged"
+    );
 
     use gridpaxos::core::service::App as _;
     let mut sched = Scheduler::new();

@@ -53,7 +53,14 @@ fn writes_on_every_paper_topology_converge() {
 
 #[test]
 fn xpaxos_reads_consume_no_instances() {
-    let w = run_ops(Config::cluster(3), Topology::sysnet(3), RequestKind::Read, 4, 100, 2);
+    let w = run_ops(
+        Config::cluster(3),
+        Topology::sysnet(3),
+        RequestKind::Read,
+        4,
+        100,
+        2,
+    );
     assert_eq!(w.metrics.completed_ops, 400);
     let leader = w.leader().expect("stable leader");
     let prefix = w.replica(leader).unwrap().chosen_prefix();
@@ -193,7 +200,14 @@ fn lossy_network_still_completes_via_retransmission() {
 #[test]
 fn singleton_and_five_replica_groups_work() {
     for n in [1usize, 5] {
-        let w = run_ops(Config::cluster(n), Topology::sysnet(n), RequestKind::Write, 2, 25, 7);
+        let w = run_ops(
+            Config::cluster(n),
+            Topology::sysnet(n),
+            RequestKind::Write,
+            2,
+            25,
+            7,
+        );
         assert_eq!(w.metrics.completed_ops, 50, "n={n}");
         assert_converged(&w);
     }

@@ -20,7 +20,10 @@ fn tcp_write_then_read_roundtrip() {
     let mut client = cluster.client();
 
     let reply = client
-        .call(RequestKind::Write, KvOp::Put("k".into(), "v".into()).encode())
+        .call(
+            RequestKind::Write,
+            KvOp::Put("k".into(), "v".into()).encode(),
+        )
         .expect("write completes over TCP");
     assert!(matches!(reply, ReplyBody::Ok(_)));
 
@@ -87,8 +90,14 @@ fn tcp_transactions_commit() {
 
     let script = TxnScript {
         ops: vec![
-            (RequestKind::Write, KvOp::Put("a".into(), "1".into()).encode()),
-            (RequestKind::Write, KvOp::Put("b".into(), "2".into()).encode()),
+            (
+                RequestKind::Write,
+                KvOp::Put("a".into(), "1".into()).encode(),
+            ),
+            (
+                RequestKind::Write,
+                KvOp::Put("b".into(), "2".into()).encode(),
+            ),
         ],
     };
     let outcome = client.run_txn(script).expect("txn completes");
@@ -97,7 +106,9 @@ fn tcp_transactions_commit() {
     let reply = client
         .call(RequestKind::Read, KvOp::Get("b".into()).encode())
         .expect("read");
-    let ReplyBody::Ok(payload) = reply else { panic!() };
+    let ReplyBody::Ok(payload) = reply else {
+        panic!()
+    };
     assert_eq!(KvStore::decode_reply(&payload).as_deref(), Some("2"));
 
     std::thread::sleep(std::time::Duration::from_millis(250));

@@ -1,0 +1,454 @@
+//! Offline stand-in for the `bytes` crate: the API subset gridpaxos uses.
+//!
+//! `Bytes` is a cheaply-cloneable, sliceable view of an immutable byte
+//! buffer; `BytesMut` is an append buffer that freezes into `Bytes`. The
+//! `Buf`/`BufMut` traits mirror the upstream cursor-style accessors.
+
+// Vendored stand-in: keep diffs with upstream small; exempt from local lints.
+#![allow(clippy::all, unused)]
+
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply-cloneable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wrap a static slice (copied here; upstream borrows it).
+    #[must_use]
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Copy an arbitrary slice into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// A sub-view of the same underlying buffer.
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of range");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(0..at);
+        self.start += at;
+        head
+    }
+
+    /// Split off and return everything from `at`; `self` keeps the prefix.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        let tail = self.slice(at..);
+        self.end = self.start + at;
+        tail
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from(s.as_bytes().to_vec())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for e in std::ascii::escape_default(b) {
+                write!(f, "{}", e as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self[..] == **other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        *self == other[..]
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// Read cursor for the `Buf` impl (bytes before it are consumed).
+    head: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` reserved bytes.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    /// A buffer holding `len` zero bytes.
+    #[must_use]
+    pub fn zeroed(len: usize) -> BytesMut {
+        BytesMut {
+            buf: vec![0; len],
+            head: 0,
+        }
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Reserve at least `n` more bytes of capacity.
+    pub fn reserve(&mut self, n: usize) {
+        self.buf.reserve(n);
+    }
+
+    /// Drop all contents.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+
+    /// Keep only the first `len` unconsumed bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(self.head + len.min(self.len()));
+    }
+
+    /// Split off and return everything from `at`; `self` keeps the prefix.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        let tail = self.buf.split_off(self.head + at);
+        BytesMut { buf: tail, head: 0 }
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.buf.split_off(self.head + at);
+        let head = std::mem::replace(&mut self.buf, rest);
+        let out = BytesMut {
+            buf: head,
+            head: self.head,
+        };
+        self.head = 0;
+        out
+    }
+
+    /// Freeze into an immutable, cheaply-cloneable [`Bytes`].
+    #[must_use]
+    pub fn freeze(mut self) -> Bytes {
+        if self.head > 0 {
+            self.buf.drain(..self.head);
+        }
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+}
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let head = self.head;
+        &mut self.buf[head..]
+    }
+}
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&Bytes::from(self[..].to_vec()), f)
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> BytesMut {
+        BytesMut { buf: v, head: 0 }
+    }
+}
+
+/// Cursor-style read access to a byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consume `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+    /// Consume a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut a = [0u8; 2];
+        a.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(a)
+    }
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut a = [0u8; 4];
+        a.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(a)
+    }
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(a)
+    }
+    /// Consume a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+    /// Consume `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.head += n;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+/// Append-style write access to a byte buffer.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_cursor() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(7);
+        b.put_u32_le(0xdead_beef);
+        b.put_u64_le(42);
+        b.put_slice(b"xyz");
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 1 + 4 + 8 + 3);
+        assert_eq!(frozen.get_u8(), 7);
+        assert_eq!(frozen.get_u32_le(), 0xdead_beef);
+        assert_eq!(frozen.get_u64_le(), 42);
+        assert_eq!(&frozen[..], b"xyz");
+    }
+
+    #[test]
+    fn slicing_shares_storage() {
+        let a = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let mut c = a.clone();
+        let head = c.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&c[..], &[3, 4, 5]);
+        assert_eq!(a.slice(1..4), Bytes::from(vec![2, 3, 4]));
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for `criterion`: same macro and builder surface, with a
+//! deliberately simple measurement loop (warm-up, fixed-duration timing,
+//! mean/min report to stdout). Good enough to keep `cargo bench` working
+//! and to compare orders of magnitude; not a statistics engine.
+
+// Vendored stand-in: keep diffs with upstream small; exempt from local lints.
+#![allow(clippy::all, unused)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reporting per-iteration throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by this stand-in).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Explicit batch size.
+    NumBatches(u64),
+}
+
+/// The benchmark context handed to `criterion_group!` targets.
+pub struct Criterion {
+    measure: Duration,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure: Duration::from_millis(400),
+            warmup: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            c: self,
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in times by duration.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            measure: self.c.measure,
+            warmup: self.c.warmup,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.total.as_nanos() as f64 / b.iters as f64
+        } else {
+            f64::NAN
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.3} Melem/s", n as f64 / per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:.3} MiB/s",
+                    n as f64 / per_iter * 1e9 / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!("  {id}: {per_iter:.1} ns/iter ({} iters){rate}", b.iters);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures; handed to `bench_function` bodies.
+pub struct Bencher {
+    measure: Duration,
+    warmup: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warmup;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure {
+            black_box(f());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup time excluded).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_end = Instant::now() + self.warmup;
+        while Instant::now() < warm_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        while timed < self.measure {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+        }
+        self.total = timed;
+        self.iters = iters;
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine takes `&mut I`.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut i| routine(&mut i), size);
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `crossbeam`: the `channel` subset gridpaxos uses,
+//! mapped onto `std::sync::mpsc` (whose `Sender` has been `Sync` since
+//! Rust 1.72, which is all the transports need).
+
+// Vendored stand-in: keep diffs with upstream small; exempt from local lints.
+#![allow(clippy::all, unused)]
+
+/// MPSC channels (subset of `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// An unbounded FIFO channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for `proptest`: random property testing *without
+//! shrinking*. It covers the API subset this repository uses — the
+//! `proptest!` macro, `Strategy` combinators (`prop_map`, `prop_filter`),
+//! `prop_oneof!`, `Just`, `any`, range and regex-literal strategies,
+//! `collection::vec`, `option::of`, and the `prop_assert*` macros.
+//!
+//! Failing cases are reported with their inputs (seeded deterministically
+//! per test name, overridable with `PROPTEST_SEED`) but are not minimized.
+
+// Vendored stand-in: keep diffs with upstream small; exempt from local lints.
+#![allow(clippy::all, unused)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use test_runner::{TestCaseError, TestCaseResult, TestRng};
+
+/// Run-time configuration for a `proptest!` block (subset).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Give up after this many consecutive `prop_filter` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config with a specific case count.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Collection strategies (subset: [`collection::vec`]).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.below_range(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (subset: [`option::of`]).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option`s: `None` one time in four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// The glob import every proptest consumer starts with.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a proptest body; failure aborts only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)*), a, b),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Uniform choice between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![ $( $crate::strategy::Union::arm($arm) ),+ ])
+    };
+}
+
+/// Declare property tests. Each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` random instantiations.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_with_config!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_with_config!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`] — the config is captured at
+/// repetition depth 0 so each generated test can reference it.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_with_config {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let inputs = format!(
+                        concat!($(" ", stringify!($arg), " = {:?}\n"),+),
+                        $(&$arg),+
+                    );
+                    let outcome: $crate::test_runner::TestCaseResult = (|| {
+                        let _: () = $body;
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:\n{}",
+                            case + 1, config.cases, e, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn sum_pair() -> impl Strategy<Value = (u8, u8)> {
+        (0u8..100, 0u8..100)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            v in crate::collection::vec(any::<u32>(), 1..8),
+            pair in sum_pair(),
+            tag in prop_oneof![Just(0u8), Just(1u8), (2u8..5)],
+            name in "[a-d]{1,3}",
+            opt in crate::option::of(0u64..10),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(pair.0 < 100 && pair.1 < 100);
+            prop_assert!(tag < 5);
+            prop_assert!((1..=3).contains(&name.len()));
+            prop_assert!(name.chars().all(|c| ('a'..='d').contains(&c)));
+            if let Some(x) = opt { prop_assert!(x < 10); }
+        }
+
+        #[test]
+        fn filters_hold(x in (0u32..1000).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Strategies: how random values of each type are produced.
+//!
+//! Unlike upstream proptest there is no value tree and no shrinking — a
+//! strategy is simply a sampler. `prop_filter` retries internally and
+//! panics if the predicate rejects essentially everything.
+
+use crate::test_runner::TestRng;
+
+/// How many times `prop_filter` resamples before giving up.
+const MAX_FILTER_TRIES: usize = 10_000;
+
+/// A producer of random values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every drawn value.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `f` (resampling on rejection).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`], used by [`Union`] and [`BoxedStrategy`].
+pub trait DynStrategy {
+    /// The value type produced.
+    type Value;
+    /// Draw one value.
+    fn sample_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_TRIES {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected {MAX_FILTER_TRIES} samples in a row",
+            self.whence
+        );
+    }
+}
+
+/// Always produce (a clone of) the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice across several strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<Box<dyn DynStrategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Combine pre-boxed arms.
+    #[must_use]
+    pub fn new(arms: Vec<Box<dyn DynStrategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Box one arm (helper for the `prop_oneof!` macro).
+    pub fn arm<S: Strategy<Value = T> + 'static>(s: S) -> Box<dyn DynStrategy<Value = T>> {
+        Box::new(s)
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].sample_dyn(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies: full-range `any`, ranges, and regex literals
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draw a uniform value over the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `A` (whole domain, uniform).
+#[must_use]
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (S0 0);
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+    (S0 0, S1 1, S2 2, S3 3, S4 4);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
+}
+
+// ---------------------------------------------------------------------
+// Regex-literal string strategies: `"[a-d]"`, `"[x-z]{0,3}"`, …
+// ---------------------------------------------------------------------
+
+/// The pattern subset supported for `&str` strategies: a sequence of
+/// literal characters and `[lo-hi]` classes, each optionally followed by
+/// `{m,n}` (or `{n}`) repetition.
+#[derive(Debug)]
+enum Unit {
+    Lit(char),
+    Class(char, char),
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Unit, usize, usize)> {
+    let mut out = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let unit = if c == '[' {
+            let lo = chars.next().expect("class start");
+            assert_eq!(
+                chars.next(),
+                Some('-'),
+                "only [lo-hi] classes are supported: {pat}"
+            );
+            let hi = chars.next().expect("class end");
+            assert_eq!(chars.next(), Some(']'), "unterminated class in {pat}");
+            Unit::Class(lo, hi)
+        } else {
+            Unit::Lit(c)
+        };
+        let (mut m, mut n) = (1usize, 1usize);
+        if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => {
+                    m = a.trim().parse().expect("repeat lower bound");
+                    n = b.trim().parse().expect("repeat upper bound");
+                }
+                None => {
+                    m = spec.trim().parse().expect("repeat count");
+                    n = m;
+                }
+            }
+        }
+        out.push((unit, m, n));
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut s = String::new();
+        for (unit, m, n) in parse_pattern(self) {
+            let reps = if m == n { m } else { rng.below_range(m, n + 1) };
+            for _ in 0..reps {
+                match unit {
+                    Unit::Lit(c) => s.push(c),
+                    Unit::Class(lo, hi) => {
+                        let span = hi as u32 - lo as u32 + 1;
+                        let c = char::from_u32(lo as u32 + rng.below(span as usize) as u32)
+                            .expect("class char");
+                        s.push(c);
+                    }
+                }
+            }
+        }
+        s
+    }
+}

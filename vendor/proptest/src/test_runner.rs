@@ -1,0 +1,91 @@
+//! The reduced test runner: a deterministic RNG and the case-failure type.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a single proptest case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed.
+    Fail(String),
+    /// The inputs were rejected (e.g. by `prop_filter`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    #[must_use]
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// An input rejection.
+    #[must_use]
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Outcome of a single proptest case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG strategies draw from. Seeded from the test's name (so distinct
+/// tests explore distinct streams) unless `PROPTEST_SEED` pins it.
+#[derive(Clone, Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic RNG for the named test.
+    #[must_use]
+    pub fn for_test(name: &str) -> TestRng {
+        let seed = match std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(s) => s,
+            None => {
+                // FNV-1a over the test path.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in name.bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                h
+            }
+        };
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// A uniform value in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        self.0.gen_range(0..n)
+    }
+
+    /// A uniform value in `[lo, hi)`.
+    pub fn below_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        self.0.gen_range(lo..hi)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+}

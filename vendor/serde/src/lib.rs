@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`. The repo only *derives* the traits (wire
+//! encoding is hand-rolled in `gridpaxos-transport`), so marker traits plus
+//! no-op derives keep every annotated type compiling without a serializer.
+
+// Vendored stand-in: keep diffs with upstream small; exempt from local lints.
+#![allow(clippy::all, unused)]
+
+/// Marker: the type opted into serialization support.
+pub trait Serialize {}
+
+/// Marker: the type opted into deserialization support.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
