@@ -58,6 +58,21 @@ fn bench_codec(c: &mut Criterion) {
         ("accept_1x64b", accept_msg(1, 64)),
         ("accept_16x64b", accept_msg(16, 64)),
         ("accept_64x256b", accept_msg(64, 256)),
+        (
+            "confirm_req",
+            Msg::ConfirmReq {
+                ballot: Ballot::new(9, ProcessId(0)),
+                epoch: 512,
+                backlog: true,
+            },
+        ),
+        (
+            "confirm_batch",
+            Msg::ConfirmBatch {
+                ballot: Ballot::new(9, ProcessId(0)),
+                epoch: 512,
+            },
+        ),
     ] {
         let encoded = encode_to_bytes(&msg);
         g.throughput(Throughput::Bytes(encoded.len() as u64));

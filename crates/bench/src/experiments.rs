@@ -9,6 +9,7 @@ use gridpaxos_core::config::{ReadMode, TxnMode, ValueMode};
 use gridpaxos_core::request::RequestKind;
 use gridpaxos_core::service::NoopApp;
 use gridpaxos_core::types::{Dur, ProcessId, Time};
+use gridpaxos_simnet::cpu::CpuModel;
 use gridpaxos_simnet::runner::{
     measure_rrt, measure_throughput, measure_txn_rrt, measure_txn_throughput, Experiment,
 };
@@ -662,6 +663,88 @@ fn write_sharding_json(results: &[(usize, f64, f64, f64)]) -> std::io::Result<St
     Ok(path.to_owned())
 }
 
+/// Extension — epoch-batched confirm rounds: closed-loop X-Paxos read
+/// throughput with the paper's per-read confirms vs confirm batching.
+/// Runs on a message-bound CPU model ([`CpuModel::msg_bound`]) where
+/// per-message overhead, not request execution, saturates the replicas —
+/// the regime the batching targets (per-read confirms cost every replica
+/// `O(reads)` messages; one round costs `O(n)` regardless of backlog).
+/// Emits `BENCH_read_batching.json` next to the text table.
+#[must_use]
+pub fn read_batching(seed: u64) -> TableOut {
+    read_batching_with(seed, &[8, 16, 32, 64, 128], 200, true)
+}
+
+fn read_batching_with(
+    seed: u64,
+    client_counts: &[usize],
+    per_client: u64,
+    emit_json: bool,
+) -> TableOut {
+    let mut t = TableOut::new(
+        "read-batching",
+        "X-Paxos read throughput: per-read confirms vs epoch batching (req/s, msg-bound CPU)",
+        &[
+            "clients",
+            "per_read_tput",
+            "batched_tput",
+            "speedup",
+            "confirms_per_read",
+        ],
+    );
+    let run = |clients: usize, batching: bool| {
+        let mut exp = Experiment::on(Topology::sysnet(3), seed);
+        exp.cpu = CpuModel::msg_bound();
+        exp.cfg.confirm_batching = batching;
+        measure_throughput(exp, RequestKind::Read, clients, per_client)
+    };
+    let mut results: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for &c in client_counts {
+        let (base, _) = run(c, false);
+        let (batched, m) = run(c, true);
+        let cpr = m.confirm_msgs_per_read();
+        t.row(vec![
+            c.to_string(),
+            fmt_tput(base),
+            fmt_tput(batched),
+            format!("{:.2}x", batched / base),
+            format!("{cpr:.2}"),
+        ]);
+        results.push((c, base, batched, cpr));
+    }
+    if emit_json {
+        match write_read_batching_json(&results) {
+            Ok(p) => t.note(format!("json: {p}")),
+            Err(e) => t.note(format!("json write failed: {e}")),
+        }
+    }
+    t.note("extension: one ConfirmReq/ConfirmBatch round validates every open read, collapsing O(reads x n) confirm traffic to O(n) per round");
+    t
+}
+
+/// Machine-readable companion to the `read-batching` table, written to
+/// `BENCH_read_batching.json` in the working directory.
+fn write_read_batching_json(results: &[(usize, f64, f64, f64)]) -> std::io::Result<String> {
+    let mut s = String::from(
+        "{\n  \"experiment\": \"read-batching\",\n  \"workload\": \"closed-loop X-Paxos \
+         reads, n=3 cluster (sysnet topology), message-bound CPU model, 200 reads per \
+         client\",\n  \"units\": {\"per_read_tput\": \"req/s\", \"batched_tput\": \
+         \"req/s\"},\n  \"results\": [\n",
+    );
+    for (i, (c, base, batched, cpr)) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"clients\": {c}, \"per_read_tput\": {base:.1}, \"batched_tput\": \
+             {batched:.1}, \"speedup\": {:.3}, \"confirms_per_read\": {cpr:.3}}}{}\n",
+            batched / base,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    let path = "BENCH_read_batching.json";
+    std::fs::write(path, s)?;
+    Ok(path.to_owned())
+}
+
 /// Every experiment, in paper order.
 #[must_use]
 pub fn all(seed: u64) -> Vec<TableOut> {
@@ -680,6 +763,7 @@ pub fn all(seed: u64) -> Vec<TableOut> {
         state_size(seed),
         batch_ablation(seed),
         sharding(seed),
+        read_batching(seed),
     ]
 }
 
@@ -697,5 +781,23 @@ mod tests {
         let tput = |g: &str| -> f64 { t.cell(g, "write_tput").unwrap().parse().unwrap() };
         let (g1, g4) = (tput("1"), tput("4"));
         assert!(g4 > g1 * 2.0, "G=4 {g4:.0}/s vs G=1 {g1:.0}/s");
+    }
+
+    #[test]
+    fn read_batching_doubles_saturated_read_throughput() {
+        // Short version of the headline run (the full one generates
+        // BENCH_read_batching.json): at 64 closed-loop readers the
+        // message-bound replicas drown in per-read confirms, and epoch
+        // batching must at least double throughput while spending less
+        // than one confirm-path message per read.
+        let t = read_batching_with(7, &[64], 40, false);
+        let cell = |col: &str| -> f64 { t.cell("64", col).unwrap().parse().unwrap() };
+        let (base, batched) = (cell("per_read_tput"), cell("batched_tput"));
+        assert!(
+            batched >= base * 2.0,
+            "batched {batched:.0}/s vs per-read {base:.0}/s"
+        );
+        let cpr: f64 = t.cell("64", "confirms_per_read").unwrap().parse().unwrap();
+        assert!(cpr < 1.0, "confirm msgs per read {cpr:.2}");
     }
 }

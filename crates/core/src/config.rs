@@ -87,6 +87,16 @@ pub struct Config {
     /// unaffected. Models the natural socket-drain coalescing of a real
     /// server. `Dur::ZERO` disables the window.
     pub batch_window: Dur,
+    /// Epoch-batched confirm rounds for [`ReadMode::XPaxos`] (extension):
+    /// under read load the leader seals open reads into confirm epochs and
+    /// validates each epoch with one `ConfirmReq`/`ConfirmBatch` exchange
+    /// per follower instead of one `Confirm` per read, collapsing
+    /// O(reads × n) confirm traffic to O(n) per round. A lone read still
+    /// completes off the followers' per-read confirms (the round carries a
+    /// `backlog` hint and suppression only engages under load), so the
+    /// paper's `2M + max(E, m)` single-read latency is preserved. `false`
+    /// reproduces the paper's per-read confirm protocol exactly.
+    pub confirm_batching: bool,
     /// If set, this replica bootstraps an election immediately at startup
     /// instead of waiting out the suspicion timeout. Used to pre-elect a
     /// stable leader, which is the paper's steady-state assumption
@@ -112,6 +122,7 @@ impl Config {
             checkpoint_every: 1024,
             max_batch: 64,
             batch_window: Dur::from_micros(100),
+            confirm_batching: true,
             bootstrap_leader: Some(ProcessId(0)),
         }
     }
@@ -133,6 +144,7 @@ impl Config {
             checkpoint_every: 1024,
             max_batch: 64,
             batch_window: Dur::from_micros(500),
+            confirm_batching: true,
             bootstrap_leader: Some(ProcessId(0)),
         }
     }
@@ -184,6 +196,13 @@ impl Config {
         self.max_batch = k.max(1);
         self
     }
+
+    /// Builder-style: enable or disable epoch-batched confirm rounds.
+    #[must_use]
+    pub fn with_confirm_batching(mut self, on: bool) -> Config {
+        self.confirm_batching = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -209,7 +228,9 @@ mod tests {
             .with_txn_mode(TxnMode::TPaxos)
             .with_value_mode(ValueMode::ReqOnly)
             .with_bootstrap_leader(None)
-            .with_checkpoint_every(16);
+            .with_checkpoint_every(16)
+            .with_confirm_batching(false);
+        assert!(!c.confirm_batching);
         assert_eq!(c.read_mode, ReadMode::Consensus);
         assert_eq!(c.txn_mode, TxnMode::TPaxos);
         assert_eq!(c.value_mode, ValueMode::ReqOnly);

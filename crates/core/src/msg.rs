@@ -103,6 +103,35 @@ pub enum Msg {
         /// The read being confirmed.
         read: RequestId,
     },
+    /// Batched-confirm round request (extension, §3.4 amortized): the
+    /// leader seals every open read into confirm epoch `epoch` and asks
+    /// followers to validate the whole epoch with one answer instead of one
+    /// [`Msg::Confirm`] per read. The round launches the moment a read
+    /// arrives with no round in flight, so a lone read never waits on a
+    /// batching window.
+    ConfirmReq {
+        /// Leader's ballot.
+        ballot: Ballot,
+        /// The confirm epoch being sealed; monotonically increasing per
+        /// leadership.
+        epoch: u64,
+        /// True when the round covers more than one read — tells followers
+        /// the leader is under read load, so they should stop sending
+        /// per-read [`Msg::Confirm`]s (the traffic this extension removes)
+        /// until a single-read round lifts the suppression.
+        backlog: bool,
+    },
+    /// A follower's answer to a [`Msg::ConfirmReq`]: one message validates
+    /// *every* read the leader opened in epoch `epoch` or earlier —
+    /// "I have accepted no ballot higher than `ballot`" holds at a point
+    /// after all those reads arrived, which is exactly what a per-read
+    /// confirm certifies.
+    ConfirmBatch {
+        /// The ballot being confirmed (must match the sender's promise).
+        ballot: Ballot,
+        /// The epoch being confirmed.
+        epoch: u64,
+    },
 
     // ----- liveness / leader election -------------------------------------
     /// Leader heartbeat; doubles as a `Chosen` retransmission, and its
@@ -173,6 +202,8 @@ impl Msg {
             Msg::AcceptNack { .. } => "accept_nack",
             Msg::Chosen { .. } => "chosen",
             Msg::Confirm { .. } => "confirm",
+            Msg::ConfirmReq { .. } => "confirm_req",
+            Msg::ConfirmBatch { .. } => "confirm_batch",
             Msg::Heartbeat { .. } => "heartbeat",
             Msg::HeartbeatAck { .. } => "heartbeat_ack",
             Msg::CatchUpReq { .. } => "catchup_req",
@@ -260,6 +291,9 @@ impl Msg {
             Msg::Heartbeat { .. } => 28,
             Msg::HeartbeatAck { .. } => 28,
             Msg::Confirm { .. } => 28,
+            // ballot (12) + epoch (8) + backlog flag.
+            Msg::ConfirmReq { .. } => 21,
+            Msg::ConfirmBatch { .. } => 20,
             Msg::CatchUpReq { .. } => 8,
             Msg::CatchUp {
                 entries, snapshot, ..

@@ -15,7 +15,16 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// Cap on buffered early read-confirms (confirms that outrace the client's
 /// own request to the leader). FIFO-evicted beyond this.
-const EARLY_CONFIRM_CAP: usize = 1024;
+pub(crate) const EARLY_CONFIRM_CAP: usize = 1024;
+
+/// Minimum backlog before a confirm round carries the suppression hint. A
+/// round serializes its covered reads behind one replica↔replica round
+/// trip, while per-read confirms pipeline — so batching only pays once a
+/// single round amortizes over enough reads. Below this threshold the
+/// leader leaves the per-read path alone (no rounds, no suppression);
+/// above it, one `ConfirmReq`/`ConfirmBatch` exchange replaces
+/// `covered × (n - 1)` confirm messages.
+pub(crate) const CONFIRM_BACKLOG_THRESHOLD: usize = 24;
 
 /// The single outstanding proposal (§3.3: "The leader never tries to
 /// propose more than one proposal simultaneously").
@@ -46,6 +55,25 @@ pub struct PendingRead {
     pub result: Option<ReplyBody>,
     /// Arrival time (for latency accounting).
     pub arrived: Time,
+    /// Confirm epoch this read was opened under: the next round the leader
+    /// will launch. A completed round with an equal-or-higher epoch
+    /// validates the read (extension; per-read `Confirm` votes still count).
+    pub epoch: u64,
+    /// Set once a confirm round covering `epoch` reached a majority.
+    pub confirmed: bool,
+}
+
+/// An in-flight epoch-confirm round (extension): the leader broadcast one
+/// `ConfirmReq { epoch }` and each follower answers with one
+/// `ConfirmBatch`, validating every read opened in `epoch` or earlier.
+#[derive(Debug)]
+pub(crate) struct ConfirmRound {
+    /// The sealed epoch.
+    pub epoch: u64,
+    /// Whether the round carried the load hint (covered more than one read).
+    pub backlog: bool,
+    /// Followers that answered (self is implicit).
+    pub acks: HashSet<ProcessId>,
 }
 
 /// A T-Paxos transaction session on the leader: operations executed and
@@ -71,6 +99,23 @@ pub struct LeaderState {
     pub(crate) reads: HashMap<RequestId, PendingRead>,
     pub(crate) early_confirms: HashMap<RequestId, HashSet<ProcessId>>,
     pub(crate) early_order: VecDeque<RequestId>,
+    /// Highest confirm epoch launched under this leadership (extension).
+    pub(crate) confirm_epoch: u64,
+    /// The confirm round currently in flight, if any. Rounds are
+    /// event-driven: one launches the moment an unconfirmed read exists and
+    /// none is in flight, so a read never waits on a batching window.
+    pub(crate) confirm_round: Option<ConfirmRound>,
+    /// Load observed when the last round completed: the larger of how
+    /// many reads it validated and how many it left unconfirmed.
+    /// Hysteresis for the backlog hint: a burst drains the read table
+    /// between rounds, so the first read of the next burst would
+    /// otherwise look like a lone read and flap the followers out of
+    /// suppression every cycle.
+    pub(crate) last_round_covered: usize,
+    /// Whether the most recent `ConfirmReq` carried `backlog = true`,
+    /// i.e. the followers are (as far as the leader knows) suppressing
+    /// per-read confirms and open reads complete only through rounds.
+    pub(crate) suppress_hinted: bool,
     /// Active T-Paxos sessions.
     pub(crate) txns: HashMap<(ClientId, TxnId), TxnSession>,
     /// T-Paxos sessions whose commit request is queued but not yet
@@ -103,6 +148,10 @@ impl LeaderState {
             reads: HashMap::new(),
             early_confirms: HashMap::new(),
             early_order: VecDeque::new(),
+            confirm_epoch: 0,
+            confirm_round: None,
+            last_round_covered: 0,
+            suppress_hinted: false,
             txns: HashMap::new(),
             committing: HashMap::new(),
             hb_seq: 0,
@@ -173,6 +222,7 @@ impl Replica {
         if req.kind == RequestKind::Read
             && self.cfg.read_mode == ReadMode::XPaxos
             && !tpaxos_txn_op
+            && !self.confirm_suppressed
             && !self.promised.is_zero()
             && self.promised.proposer != self.id
         {
@@ -220,6 +270,25 @@ impl Replica {
                         .get(l.next_instance.prev())
                         .is_some_and(|(_, d)| d.answers(req.id))
             {
+                // A retransmitted read still waiting on a confirm round:
+                // re-send the round request in case it (or its answers)
+                // was lost, and force a fresh round if none is in flight
+                // (possible when a suppression-lifting hint was itself
+                // lost, leaving followers silent with no round coming).
+                // The per-read path gets the same liveness for free —
+                // followers re-confirm the retransmitted broadcast.
+                let stalled_read = l.reads.contains_key(&req.id);
+                if stalled_read {
+                    if let Some(round) = &l.confirm_round {
+                        out.push(Action::broadcast(Msg::ConfirmReq {
+                            ballot: l.ballot,
+                            epoch: round.epoch,
+                            backlog: round.backlog,
+                        }));
+                        return;
+                    }
+                    self.maybe_launch_confirm_round(true, out);
+                }
                 return;
             }
         }
@@ -286,6 +355,7 @@ impl Replica {
             };
             let mut votes = l.take_early_confirms(id).unwrap_or_default();
             votes.insert(me);
+            let epoch = l.confirm_epoch + 1;
             l.reads.insert(
                 id,
                 PendingRead {
@@ -293,6 +363,8 @@ impl Replica {
                     votes,
                     result: None,
                     arrived: now,
+                    epoch,
+                    confirmed: false,
                 },
             );
             l.quiescent()
@@ -301,6 +373,7 @@ impl Replica {
             self.execute_pending_read(id, now);
         }
         self.check_read_complete(id, now, out);
+        self.maybe_launch_confirm_round(false, out);
     }
 
     /// Execute a pending read against committed state. Callable only when
@@ -365,7 +438,7 @@ impl Replica {
                         } else {
                             Disposition::Requeue(p.req.clone())
                         }
-                    } else if p.votes.len() >= majority {
+                    } else if p.votes.len() >= majority || p.confirmed {
                         Disposition::Reply(l.reads.remove(&id).expect("present"))
                     } else {
                         Disposition::Wait
@@ -380,6 +453,9 @@ impl Replica {
                     self.stats.lease_reads += 1;
                 } else {
                     self.stats.xpaxos_reads += 1;
+                    if p.votes.len() < majority {
+                        self.stats.batched_reads += 1;
+                    }
                 }
                 self.reply_to(id, p.result.expect("checked"), out);
             }
@@ -423,6 +499,138 @@ impl Replica {
             }
         }
         self.check_read_complete(read, now, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch-batched confirm rounds (extension)
+    // ------------------------------------------------------------------
+
+    /// Launch a confirm round if batching is on, none is in flight, and at
+    /// least one read still lacks leadership confirmation. Rounds are
+    /// purely event-driven — launched on read arrival and re-launched on
+    /// round completion — so a lone read never waits on a window, and
+    /// reads arriving during an in-flight round accumulate into the next
+    /// epoch.
+    ///
+    /// A shallow backlog (under [`CONFIRM_BACKLOG_THRESHOLD`] both now and
+    /// in the last round, followers not suppressed) launches no round at
+    /// all: the per-read confirms are already in flight and pipeline
+    /// better than a serialized round would.
+    /// `force` overrides that skip — used on client retransmissions, where
+    /// the leader can no longer assume the per-read confirms ever arrived.
+    fn maybe_launch_confirm_round(&mut self, force: bool, out: &mut Vec<Action>) {
+        if !self.cfg.confirm_batching || self.cfg.read_mode != ReadMode::XPaxos {
+            return;
+        }
+        let majority = self.cfg.majority();
+        let Role::Leader(l) = &mut self.role else {
+            return;
+        };
+        if l.confirm_round.is_some() {
+            return;
+        }
+        let covered = l
+            .reads
+            .values()
+            .filter(|p| !p.confirmed && p.votes.len() < majority)
+            .count();
+        if covered == 0 {
+            return;
+        }
+        // The load hint, with two-level hysteresis. Entry: only a backlog
+        // deep enough to amortize a round's serialization switches the
+        // followers to suppression — shallower congestion is served better
+        // by the pipelined per-read confirms. Persistence: once suppressed,
+        // rounds launch at burst boundaries and each covers only the
+        // arrivals of one round-trip, typically below the entry threshold;
+        // any round covering more than a lone read keeps the hint up, and
+        // only two consecutive single-read rounds (genuine load collapse)
+        // lift suppression.
+        let backlog = if l.suppress_hinted {
+            covered > 1 || l.last_round_covered > 1
+        } else {
+            covered >= CONFIRM_BACKLOG_THRESHOLD
+        };
+        if !force && !backlog && !l.suppress_hinted {
+            return;
+        }
+        l.confirm_epoch += 1;
+        l.suppress_hinted = backlog;
+        l.confirm_round = Some(ConfirmRound {
+            epoch: l.confirm_epoch,
+            backlog,
+            acks: HashSet::new(),
+        });
+        self.stats.confirm_rounds += 1;
+        out.push(Action::broadcast(Msg::ConfirmReq {
+            ballot: l.ballot,
+            epoch: l.confirm_epoch,
+            backlog,
+        }));
+    }
+
+    /// A follower validated a whole confirm epoch. On a majority, every
+    /// read opened in that epoch or earlier is leadership-confirmed at
+    /// once — the O(n)-per-round traffic that replaces O(reads × n)
+    /// per-read confirms. Stale answers (wrong ballot after a leader
+    /// change, or an epoch already rolled over) are ignored.
+    pub(crate) fn handle_confirm_batch(
+        &mut self,
+        from: Addr,
+        ballot: Ballot,
+        epoch: u64,
+        now: Time,
+        out: &mut Vec<Action>,
+    ) {
+        self.note_ballot(ballot);
+        let Some(pid) = from.as_replica() else { return };
+        let majority = self.cfg.majority();
+        let completed: Vec<RequestId> = {
+            let Role::Leader(l) = &mut self.role else {
+                return;
+            };
+            if l.ballot != ballot {
+                return; // an answer to a different leadership's round
+            }
+            let Some(round) = &mut l.confirm_round else {
+                return; // no round in flight (late duplicate answer)
+            };
+            if round.epoch != epoch {
+                return; // the epoch has rolled over since this was sent
+            }
+            round.acks.insert(pid);
+            if round.acks.len() + 1 < majority {
+                return;
+            }
+            l.confirm_round = None;
+            let mut completed: Vec<RequestId> = l
+                .reads
+                .iter_mut()
+                .filter(|(_, p)| !p.confirmed && p.epoch <= epoch)
+                .map(|(id, p)| {
+                    p.confirmed = true;
+                    *id
+                })
+                .collect();
+            // `reads` is a HashMap, so collection order is arbitrary per
+            // process; replies must go out in a fixed order or a seeded
+            // simulation run stops being reproducible.
+            completed.sort_unstable();
+            // Load measure for the hysteresis: what this round covered OR
+            // what it left behind, whichever is larger. A round that
+            // covers one read but leaves a dozen unconfirmed is a burst
+            // boundary, not a load collapse — only a round that both
+            // covers ≤1 and leaves ≤1 signals the closed loop has drained.
+            let remaining = l.reads.values().filter(|p| !p.confirmed).count();
+            l.last_round_covered = completed.len().max(remaining);
+            completed
+        };
+        for id in completed {
+            self.check_read_complete(id, now, out);
+        }
+        // Reads that arrived during the round are waiting in the next
+        // epoch: seal and launch it immediately.
+        self.maybe_launch_confirm_round(false, out);
     }
 
     // ------------------------------------------------------------------
@@ -984,22 +1192,21 @@ impl Replica {
             l.recovery = Some(rec);
             (l.ballot, batch.into_iter().collect::<Vec<_>>())
         };
+        let instances: Vec<Instance> = entries.iter().map(|(i, _)| *i).collect();
         for (i, d) in &entries {
             self.storage.save_accepted(*i, ballot, d);
             self.log.record_accept(*i, ballot, d.clone());
         }
-        // One single accept message for the whole batch (§3.3).
-        out.push(Action::broadcast(Msg::Accept {
-            ballot,
-            entries: entries.clone(),
-        }));
+        // One single accept message for the whole batch (§3.3), built by
+        // moving the already-owned batch — the log keeps its own copies
+        // from `record_accept` above, so no second clone of every decree.
+        out.push(Action::broadcast(Msg::Accept { ballot, entries }));
         out.push(Action::timer(
             TimerKind::Retransmit,
             self.cfg.retransmit_timeout,
         ));
         // A singleton group commits immediately.
         if self.cfg.majority() == 1 {
-            let instances: Vec<Instance> = entries.iter().map(|(i, _)| *i).collect();
             self.handle_accepted(Addr::Replica(self.id), ballot, &instances, now, out);
         }
     }

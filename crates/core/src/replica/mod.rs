@@ -62,6 +62,11 @@ pub struct ReplicaStats {
     pub commits_led: u64,
     /// Reads answered via the X-Paxos fast path.
     pub xpaxos_reads: u64,
+    /// Of those, reads validated by an epoch-confirm round rather than
+    /// per-read confirm votes (extension).
+    pub batched_reads: u64,
+    /// Epoch-confirm rounds launched as leader (extension).
+    pub confirm_rounds: u64,
     /// Reads answered locally under a leader lease (extension).
     pub lease_reads: u64,
     /// Reads answered through full consensus.
@@ -114,6 +119,11 @@ pub struct Replica {
     /// duplicates while one is outstanding, but ages out after a
     /// retransmission timeout so a lost request or response is retried.
     pub(crate) catchup_requested_at: Option<(Instance, Time)>,
+    /// Follower-side: the leader's confirm rounds reported a read backlog,
+    /// so per-read X-Paxos confirms are suppressed — the round traffic
+    /// replaces them (extension). Purely a performance switch: it can only
+    /// reduce confirm traffic, never answer a read.
+    pub(crate) confirm_suppressed: bool,
     /// Observability counters.
     pub stats: ReplicaStats,
 }
@@ -148,6 +158,7 @@ impl Replica {
             pre_exec: None,
             last_checkpoint: Instance::ZERO,
             catchup_requested_at: None,
+            confirm_suppressed: false,
             stats: ReplicaStats::default(),
         }
     }
@@ -192,6 +203,7 @@ impl Replica {
             pre_exec: None,
             last_checkpoint: replay_from,
             catchup_requested_at: None,
+            confirm_suppressed: false,
             stats: ReplicaStats::default(),
         };
         replica.fd = FailureDetector::new(replica.cfg.suspect_timeout, now);
@@ -353,6 +365,14 @@ impl Replica {
             }
             Msg::Chosen { ballot, upto } => self.handle_chosen(ballot, upto, now, &mut out),
             Msg::Confirm { ballot, read } => self.handle_confirm(from, ballot, read, now, &mut out),
+            Msg::ConfirmReq {
+                ballot,
+                epoch,
+                backlog,
+            } => self.handle_confirm_req(ballot, epoch, backlog, now, &mut out),
+            Msg::ConfirmBatch { ballot, epoch } => {
+                self.handle_confirm_batch(from, ballot, epoch, now, &mut out)
+            }
             Msg::Heartbeat {
                 ballot,
                 chosen,
@@ -463,6 +483,9 @@ impl Replica {
         if ballot > self.promised {
             self.promised = ballot;
             self.storage.save_promised(ballot);
+            // A new leadership starts with per-read confirms enabled; its
+            // own rounds will re-establish suppression if load warrants.
+            self.confirm_suppressed = false;
         }
         // Grant the candidate failure-detection grace to finish.
         self.fd.observe(ballot, now);
@@ -587,6 +610,41 @@ impl Replica {
                 ));
             }
         }
+    }
+
+    /// The leader sealed confirm epoch `epoch` (extension): answer with a
+    /// single [`Msg::ConfirmBatch`] that validates every read it opened in
+    /// that epoch — "I have accepted no ballot higher than `ballot`" holds
+    /// here, after all of those reads arrived, which is exactly what one
+    /// per-read confirm certifies. A deposed leader's round gets no answer
+    /// (we promised higher), so it can never reach a majority.
+    fn handle_confirm_req(
+        &mut self,
+        ballot: Ballot,
+        epoch: u64,
+        backlog: bool,
+        now: Time,
+        out: &mut Vec<Action>,
+    ) {
+        self.note_ballot(ballot);
+        if ballot < self.promised || ballot.proposer == self.id {
+            return;
+        }
+        if ballot > self.promised {
+            // A leadership we missed the prepare of; a majority promised
+            // it (rounds are only run by elected leaders), so following it
+            // is safe — same reasoning as `handle_chosen`.
+            self.promised = ballot;
+            self.storage.save_promised(ballot);
+        }
+        self.fd.observe(ballot, now);
+        // Adopt the leader's load hint: under a backlog the round traffic
+        // replaces per-read confirms; a single-read round lifts it.
+        self.confirm_suppressed = backlog;
+        out.push(Action::send(
+            Addr::Replica(ballot.proposer),
+            Msg::ConfirmBatch { ballot, epoch },
+        ));
     }
 
     fn handle_catchup_req(&mut self, from: Addr, have: Instance, out: &mut Vec<Action>) {

@@ -1226,3 +1226,300 @@ fn singleton_group_commits_alone() {
     assert!(matches!(done.body, ReplyBody::Ok(_)));
     assert_eq!(s.replica(0).chosen_prefix(), Instance(1));
 }
+
+// ----------------------------------------------------------------------
+// Epoch-batched confirm rounds (extension). These tests model a read whose
+// client broadcast only reached the leader — the follower copies were lost
+// — so per-read confirms never arrive and only a round can complete it.
+// ----------------------------------------------------------------------
+
+/// Queue a read at the leader (r0) only, without running the shuttle.
+fn push_read(s: &mut Shuttle, client: u64, seq: u64) -> crate::request::RequestId {
+    let id = crate::request::RequestId::new(ClientId(client), crate::types::Seq(seq));
+    let req = crate::request::Request::new(id, RequestKind::Read, Bytes::new());
+    s.queue.push_back((
+        Addr::Client(ClientId(client)),
+        Addr::Replica(ProcessId(0)),
+        Msg::Request(req),
+    ));
+    id
+}
+
+fn read_req(client: u64, seq: u64) -> crate::request::Request {
+    crate::request::Request::new(
+        crate::request::RequestId::new(ClientId(client), crate::types::Seq(seq)),
+        RequestKind::Read,
+        Bytes::new(),
+    )
+}
+
+#[test]
+fn early_confirm_buffer_is_bounded_fifo() {
+    let cap = super::leader::EARLY_CONFIRM_CAP;
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let ballot = s.replica(0).promised();
+    // Confirms for reads whose client requests never arrive at the leader
+    // (the client crashed mid-broadcast, say). The buffer must stay
+    // bounded, evicting oldest-first.
+    let overflow = 8;
+    for seq in 0..(cap + overflow) as u64 {
+        let read = crate::request::RequestId::new(ClientId(99), crate::types::Seq(seq));
+        s.queue.push_back((
+            Addr::Replica(ProcessId(1)),
+            Addr::Replica(ProcessId(0)),
+            Msg::Confirm { ballot, read },
+        ));
+    }
+    s.run();
+    let Role::Leader(l) = s.replica(0).role() else {
+        panic!("r0 leads")
+    };
+    assert_eq!(l.early_confirms.len(), cap);
+    assert_eq!(l.early_order.len(), cap);
+    for seq in 0..overflow as u64 {
+        let oldest = crate::request::RequestId::new(ClientId(99), crate::types::Seq(seq));
+        assert!(!l.early_confirms.contains_key(&oldest), "oldest evicted");
+    }
+    let newest = crate::request::RequestId::new(
+        ClientId(99),
+        crate::types::Seq((cap + overflow - 1) as u64),
+    );
+    assert!(l.early_confirms.contains_key(&newest), "newest retained");
+}
+
+#[test]
+fn concurrent_reads_complete_through_a_single_confirm_round() {
+    let deep = super::leader::CONFIRM_BACKLOG_THRESHOLD as u64;
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    for client in 1..=deep {
+        push_read(&mut s, client, 1);
+    }
+    s.run();
+    // All reads completed through one round — no per-read confirm could
+    // have voted for them.
+    assert_eq!(s.replica(0).stats.confirm_rounds, 1);
+    assert_eq!(s.replica(0).stats.batched_reads, deep);
+    assert_eq!(s.replica(0).stats.xpaxos_reads, deep);
+    let replies = s
+        .client_inbox
+        .iter()
+        .filter(|(_, m)| matches!(m, Msg::Reply(_)))
+        .count();
+    assert_eq!(replies, deep as usize);
+    // The round carried the backlog hint: followers switched off per-read
+    // confirms.
+    assert!(s.replica(1).confirm_suppressed);
+    assert!(s.replica(2).confirm_suppressed);
+    // Hysteresis: the next lone read still rides a round (followers are
+    // suppressed, so nothing else can complete it)...
+    push_read(&mut s, deep + 1, 1);
+    s.run();
+    assert_eq!(s.replica(0).stats.confirm_rounds, 2);
+    assert!(
+        s.replica(1).confirm_suppressed,
+        "one shallow round keeps the hint up through a burst gap"
+    );
+    // ...and only a second consecutive shallow round lifts suppression.
+    push_read(&mut s, deep + 2, 1);
+    s.run();
+    assert_eq!(s.replica(0).stats.confirm_rounds, 3);
+    assert!(!s.replica(1).confirm_suppressed);
+    assert!(!s.replica(2).confirm_suppressed);
+    assert_eq!(s.replica(0).stats.xpaxos_reads, deep + 2);
+}
+
+#[test]
+fn retransmitted_lone_read_forces_a_confirm_round() {
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    // A lone read that reached only the leader launches no round — its
+    // per-read confirms are presumed in flight — so it stalls for now.
+    push_read(&mut s, 1, 1);
+    s.run();
+    assert_eq!(s.replica(0).stats.confirm_rounds, 0);
+    assert!(
+        s.client_inbox.is_empty(),
+        "no votes, no round: the read cannot have completed"
+    );
+    // The client retransmission withdraws that presumption: the leader
+    // must force a round rather than stall forever.
+    push_read(&mut s, 1, 1);
+    s.run();
+    assert_eq!(s.replica(0).stats.confirm_rounds, 1);
+    assert_eq!(s.replica(0).stats.batched_reads, 1);
+    assert!(s
+        .client_inbox
+        .iter()
+        .any(|(c, m)| *c == ClientId(1) && matches!(m, Msg::Reply(_))));
+}
+
+#[test]
+fn stale_confirm_batch_answers_are_ignored() {
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let ballot = s.replica(0).promised();
+    let now = s.now;
+    let r0 = s.replicas[0].as_mut().unwrap();
+    // No round in flight: a late duplicate answer is a no-op.
+    let out = r0.on_message(
+        Addr::Replica(ProcessId(1)),
+        Msg::ConfirmBatch { ballot, epoch: 7 },
+        now,
+    );
+    assert!(out.is_empty());
+    // Open round epoch 1 with a backlog of leader-only reads, answers
+    // withheld.
+    let deep = super::leader::CONFIRM_BACKLOG_THRESHOLD as u64;
+    let mut launched = false;
+    for client in 1..=deep {
+        let acts = r0.on_message(
+            Addr::Client(ClientId(client)),
+            Msg::Request(read_req(client, 1)),
+            now,
+        );
+        launched |= acts.iter().any(|a| {
+            matches!(
+                a,
+                Action::ToAllReplicas {
+                    msg: Msg::ConfirmReq { epoch: 1, .. }
+                }
+            )
+        });
+    }
+    assert!(launched, "a deep backlog must open round epoch 1");
+    // Answers for the wrong epoch must not complete the round.
+    for epoch in [0, 9] {
+        let out = r0.on_message(
+            Addr::Replica(ProcessId(1)),
+            Msg::ConfirmBatch { ballot, epoch },
+            now,
+        );
+        assert!(out.is_empty(), "epoch {epoch} is not the sealed epoch");
+    }
+    // Nor do answers from a different leadership's round.
+    let out = r0.on_message(
+        Addr::Replica(ProcessId(1)),
+        Msg::ConfirmBatch {
+            ballot: crate::ballot::Ballot::ZERO,
+            epoch: 1,
+        },
+        now,
+    );
+    assert!(out.is_empty());
+    // The matching answer still completes it afterwards.
+    let out = r0.on_message(
+        Addr::Replica(ProcessId(1)),
+        Msg::ConfirmBatch { ballot, epoch: 1 },
+        now,
+    );
+    let replies = out
+        .iter()
+        .filter(|a| {
+            matches!(
+                a,
+                Action::Send {
+                    to: Addr::Client(_),
+                    msg: Msg::Reply(_)
+                }
+            )
+        })
+        .count();
+    assert_eq!(
+        replies, deep as usize,
+        "one valid majority answer releases every covered read"
+    );
+    assert_eq!(r0.stats.batched_reads, deep);
+}
+
+#[test]
+fn confirm_round_answers_after_losing_leadership_are_ignored() {
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let old_ballot = s.replica(0).promised();
+    // Make the leader look dead to r1's failure detector.
+    s.now = Time(Dur::from_secs(10).0);
+    let now = s.now;
+    {
+        // Round epoch 1 in flight at r0 (answers withheld).
+        let r0 = s.replicas[0].as_mut().unwrap();
+        for client in 1..=super::leader::CONFIRM_BACKLOG_THRESHOLD as u64 {
+            let _ = r0.on_message(
+                Addr::Client(ClientId(client)),
+                Msg::Request(read_req(client, 1)),
+                now,
+            );
+        }
+    }
+    // r1 seizes leadership; r0 adopts the higher ballot and steps down,
+    // dropping its pending reads and its round.
+    s.fire(1, TimerKind::LeaderCheck);
+    assert_eq!(s.leader(), Some(1));
+    // The old round's answer arrives late at the deposed leader: it must
+    // be dropped on the floor, not answer the abandoned reads.
+    let r0 = s.replicas[0].as_mut().unwrap();
+    let out = r0.on_message(
+        Addr::Replica(ProcessId(2)),
+        Msg::ConfirmBatch {
+            ballot: old_ballot,
+            epoch: 1,
+        },
+        now,
+    );
+    assert!(out.is_empty(), "a deposed leader ignores its old round");
+    // The same stale answer at the new leader is ignored too.
+    let r1 = s.replicas[1].as_mut().unwrap();
+    let out = r1.on_message(
+        Addr::Replica(ProcessId(2)),
+        Msg::ConfirmBatch {
+            ballot: old_ballot,
+            epoch: 1,
+        },
+        now,
+    );
+    assert!(out.is_empty(), "another leadership's answers never count");
+    // No client ever saw a reply from the abandoned reads.
+    assert!(s
+        .client_inbox
+        .iter()
+        .all(|(_, m)| !matches!(m, Msg::Reply(_))));
+}
+
+#[test]
+fn disabled_confirm_batching_leaves_the_per_read_path_untouched() {
+    let mut s = Shuttle::new(3, cluster_cfg(3).with_confirm_batching(false));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+    for _ in 0..3 {
+        let done = s.submit(&mut c, RequestKind::Read);
+        assert!(matches!(done.body, ReplyBody::Ok(_)));
+    }
+    assert_eq!(s.replica(0).stats.xpaxos_reads, 3);
+    assert_eq!(s.replica(0).stats.confirm_rounds, 0);
+    assert_eq!(s.replica(0).stats.batched_reads, 0);
+    // A deep backlog of leader-only reads (and even a retransmission)
+    // launches no rounds with batching off — the knob leaves every new
+    // path dormant.
+    for client in 10..10 + super::leader::CONFIRM_BACKLOG_THRESHOLD as u64 {
+        push_read(&mut s, client, 1);
+    }
+    push_read(&mut s, 10, 1);
+    s.run();
+    assert_eq!(s.replica(0).stats.confirm_rounds, 0);
+    assert!(!s.replica(1).confirm_suppressed);
+}
+
+#[test]
+fn lone_reads_with_batching_on_use_the_per_read_path_unchanged() {
+    // Sequential single-client reads (the paper's E1 setup) must behave
+    // byte-identically with batching on: confirms arrive per read, no
+    // round ever launches, and followers stay unsuppressed.
+    let mut s = Shuttle::new(3, cluster_cfg(3));
+    let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+    s.submit(&mut c, RequestKind::Write);
+    for _ in 0..3 {
+        let done = s.submit(&mut c, RequestKind::Read);
+        assert!(matches!(done.body, ReplyBody::Ok(_)));
+    }
+    assert_eq!(s.replica(0).stats.xpaxos_reads, 3);
+    assert_eq!(s.replica(0).stats.confirm_rounds, 0);
+    assert_eq!(s.replica(0).stats.batched_reads, 0);
+    assert!(!s.replica(1).confirm_suppressed);
+    assert!(!s.replica(2).confirm_suppressed);
+}

@@ -45,6 +45,27 @@ impl CpuModel {
         }
     }
 
+    /// A message-bound profile: per-message overhead (syscall, wakeup,
+    /// parse) dominates and request execution is cheap — the regime of
+    /// small-payload services behind an unbatched socket layer, where the
+    /// kernel crossings cost more than the service method. Coordination
+    /// messages are priced above the (no-op) client requests because they
+    /// also run the protocol path — ballot validation plus a read-table
+    /// mutation and completion check per confirm. Under this model
+    /// coordination fan-in, not request parsing, is the saturating
+    /// resource, which is exactly the load the epoch-batched confirm
+    /// rounds target; used by the `read-batching` experiment for both of
+    /// its arms.
+    #[must_use]
+    pub fn msg_bound() -> CpuModel {
+        CpuModel {
+            client_request: Dur::from_nanos(8_000),
+            coord_msg: Dur::from_nanos(12_000),
+            send: Dur::from_nanos(2_000),
+            accept_entry: Dur::from_nanos(800),
+        }
+    }
+
     /// No CPU cost at all: pure latency simulation (useful for protocol
     /// tests where queueing is noise).
     #[must_use]

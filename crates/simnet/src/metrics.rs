@@ -95,6 +95,22 @@ impl Metrics {
             _ => 0.0,
         }
     }
+
+    /// Confirm-path messages delivered per completed read: every per-read
+    /// `confirm` plus the epoch-batched `confirm_req`/`confirm_batch`
+    /// exchanges, divided by completed reads. The per-read protocol pays
+    /// `n - 1` confirms per read, so this sits near 2.0 for `n = 3`;
+    /// epoch batching drives it below 1.0 at saturation (one round
+    /// validates many reads). `NaN` when no reads completed.
+    #[must_use]
+    pub fn confirm_msgs_per_read(&self) -> f64 {
+        let confirm_msgs: u64 = ["confirm", "confirm_req", "confirm_batch"]
+            .iter()
+            .filter_map(|t| self.msgs_by_tag.get(t))
+            .sum();
+        let reads = self.rtt_ms.get("read").map_or(0, Vec::len);
+        confirm_msgs as f64 / reads as f64
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +167,24 @@ mod tests {
         assert_eq!(m.txn_aborts, 1);
         assert_eq!(m.txn_summary().n, 1, "aborted txns don't pollute latency");
         assert!((m.txns_per_sec() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confirm_msgs_per_read_counts_all_confirm_traffic() {
+        let mut m = Metrics::default();
+        for _ in 0..4 {
+            m.record_op(
+                &req(RequestKind::Read),
+                Dur::from_millis(1),
+                Time(1_000_000),
+                0,
+            );
+        }
+        m.msgs_by_tag.insert("confirm", 2);
+        m.msgs_by_tag.insert("confirm_req", 1);
+        m.msgs_by_tag.insert("confirm_batch", 1);
+        m.msgs_by_tag.insert("accept", 99); // unrelated traffic ignored
+        assert!((m.confirm_msgs_per_read() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub use inproc::{Hub, HubEndpoint};
 pub use node::{spawn_replica, RecvResult, ReplicaNode, SyncClient, Transport};
 pub use shard::{spawn_sharded_node, GroupPort, ShardedNode, ShardedTcpCluster};
 pub use tcp::{TcpCluster, TcpNode};
-pub use wire::{decode_msg, encode_msg, encode_to_bytes, WireError};
+pub use wire::{decode_msg, encode_msg, encode_to_bytes, encode_with_scratch, WireError};

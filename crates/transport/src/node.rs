@@ -39,6 +39,24 @@ pub trait Transport: Send {
 /// Maximum sleep per loop iteration so stop flags are honored promptly.
 const MAX_WAIT: Duration = Duration::from_millis(25);
 
+/// Fan a message out to every replica (optionally skipping `me`), moving
+/// the original into the final send so an `n`-way broadcast pays `n - 1`
+/// clones instead of `n`.
+fn broadcast<T: Transport>(transport: &T, n: usize, me: Option<Addr>, msg: Msg) {
+    let targets = (0..n)
+        .map(|i| Addr::Replica(ProcessId(i as u32)))
+        .filter(|to| Some(*to) != me);
+    let mut pending: Option<Addr> = None;
+    for to in targets {
+        if let Some(prev) = pending.replace(to) {
+            transport.send(prev, msg.clone());
+        }
+    }
+    if let Some(last) = pending {
+        transport.send(last, msg);
+    }
+}
+
 /// Drives a [`Replica`] over a [`Transport`].
 pub struct ReplicaNode<T: Transport> {
     replica: Replica,
@@ -96,12 +114,7 @@ impl<T: Transport> ReplicaNode<T> {
             match a {
                 Action::Send { to, msg } => self.transport.send(to, msg),
                 Action::ToAllReplicas { msg } => {
-                    for i in 0..n {
-                        let to = Addr::Replica(ProcessId(i as u32));
-                        if to != me {
-                            self.transport.send(to, msg.clone());
-                        }
-                    }
+                    broadcast(&self.transport, n, Some(me), msg);
                 }
                 Action::SetTimer { kind, after } => {
                     let gen = self.gens.entry(kind).or_insert(0);
@@ -206,10 +219,7 @@ impl<T: Transport> SyncClient<T> {
             match a {
                 Action::Send { to, msg } => self.transport.send(to, msg),
                 Action::ToAllReplicas { msg } => {
-                    for i in 0..self.n {
-                        self.transport
-                            .send(Addr::Replica(ProcessId(i as u32)), msg.clone());
-                    }
+                    broadcast(&self.transport, self.n, None, msg);
                 }
                 Action::SetTimer {
                     kind: TimerKind::ClientRetry,

@@ -9,8 +9,8 @@
 
 use crate::framing::{read_frame, write_frame};
 use crate::node::{RecvResult, Transport};
-use crate::wire::{decode_msg, encode_to_bytes, get_addr, put_addr};
-use bytes::{Bytes, BytesMut};
+use crate::wire::{decode_msg, encode_with_scratch, get_addr, put_addr};
+use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gridpaxos_core::msg::Msg;
 use gridpaxos_core::types::{Addr, ClientId, ProcessId};
@@ -28,8 +28,11 @@ pub struct TcpNode {
     local: Addr,
     inbox_rx: Receiver<Inbox>,
     inbox_tx: Sender<Inbox>,
-    /// Open outbound writers by peer address.
-    conns: Arc<Mutex<HashMap<Addr, Sender<Bytes>>>>,
+    /// Open outbound writers by peer address. The channel carries decoded
+    /// messages: each connection's writer thread owns a reusable scratch
+    /// buffer and serializes there, so the replica/client thread pays no
+    /// per-message encode allocation.
+    conns: Arc<Mutex<HashMap<Addr, Sender<Msg>>>>,
     /// Listen addresses of the replicas (for dialing).
     pub(crate) peers: HashMap<ProcessId, SocketAddr>,
 }
@@ -81,7 +84,7 @@ impl TcpNode {
     }
 
     /// Get (or lazily establish) the outbound writer for `to`.
-    fn writer_for(&self, to: Addr) -> Option<Sender<Bytes>> {
+    fn writer_for(&self, to: Addr) -> Option<Sender<Msg>> {
         if let Some(tx) = self.conns.lock().get(&to) {
             return Some(tx.clone());
         }
@@ -109,10 +112,10 @@ fn spawn_connection(
     dialed: Option<Addr>,
     local: Addr,
     inbox: Sender<Inbox>,
-    conns: Arc<Mutex<HashMap<Addr, Sender<Bytes>>>>,
-) -> Option<Sender<Bytes>> {
+    conns: Arc<Mutex<HashMap<Addr, Sender<Msg>>>>,
+) -> Option<Sender<Msg>> {
     stream.set_nodelay(true).ok();
-    let (out_tx, out_rx): (Sender<Bytes>, Receiver<Bytes>) = unbounded();
+    let (out_tx, out_rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
 
     let write_stream = stream.try_clone().ok()?;
     let hello = {
@@ -120,7 +123,9 @@ fn spawn_connection(
         put_addr(&mut b, &local);
         b.freeze()
     };
-    // Writer thread: hello (if dialing), then queued frames.
+    // Writer thread: hello (if dialing), then queued messages, serialized
+    // into a connection-owned scratch buffer (one allocation per ~16 KiB
+    // of traffic instead of one per message).
     let send_hello = dialed.is_some();
     std::thread::spawn(move || {
         let mut w = BufWriter::new(write_stream);
@@ -129,8 +134,10 @@ fn spawn_connection(
         }
         use std::io::Write;
         let _ = w.flush();
-        while let Ok(frame) = out_rx.recv() {
-            if write_frame(&mut w, &frame).is_err() {
+        let mut scratch = BytesMut::new();
+        while let Ok(msg) = out_rx.recv() {
+            let frame = encode_with_scratch(&msg, &mut scratch);
+            if write_frame(&mut w, frame).is_err() {
                 return;
             }
             if w.flush().is_err() {
@@ -190,7 +197,7 @@ fn reader_loop_buf(mut r: BufReader<TcpStream>, peer: Addr, inbox: Sender<Inbox>
 impl Transport for TcpNode {
     fn send(&self, to: Addr, msg: Msg) {
         if let Some(tx) = self.writer_for(to) {
-            let _ = tx.send(encode_to_bytes(&msg));
+            let _ = tx.send(msg);
         }
     }
 

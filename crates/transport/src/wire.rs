@@ -518,6 +518,21 @@ pub fn encode_msg(msg: &Msg, out: &mut BytesMut) {
             put_ballot(out, ballot);
             put_request_id(out, read);
         }
+        Msg::ConfirmReq {
+            ballot,
+            epoch,
+            backlog,
+        } => {
+            out.put_u8(15);
+            put_ballot(out, ballot);
+            out.put_u64_le(*epoch);
+            out.put_u8(u8::from(*backlog));
+        }
+        Msg::ConfirmBatch { ballot, epoch } => {
+            out.put_u8(16);
+            put_ballot(out, ballot);
+            out.put_u64_le(*epoch);
+        }
         Msg::Heartbeat {
             ballot,
             chosen,
@@ -605,6 +620,15 @@ pub fn decode_msg(buf: &mut Bytes) -> Result<Msg> {
             ballot: get_ballot(buf)?,
             read: get_request_id(buf)?,
         }),
+        15 => Ok(Msg::ConfirmReq {
+            ballot: get_ballot(buf)?,
+            epoch: get_u64(buf)?,
+            backlog: get_u8(buf)? != 0,
+        }),
+        16 => Ok(Msg::ConfirmBatch {
+            ballot: get_ballot(buf)?,
+            epoch: get_u64(buf)?,
+        }),
         10 => Ok(Msg::Heartbeat {
             ballot: get_ballot(buf)?,
             chosen: get_instance(buf)?,
@@ -650,6 +674,20 @@ pub fn encode_to_bytes(msg: &Msg) -> Bytes {
     out.freeze()
 }
 
+/// Encode a message into a reusable scratch buffer, returning the frame.
+///
+/// The scratch is cleared and refilled in place, so once it has grown to
+/// the connection's steady-state frame size the encode allocates nothing —
+/// unlike [`encode_to_bytes`], which pays a fresh buffer per message.
+/// Intended for per-connection use: each sender (e.g. a TCP writer thread)
+/// owns its scratch, and the returned slice is only valid until the next
+/// encode into the same scratch.
+pub fn encode_with_scratch<'a>(msg: &Msg, scratch: &'a mut BytesMut) -> &'a [u8] {
+    scratch.clear();
+    encode_msg(msg, scratch);
+    scratch
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -683,9 +721,79 @@ mod tests {
                 ballot: Ballot::new(9, ProcessId(2)),
                 read: RequestId::new(ClientId(5), Seq(77)),
             },
+            Msg::ConfirmReq {
+                ballot: Ballot::new(9, ProcessId(2)),
+                epoch: 41,
+                backlog: true,
+            },
+            Msg::ConfirmReq {
+                ballot: Ballot::new(9, ProcessId(2)),
+                epoch: 42,
+                backlog: false,
+            },
+            Msg::ConfirmBatch {
+                ballot: Ballot::new(9, ProcessId(2)),
+                epoch: u64::MAX,
+            },
         ];
         for m in msgs {
             assert_eq!(roundtrip(&m), m);
+        }
+    }
+
+    #[test]
+    fn confirm_round_messages_survive_truncation() {
+        for msg in [
+            Msg::ConfirmReq {
+                ballot: Ballot::new(3, ProcessId(1)),
+                epoch: 9,
+                backlog: true,
+            },
+            Msg::ConfirmBatch {
+                ballot: Ballot::new(3, ProcessId(1)),
+                epoch: 9,
+            },
+        ] {
+            let full = encode_to_bytes(&msg);
+            for cut in 0..full.len() {
+                let mut b = full.slice(0..cut);
+                assert!(decode_msg(&mut b).is_err(), "prefix of {cut} bytes decoded");
+            }
+            let mut b = full.clone();
+            assert_eq!(decode_msg(&mut b).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn scratch_encoding_matches_fresh_encoding_and_reuses_capacity() {
+        let mut scratch = BytesMut::new();
+        let msgs = [
+            Msg::Heartbeat {
+                ballot: Ballot::new(3, ProcessId(1)),
+                chosen: Instance(42),
+                hb_seq: 7,
+            },
+            Msg::ConfirmReq {
+                ballot: Ballot::new(3, ProcessId(1)),
+                epoch: 1,
+                backlog: false,
+            },
+            Msg::Confirm {
+                ballot: Ballot::new(9, ProcessId(2)),
+                read: RequestId::new(ClientId(5), Seq(77)),
+            },
+        ];
+        for m in &msgs {
+            let frame = encode_with_scratch(m, &mut scratch).to_vec();
+            assert_eq!(frame, encode_to_bytes(m).to_vec());
+            let mut b = Bytes::from(frame);
+            assert_eq!(&decode_msg(&mut b).unwrap(), m);
+        }
+        // Once warm, re-encoding reuses the scratch's backing storage: the
+        // data pointer must not move across subsequent (smaller) frames.
+        let ptr = encode_with_scratch(&msgs[0], &mut scratch).as_ptr();
+        for m in &msgs {
+            assert_eq!(encode_with_scratch(m, &mut scratch).as_ptr(), ptr);
         }
     }
 
@@ -1009,6 +1117,15 @@ mod tests {
                 upto: Instance(u)
             }),
             (arb_ballot(), arb_request_id()).prop_map(|(b, r)| Msg::Confirm { ballot: b, read: r }),
+            (arb_ballot(), any::<u64>(), any::<bool>()).prop_map(|(b, e, bk)| Msg::ConfirmReq {
+                ballot: b,
+                epoch: e,
+                backlog: bk,
+            }),
+            (arb_ballot(), any::<u64>()).prop_map(|(b, e)| Msg::ConfirmBatch {
+                ballot: b,
+                epoch: e
+            }),
             (arb_ballot(), any::<u64>(), any::<u64>()).prop_map(|(b, c, h)| Msg::Heartbeat {
                 ballot: b,
                 chosen: Instance(c),
