@@ -1,0 +1,32 @@
+//! Repo-specific lint binary: `cargo run -p check --bin lint`.
+//!
+//! Walks `crates/core/src` and `crates/transport/src` and enforces the
+//! protocol coding rules (see [`check::lint`]). Exit code 0 = clean,
+//! 1 = findings, 2 = I/O error.
+
+use std::path::PathBuf;
+
+fn main() {
+    // Locate the repo root: the manifest dir is crates/check.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    match check::lint::lint_repo(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("lint: clean");
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("lint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("lint: io error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

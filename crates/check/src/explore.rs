@@ -1,0 +1,175 @@
+//! Bounded-exhaustive exploration: iterative-deepening DFS over the
+//! harness's choice tree, with fingerprint-based visited pruning.
+//!
+//! `Replica` is deliberately not `Clone` (its storage box isn't), so the
+//! explorer is *replay-based*: a node is identified by its schedule (the
+//! choice-index prefix from the root), and visiting a node rebuilds the
+//! cluster by replaying that prefix. Every transition along a replayed
+//! prefix was already invariant-checked when it was first taken (as the
+//! final step of its own visit), so only the last step of each visit is
+//! checked — each reachable state is still checked exactly once.
+//! Iterative deepening keeps counterexamples minimal: the first
+//! violation reported is at the shallowest depth it occurs.
+
+use crate::harness::Cluster;
+use crate::invariants;
+use crate::scenario::Scenario;
+use std::collections::{HashMap, HashSet};
+
+/// Exploration statistics for one scenario.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreStats {
+    /// Distinct state fingerprints reached (across all deepening rounds).
+    pub distinct_states: u64,
+    /// Transitions executed, counting replay re-execution.
+    pub transitions: u64,
+    /// Node visits skipped by visited-set pruning.
+    pub pruned: u64,
+    /// Deepest schedule bound explored.
+    pub max_depth: usize,
+}
+
+/// A schedule that violates an invariant, with enough detail to replay.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Choice indices from the root (feed to [`replay`]).
+    pub schedule: Vec<usize>,
+    /// Human-readable schedule (one line per step).
+    pub trace: Vec<String>,
+    /// The violated invariant.
+    pub violation: String,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "counterexample in scenario '{}':", self.scenario)?;
+        writeln!(f, "  violation: {}", self.violation)?;
+        writeln!(f, "  schedule (replay indices {:?}):", self.schedule)?;
+        for (i, line) in self.trace.iter().enumerate() {
+            writeln!(f, "    step {i}: {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Replay a schedule (choice indices per step) against a fresh cluster,
+/// invariant-checking every step. Returns the cluster and the first
+/// violation hit, if any.
+pub fn replay(scenario: &Scenario, schedule: &[usize]) -> (Cluster, Option<String>) {
+    let mut cl = Cluster::new(scenario);
+    for &ci in schedule {
+        let choices = cl.choices();
+        let Some(&choice) = choices.get(ci) else {
+            return (cl, Some(format!("schedule error: index {ci} out of range")));
+        };
+        if let Some(v) = cl.apply(choice) {
+            return (cl, Some(v));
+        }
+        if let Some(v) = invariants::check_state(&cl) {
+            return (cl, Some(v));
+        }
+    }
+    (cl, None)
+}
+
+/// Exhaustively explore `scenario` to `max_depth` via iterative-deepening
+/// DFS. Returns statistics, or the first (shallowest) counterexample.
+pub fn explore(scenario: &Scenario, max_depth: usize) -> Result<ExploreStats, Box<Counterexample>> {
+    let mut stats = ExploreStats::default();
+    let mut distinct: HashSet<u64> = HashSet::new();
+    for depth in 1..=max_depth {
+        // fingerprint → remaining budget it was last expanded with; only
+        // revisit when a larger budget could reach new states below it.
+        let mut visited: HashMap<u64, usize> = HashMap::new();
+        let mut schedule: Vec<usize> = Vec::new();
+        dfs(
+            scenario,
+            depth,
+            &mut schedule,
+            &mut visited,
+            &mut distinct,
+            &mut stats,
+        )?;
+        stats.max_depth = depth;
+        stats.distinct_states = distinct.len() as u64;
+    }
+    Ok(stats)
+}
+
+/// Visit the node identified by `schedule` with `budget` steps left:
+/// rebuild its state, invariant-check the step that created it, then
+/// expand its children.
+fn dfs(
+    scenario: &Scenario,
+    budget: usize,
+    schedule: &mut Vec<usize>,
+    visited: &mut HashMap<u64, usize>,
+    distinct: &mut HashSet<u64>,
+    stats: &mut ExploreStats,
+) -> Result<(), Box<Counterexample>> {
+    let mut cl = Cluster::new(scenario);
+    let last = schedule.len().checked_sub(1);
+    let mut violation = None;
+    for (i, &ci) in schedule.iter().enumerate() {
+        let choices = cl.choices();
+        let Some(&choice) = choices.get(ci) else {
+            violation = Some(format!("schedule error: index {ci} out of range"));
+            break;
+        };
+        let step_violation = cl.apply(choice);
+        stats.transitions += 1;
+        if Some(i) == last {
+            violation = step_violation.or_else(|| invariants::check_state(&cl));
+        }
+    }
+    if let Some(v) = violation {
+        let trace = describe(scenario, schedule);
+        return Err(Box::new(Counterexample {
+            scenario: scenario.name,
+            schedule: schedule.clone(),
+            trace,
+            violation: v,
+        }));
+    }
+
+    let fp = cl.fingerprint();
+    distinct.insert(fp);
+    match visited.get(&fp) {
+        Some(&seen) if seen >= budget => {
+            stats.pruned += 1;
+            return Ok(());
+        }
+        _ => {
+            visited.insert(fp, budget);
+        }
+    }
+    if budget == 0 {
+        return Ok(());
+    }
+    let n_choices = cl.choices().len();
+    drop(cl);
+    for ci in 0..n_choices {
+        schedule.push(ci);
+        dfs(scenario, budget - 1, schedule, visited, distinct, stats)?;
+        schedule.pop();
+    }
+    Ok(())
+}
+
+/// Render a schedule as human-readable steps (for counterexamples).
+fn describe(scenario: &Scenario, schedule: &[usize]) -> Vec<String> {
+    let mut cl = Cluster::new(scenario);
+    let mut out = Vec::with_capacity(schedule.len());
+    for &ci in schedule {
+        let choices = cl.choices();
+        let Some(&choice) = choices.get(ci) else {
+            out.push(format!("<index {ci} out of range>"));
+            break;
+        };
+        out.push(format!("{choice}"));
+        let _ = cl.apply(choice);
+    }
+    out
+}

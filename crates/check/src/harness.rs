@@ -1,0 +1,662 @@
+//! Deterministic cluster harness: the model checker's transition system.
+//!
+//! A [`Cluster`] holds real [`Replica`] instances plus everything the
+//! environment normally supplies — the network (a set of pending
+//! messages), the clock (advanced only by timer firings) and the clients
+//! (a scripted sequence of requests). Every nondeterministic decision the
+//! environment could make is reified as a [`Choice`]; applying a choice
+//! is a deterministic transition, so a schedule (a sequence of choice
+//! indices) replays exactly. The explorer enumerates schedules; the
+//! harness also records the client-visible history ([`Observations`])
+//! that the invariant layer checks.
+//!
+//! Timer liveness uses the same generation scheme as the simulator,
+//! via the shared [`gridpaxos_simnet::sched::TimerGens`] utility: stale
+//! firings (superseded or cancelled) are garbage-collected eagerly so
+//! they never appear as choices.
+
+use crate::app::{decode_mask, CheckerApp};
+use crate::scenario::{ClientOp, Scenario};
+use gridpaxos_core::action::{Action, TimerKind};
+use gridpaxos_core::msg::Msg;
+use gridpaxos_core::replica::Replica;
+use gridpaxos_core::request::{ReplyBody, Request, RequestId, RequestKind};
+use gridpaxos_core::storage::{MemStorage, Storage};
+use gridpaxos_core::types::{Addr, ClientId, ProcessId, Seq, Time, TxnId};
+use gridpaxos_simnet::sched::TimerGens;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Which environment nondeterminism the explorer may exercise.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HarnessOpts {
+    /// Allow dropping pending messages (message loss).
+    pub drops: bool,
+    /// Allow duplicating pending messages (at most once per message).
+    pub dups: bool,
+    /// Leader crashes the explorer may inject.
+    pub crashes: u32,
+    /// Allow crashed replicas to recover.
+    pub recovers: bool,
+    /// Allow client retransmission of outstanding requests (drives the
+    /// dedup path and forces epoch-confirm rounds).
+    pub retransmits: bool,
+}
+
+/// A pending environment event.
+#[derive(Clone, Debug)]
+enum Event {
+    /// An in-flight message addressed to replica `to`.
+    Msg {
+        from: Addr,
+        to: ProcessId,
+        msg: Msg,
+        /// How many times this message has been duplicated already.
+        dups: u32,
+    },
+    /// A pending timer firing (live iff its generation still is).
+    Timer {
+        on: ProcessId,
+        kind: TimerKind,
+        gen: u64,
+        due: Time,
+    },
+}
+
+/// One environment decision, by current position in the event list.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Choice {
+    /// Deliver pending message event `i`.
+    Deliver(usize),
+    /// Drop pending message event `i`.
+    Drop(usize),
+    /// Duplicate pending message event `i` (it stays pending).
+    Duplicate(usize),
+    /// Fire pending timer event `i`.
+    Fire(usize),
+    /// Inject the next scripted client request.
+    Inject,
+    /// Retransmit already-injected request `k` (client retry).
+    Retransmit(usize),
+    /// Crash the current leader.
+    CrashLeader,
+    /// Recover crashed replica `r`.
+    Recover(u32),
+}
+
+impl fmt::Display for Choice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Choice::Deliver(i) => write!(f, "deliver#{i}"),
+            Choice::Drop(i) => write!(f, "drop#{i}"),
+            Choice::Duplicate(i) => write!(f, "dup#{i}"),
+            Choice::Fire(i) => write!(f, "fire#{i}"),
+            Choice::Inject => write!(f, "inject"),
+            Choice::Retransmit(k) => write!(f, "retransmit#{k}"),
+            Choice::CrashLeader => write!(f, "crash-leader"),
+            Choice::Recover(r) => write!(f, "recover#{r}"),
+        }
+    }
+}
+
+/// What one injected scripted request tracks for the invariant layer.
+#[derive(Clone, Debug)]
+pub struct Issued {
+    /// The request as injected (used for retransmission).
+    pub req: Request,
+    /// The scripted operation it came from.
+    pub op: ClientOp,
+    /// Bits of writes/commits *acked* before this request was issued
+    /// (the linearizability lower bound for reads).
+    pub acked_at_issue: u64,
+    /// First reply body observed, to cross-check duplicate replies.
+    pub first_reply: Option<ReplyBody>,
+}
+
+/// Client-visible history, accumulated as replies arrive.
+#[derive(Clone, Debug, Default)]
+pub struct Observations {
+    /// Bits of every injected write / txn operation so far.
+    pub issued_bits: u64,
+    /// Bits of every *acknowledged* write and committed transaction.
+    pub acked_bits: u64,
+    /// Bits per transaction (full scripted set).
+    pub txn_bits: HashMap<TxnId, u64>,
+    /// Bits of transactions observed aborted — must never surface.
+    pub aborted_bits: u64,
+    /// A violation found while recording a reply (reported by the step).
+    pub violation: Option<String>,
+}
+
+/// The model-checking cluster (see module docs).
+pub struct Cluster {
+    replicas: Vec<Option<Replica>>,
+    /// Detached storages of crashed replicas, keyed by index.
+    crashed: Vec<Option<Box<dyn Storage>>>,
+    events: Vec<Event>,
+    timers: TimerGens<(u32, TimerKind)>,
+    now: Time,
+    opts: HarnessOpts,
+    crashes_left: u32,
+    script: Vec<ClientOp>,
+    next_inject: usize,
+    issued: Vec<Issued>,
+    /// Request-id → index into `issued`.
+    by_id: HashMap<RequestId, usize>,
+    /// Client-visible history.
+    pub obs: Observations,
+    n: usize,
+}
+
+const CLIENT: ClientId = ClientId(1);
+
+impl Cluster {
+    /// Build the scenario's initial state: replicas constructed and
+    /// started, bootstrap-election traffic pending in the network.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> Cluster {
+        let n = scenario.cfg.n;
+        let mut obs = Observations::default();
+        for op in &scenario.script {
+            if let ClientOp::TxnOp(txn, bit) = op {
+                *obs.txn_bits.entry(*txn).or_insert(0) |= 1u64 << (bit % 64);
+            }
+        }
+        let mut cl = Cluster {
+            replicas: Vec::with_capacity(n),
+            crashed: (0..n).map(|_| None).collect(),
+            events: Vec::new(),
+            timers: TimerGens::new(),
+            now: Time::ZERO,
+            opts: scenario.opts,
+            crashes_left: scenario.opts.crashes,
+            script: scenario.script.clone(),
+            next_inject: 0,
+            issued: Vec::new(),
+            by_id: HashMap::new(),
+            obs,
+            n,
+        };
+        for i in 0..n {
+            let id = ProcessId(i as u32);
+            let r = Replica::new(
+                id,
+                scenario.cfg.clone(),
+                Box::new(CheckerApp::new()),
+                Box::new(MemStorage::new()),
+                0x5eed + i as u64,
+                Time::ZERO,
+            );
+            cl.replicas.push(Some(r));
+        }
+        for i in 0..n {
+            let Some(mut r) = cl.replicas[i].take() else {
+                continue;
+            };
+            let actions = r.on_start(cl.now);
+            cl.replicas[i] = Some(r);
+            cl.process_actions(ProcessId(i as u32), actions);
+        }
+        cl
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current logical time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Immutable access to live replica `i` (None while crashed).
+    #[must_use]
+    pub fn replica(&self, i: usize) -> Option<&Replica> {
+        self.replicas.get(i).and_then(|s| s.as_ref())
+    }
+
+    /// Index of the current leader, if exactly one live replica leads.
+    #[must_use]
+    pub fn leader(&self) -> Option<usize> {
+        let mut leader = None;
+        for (i, r) in self.replicas.iter().enumerate() {
+            if r.as_ref().is_some_and(|r| r.is_leader()) {
+                if leader.is_some() {
+                    return None; // transient dual leadership: ambiguous
+                }
+                leader = Some(i);
+            }
+        }
+        leader
+    }
+
+    /// Order-independent fingerprint of the whole system state (replicas,
+    /// network, clients), for visited-set pruning. Time is deliberately
+    /// excluded (see [`Replica::fingerprint`]); pending timer events are
+    /// reduced to their (owner, kind, relative order) shape.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (i, slot) in self.replicas.iter().enumerate() {
+            match slot {
+                Some(r) => (1u8, r.fingerprint()).hash(&mut h),
+                None => (0u8, i as u64).hash(&mut h),
+            }
+        }
+        // The pending-event multiset. Message order in the vec matters to
+        // choice numbering but not to reachable states (any pending message
+        // can be picked at any step), so hash a sorted view.
+        let mut evs: Vec<u64> = self
+            .events
+            .iter()
+            .map(|e| {
+                let mut eh = std::collections::hash_map::DefaultHasher::new();
+                match e {
+                    Event::Msg {
+                        from,
+                        to,
+                        msg,
+                        dups,
+                    } => {
+                        (0u8, from, to, msg, dups).hash(&mut eh);
+                    }
+                    Event::Timer { on, kind, .. } => (1u8, on, kind).hash(&mut eh),
+                }
+                eh.finish()
+            })
+            .collect();
+        evs.sort_unstable();
+        evs.hash(&mut h);
+        self.next_inject.hash(&mut h);
+        self.crashes_left.hash(&mut h);
+        (
+            self.obs.issued_bits,
+            self.obs.acked_bits,
+            self.obs.aborted_bits,
+        )
+            .hash(&mut h);
+        h.finish()
+    }
+
+    /// Enumerate every choice available in the current state, in a
+    /// deterministic order.
+    #[must_use]
+    pub fn choices(&self) -> Vec<Choice> {
+        let mut out = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                Event::Msg { dups, .. } => {
+                    out.push(Choice::Deliver(i));
+                    if self.opts.drops {
+                        out.push(Choice::Drop(i));
+                    }
+                    if self.opts.dups && *dups == 0 {
+                        out.push(Choice::Duplicate(i));
+                    }
+                }
+                Event::Timer { .. } => out.push(Choice::Fire(i)),
+            }
+        }
+        if self.next_inject < self.script.len() {
+            out.push(Choice::Inject);
+        }
+        if self.opts.retransmits {
+            for (k, iss) in self.issued.iter().enumerate() {
+                if iss.first_reply.is_none() {
+                    out.push(Choice::Retransmit(k));
+                }
+            }
+        }
+        if self.crashes_left > 0 && self.leader().is_some() {
+            out.push(Choice::CrashLeader);
+        }
+        if self.opts.recovers {
+            for (i, s) in self.crashed.iter().enumerate() {
+                if s.is_some() {
+                    out.push(Choice::Recover(i as u32));
+                }
+            }
+        }
+        out
+    }
+
+    /// Apply one choice. Returns an invariant violation detected *during*
+    /// the transition (reply-history checks), if any; structural
+    /// invariants are checked separately by [`crate::invariants`].
+    pub fn apply(&mut self, choice: Choice) -> Option<String> {
+        self.obs.violation = None;
+        match choice {
+            Choice::Deliver(i) => {
+                let Event::Msg { from, to, msg, .. } = self.events.remove(i) else {
+                    return Some("schedule error: Deliver on a timer event".into());
+                };
+                self.deliver(from, to, msg);
+            }
+            Choice::Drop(i) => {
+                self.events.remove(i);
+            }
+            Choice::Duplicate(i) => {
+                let Event::Msg {
+                    from,
+                    to,
+                    msg,
+                    dups,
+                } = &mut self.events[i]
+                else {
+                    return Some("schedule error: Duplicate on a timer event".into());
+                };
+                *dups += 1;
+                let (from, to, msg) = (*from, *to, msg.clone());
+                self.events.push(Event::Msg {
+                    from,
+                    to,
+                    msg,
+                    dups: 1,
+                });
+            }
+            Choice::Fire(i) => {
+                let Event::Timer { on, kind, gen, due } = self.events.remove(i) else {
+                    return Some("schedule error: Fire on a message event".into());
+                };
+                // Firing never moves the clock backwards.
+                self.now = self.now.max(due);
+                if self.timers.is_live(&(on.0, kind), gen) {
+                    self.timers.cancel((on.0, kind)); // fired = consumed
+                    let idx = on.0 as usize;
+                    if let Some(mut r) = self.replicas[idx].take() {
+                        let actions = r.on_timer(kind, self.now);
+                        self.replicas[idx] = Some(r);
+                        self.process_actions(on, actions);
+                    }
+                }
+            }
+            Choice::Inject => self.inject_next(),
+            Choice::Retransmit(k) => {
+                let req = self.issued.get(k)?.req.clone();
+                if let Some(target) = self.inject_target() {
+                    self.deliver(
+                        Addr::Client(CLIENT),
+                        ProcessId(target as u32),
+                        Msg::Request(req),
+                    );
+                }
+            }
+            Choice::CrashLeader => {
+                if let Some(i) = self.leader() {
+                    self.crash(i);
+                    self.crashes_left -= 1;
+                }
+            }
+            Choice::Recover(r) => self.recover(r as usize),
+        }
+        self.obs.violation.take()
+    }
+
+    /// The replica a client would currently send to: the leader if one is
+    /// known, else the lowest-id live replica.
+    fn inject_target(&self) -> Option<usize> {
+        self.leader()
+            .or_else(|| self.replicas.iter().position(Option::is_some))
+    }
+
+    fn inject_next(&mut self) {
+        let Some(op) = self.script.get(self.next_inject).cloned() else {
+            return;
+        };
+        self.next_inject += 1;
+        let seq = Seq(self.next_inject as u64);
+        let id = RequestId::new(CLIENT, seq);
+        let req = match op {
+            ClientOp::Write(bit) => Request::new(
+                id,
+                RequestKind::Write,
+                bytes::Bytes::copy_from_slice(&[bit]),
+            ),
+            ClientOp::Read => Request::new(id, RequestKind::Read, bytes::Bytes::new()),
+            ClientOp::TxnOp(txn, bit) => Request::txn_op(
+                id,
+                RequestKind::Write,
+                txn,
+                bytes::Bytes::copy_from_slice(&[bit]),
+            ),
+            ClientOp::TxnCommit(txn, n_ops) => Request::txn_commit(id, txn, n_ops),
+            ClientOp::TxnAbort(txn) => Request::txn_abort(id, txn),
+        };
+        match op {
+            ClientOp::Write(bit) | ClientOp::TxnOp(_, bit) => {
+                self.obs.issued_bits |= 1u64 << (bit % 64);
+            }
+            _ => {}
+        }
+        self.by_id.insert(id, self.issued.len());
+        self.issued.push(Issued {
+            req: req.clone(),
+            op,
+            acked_at_issue: self.obs.acked_bits,
+            first_reply: None,
+        });
+        if let Some(target) = self.inject_target() {
+            self.deliver(
+                Addr::Client(CLIENT),
+                ProcessId(target as u32),
+                Msg::Request(req),
+            );
+        }
+    }
+
+    fn deliver(&mut self, from: Addr, to: ProcessId, msg: Msg) {
+        let idx = to.0 as usize;
+        // Deliveries to a crashed replica are consumed no-ops (the wire
+        // dropped them).
+        if let Some(mut r) = self.replicas[idx].take() {
+            let was_leader = r.is_leader();
+            let actions = r.on_message(from, msg, self.now);
+            let became_leader = !was_leader && r.is_leader();
+            self.replicas[idx] = Some(r);
+            if became_leader {
+                // §3.6 single-message gap-closing: the new leader recovers
+                // every non-contiguous instance with at most one Accept
+                // broadcast.
+                let accepts = actions
+                    .iter()
+                    .filter(|a| {
+                        matches!(
+                            a,
+                            Action::ToAllReplicas {
+                                msg: Msg::Accept { .. }
+                            } | Action::Send {
+                                msg: Msg::Accept { .. },
+                                ..
+                            }
+                        )
+                    })
+                    .count();
+                if accepts > 1 {
+                    self.obs.violation = Some(format!(
+                        "gap-closing: new leader {to} issued {accepts} Accept \
+                         messages on takeover (expected at most one batch)"
+                    ));
+                }
+            }
+            self.process_actions(to, actions);
+        }
+    }
+
+    fn crash(&mut self, idx: usize) {
+        let Some(r) = self.replicas[idx].take() else {
+            return;
+        };
+        self.crashed[idx] = Some(r.into_storage());
+        // The crash destroys the replica's volatile timers and any
+        // messages still addressed to it.
+        self.events.retain(|e| match e {
+            Event::Msg { to, .. } => to.0 as usize != idx,
+            Event::Timer { on, .. } => on.0 as usize != idx,
+        });
+        self.timers.retain(|(owner, _), _| *owner as usize != idx);
+    }
+
+    fn recover(&mut self, idx: usize) {
+        let Some(storage) = self.crashed[idx].take() else {
+            return;
+        };
+        let id = ProcessId(idx as u32);
+        let mut r = Replica::recover(
+            id,
+            // Recovered incarnations must not re-bootstrap an election.
+            {
+                let mut cfg = self.replicas.iter().flatten().next().map_or_else(
+                    || gridpaxos_core::config::Config::cluster(self.n),
+                    |r| r.config().clone(),
+                );
+                cfg.bootstrap_leader = None;
+                cfg
+            },
+            Box::new(CheckerApp::new()),
+            storage,
+            0xdead + idx as u64,
+            self.now,
+        );
+        let actions = r.on_start(self.now);
+        self.replicas[idx] = Some(r);
+        self.process_actions(id, actions);
+    }
+
+    fn process_actions(&mut self, from: ProcessId, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => match to {
+                    Addr::Replica(p) => self.push_msg(Addr::Replica(from), p, msg),
+                    Addr::Client(_) => self.observe_reply(&msg),
+                },
+                Action::ToAllReplicas { msg } => {
+                    for i in 0..self.n {
+                        let p = ProcessId(i as u32);
+                        if p != from {
+                            self.push_msg(Addr::Replica(from), p, msg.clone());
+                        }
+                    }
+                }
+                Action::SetTimer { kind, after } => {
+                    let gen = self.timers.arm((from.0, kind));
+                    // GC the superseded firing so stale timers never
+                    // inflate the choice set.
+                    self.gc_timers();
+                    self.events.push(Event::Timer {
+                        on: from,
+                        kind,
+                        gen,
+                        due: self.now.after(after),
+                    });
+                }
+                Action::CancelTimer { kind } => {
+                    self.timers.cancel((from.0, kind));
+                    self.gc_timers();
+                }
+            }
+        }
+    }
+
+    fn gc_timers(&mut self) {
+        let timers = &self.timers;
+        self.events.retain(|e| match e {
+            Event::Msg { .. } => true,
+            Event::Timer { on, kind, gen, .. } => timers.is_live(&(on.0, *kind), *gen),
+        });
+    }
+
+    fn push_msg(&mut self, from: Addr, to: ProcessId, msg: Msg) {
+        // Messages to crashed replicas are dropped at send time; the
+        // crash already severed the wire.
+        if self.replicas[to.0 as usize].is_some() {
+            self.events.push(Event::Msg {
+                from,
+                to,
+                msg,
+                dups: 0,
+            });
+        }
+    }
+
+    /// Record a client-visible reply and check the history invariants
+    /// that are best verified at observation time.
+    fn observe_reply(&mut self, msg: &Msg) {
+        let Msg::Reply(reply) = msg else { return };
+        let Some(&k) = self.by_id.get(&reply.id) else {
+            return;
+        };
+        let iss = &self.issued[k];
+        match &reply.body {
+            ReplyBody::Ok(payload) => {
+                match iss.op {
+                    ClientOp::Read => {
+                        if let Some(mask) = decode_mask(payload) {
+                            if let Some(v) = crate::invariants::check_read_mask(
+                                mask,
+                                iss.acked_at_issue,
+                                &self.obs,
+                            ) {
+                                self.obs.violation = Some(format!("read {}: {v}", reply.id));
+                            }
+                        }
+                    }
+                    ClientOp::Write(bit) => {
+                        self.obs.acked_bits |= 1u64 << (bit % 64);
+                    }
+                    // A txn op's Ok only acknowledges staging, not commit.
+                    _ => {}
+                }
+                // Duplicate replies to the same mutation must agree (the
+                // dedup table's contract). Reads may legitimately observe
+                // newer state on re-execution.
+                if !matches!(iss.op, ClientOp::Read) {
+                    if let Some(first) = &iss.first_reply {
+                        if first != &reply.body {
+                            self.obs.violation = Some(format!(
+                                "dedup: request {} answered twice with different \
+                                 replies ({first:?} vs {:?})",
+                                reply.id, reply.body
+                            ));
+                        }
+                    }
+                }
+            }
+            ReplyBody::TxnCommitted { txn } => {
+                let bits = self.obs.txn_bits.get(txn).copied().unwrap_or(0);
+                if self.obs.aborted_bits & bits != 0 {
+                    self.obs.violation = Some(format!(
+                        "txn {txn:?} committed after it was observed aborted"
+                    ));
+                }
+                self.obs.acked_bits |= bits;
+            }
+            ReplyBody::TxnAborted { txn, .. } => {
+                let bits = self.obs.txn_bits.get(txn).copied().unwrap_or(0);
+                if self.obs.acked_bits & bits == bits && bits != 0 {
+                    self.obs.violation = Some(format!(
+                        "txn {txn:?} aborted after it was observed committed"
+                    ));
+                } else {
+                    self.obs.aborted_bits |= bits;
+                }
+            }
+            ReplyBody::Empty => {}
+        }
+        let first = &mut self.issued[k].first_reply;
+        if first.is_none() {
+            *first = Some(reply.body.clone());
+        }
+    }
+
+    /// Chaos hook passthrough for the seeded-mutation self-tests: make
+    /// the leader (if replica `i` leads) skip an instance number.
+    pub fn chaos_skip_instance(&mut self, i: usize) -> bool {
+        self.replicas[i]
+            .as_mut()
+            .is_some_and(Replica::chaos_skip_instance)
+    }
+}

@@ -1,0 +1,167 @@
+//! The paper's safety invariants, as assertions over a [`Cluster`] state
+//! and its observed history. DESIGN.md §"Checked invariants" maps each
+//! check to its paper section.
+
+use crate::app::decode_mask;
+use crate::harness::{Cluster, Observations};
+use gridpaxos_core::types::Instance;
+use std::collections::HashMap;
+
+/// Check every structural invariant of the current cluster state.
+/// Returns a description of the first violation found.
+#[must_use]
+pub fn check_state(cl: &Cluster) -> Option<String> {
+    agreement(cl)
+        .or_else(|| gap_freedom(cl))
+        .or_else(|| snapshot_history(cl))
+}
+
+/// §3.3 agreement: no two replicas decide different `⟨req, state⟩`
+/// decrees for the same instance, and replicas at the same chosen prefix
+/// hold identical service state.
+fn agreement(cl: &Cluster) -> Option<String> {
+    let per_replica: Vec<(usize, Vec<(Instance, u64)>)> = (0..cl.n())
+        .filter_map(|i| cl.replica(i).map(|r| (i, r.chosen_digests())))
+        .collect();
+    if let Some(v) = check_chosen_digests(&per_replica) {
+        return Some(v);
+    }
+    // Equal chosen prefix ⟹ equal applied service state, except on a
+    // leader mid-tentative-execution (§3.3: the leader executes before
+    // the decree is chosen, so its service state may run one step ahead).
+    let mut state_at: HashMap<Instance, (usize, u64)> = HashMap::new();
+    for i in 0..cl.n() {
+        let Some(r) = cl.replica(i) else { continue };
+        if r.checker_view().tentative_exec {
+            continue;
+        }
+        let prefix = r.chosen_prefix();
+        let Some(mask) = decode_mask(&r.service_snapshot()) else {
+            continue;
+        };
+        match state_at.get(&prefix) {
+            None => {
+                state_at.insert(prefix, (i, mask));
+            }
+            Some(&(j, other)) if other != mask => {
+                return Some(format!(
+                    "agreement: replicas {j} and {i} applied the same prefix \
+                     {prefix:?} but hold different state ({other:#x} vs {mask:#x})"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    None
+}
+
+/// §3.3 strict pipelining: a quiescent leader (nothing in flight, no
+/// recovery outstanding) has assigned exactly the chosen instances — its
+/// next instance number immediately follows the chosen prefix, i.e. the
+/// log it is building has no gap.
+fn gap_freedom(cl: &Cluster) -> Option<String> {
+    for i in 0..cl.n() {
+        let Some(r) = cl.replica(i) else { continue };
+        let v = r.checker_view();
+        if v.role == "leader" && v.quiescent {
+            let (Some(next), prefix) = (v.next_instance, v.chosen_prefix) else {
+                continue;
+            };
+            if next != prefix.next() {
+                return Some(format!(
+                    "gap-freedom: quiescent leader {i} would assign {next:?} \
+                     but the chosen prefix is {prefix:?}"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// History-facing checks on replica snapshots: transaction atomicity
+/// (§3.5) and no resurrection of aborted transactions (§3.6), applied to
+/// every replica's service state.
+fn snapshot_history(cl: &Cluster) -> Option<String> {
+    for i in 0..cl.n() {
+        let Some(r) = cl.replica(i) else { continue };
+        let Some(mask) = decode_mask(&r.service_snapshot()) else {
+            continue;
+        };
+        if let Some(v) = check_mask_invariants(mask, &cl.obs) {
+            return Some(format!("replica {i} state: {v}"));
+        }
+    }
+    None
+}
+
+/// Digest-level core of the agreement check (§3.3): given each replica's
+/// chosen `(instance, decree digest)` pairs, any two replicas holding
+/// different digests for the same instance is a violation.
+#[must_use]
+pub fn check_chosen_digests(per_replica: &[(usize, Vec<(Instance, u64)>)]) -> Option<String> {
+    let mut chosen: HashMap<Instance, (usize, u64)> = HashMap::new();
+    for (i, digests) in per_replica {
+        for &(inst, digest) in digests {
+            match chosen.get(&inst) {
+                None => {
+                    chosen.insert(inst, (*i, digest));
+                }
+                Some(&(j, other)) if other != digest => {
+                    return Some(format!(
+                        "agreement: replicas {j} and {i} decided different \
+                         decrees for instance {inst:?}"
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    None
+}
+
+/// Invariants every observed state mask must satisfy, whether it came
+/// from a read reply or a replica snapshot.
+#[must_use]
+pub fn check_mask_invariants(mask: u64, obs: &Observations) -> Option<String> {
+    if mask & !obs.issued_bits != 0 {
+        return Some(format!(
+            "contains bits {:#x} that were never issued",
+            mask & !obs.issued_bits
+        ));
+    }
+    if mask & obs.aborted_bits != 0 {
+        return Some(format!(
+            "contains bits {:#x} of an aborted transaction (§3.6: staged \
+             effects die with the leadership / abort)",
+            mask & obs.aborted_bits
+        ));
+    }
+    for (txn, bits) in &obs.txn_bits {
+        let seen = mask & bits;
+        if seen != 0 && seen != *bits {
+            return Some(format!(
+                "atomicity (§3.5): transaction {txn:?} is partially visible \
+                 ({seen:#x} of {bits:#x})"
+            ));
+        }
+    }
+    None
+}
+
+/// §3.4 read linearizability bounds: a read's result must include every
+/// write acknowledged before the read was issued (reads never travel
+/// back in time past an ack) and may include only issued writes, with
+/// the mask-level invariants on top. The epoch-batched confirm path
+/// (PR 2) answers through the same reply route, so it is covered by the
+/// same bound.
+#[must_use]
+pub fn check_read_mask(mask: u64, acked_at_issue: u64, obs: &Observations) -> Option<String> {
+    if acked_at_issue & !mask != 0 {
+        return Some(format!(
+            "linearizability (§3.4): missing bits {:#x} that were \
+             acknowledged before the read was issued",
+            acked_at_issue & !mask
+        ));
+    }
+    check_mask_invariants(mask, obs)
+}

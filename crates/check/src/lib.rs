@@ -1,0 +1,30 @@
+//! # check
+//!
+//! Correctness tooling for the gridpaxos protocol core, two engines:
+//!
+//! * **Model checker** ([`harness`], [`explore`], [`invariants`]): drives
+//!   real [`gridpaxos_core::replica::Replica`] instances through bounded,
+//!   exhaustive state-space exploration — every interleaving of message
+//!   delivery, drop, duplication, timer firing and leader crash up to a
+//!   depth bound — asserting the paper's safety invariants (§3.3–§3.6)
+//!   after every transition. Run it with `cargo run -p check --release`.
+//! * **Repo lint** ([`lint`]): a source-level pass enforcing protocol
+//!   coding rules clippy cannot express (exhaustive `Msg` dispatch,
+//!   no non-test `unwrap`/`expect` in replica/transport code,
+//!   persist-before-send ordering). Run it with
+//!   `cargo run -p check --bin lint`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod app;
+pub mod explore;
+pub mod harness;
+pub mod invariants;
+pub mod lint;
+pub mod scenario;
+
+pub use app::CheckerApp;
+pub use explore::{explore, replay, Counterexample, ExploreStats};
+pub use harness::{Choice, Cluster, HarnessOpts};
+pub use scenario::{smoke_scenarios, ClientOp, Scenario};

@@ -1,0 +1,557 @@
+//! Repo-specific lint pass: protocol coding rules clippy cannot express.
+//!
+//! Three rules, scoped to the consensus-critical crates:
+//!
+//! 1. **Exhaustive `Msg` dispatch** (`crates/core`, `crates/transport`):
+//!    a `match` whose arms pattern-match `Msg::` variants must not have a
+//!    bare `_ =>` arm — a new message variant (like PR 2's `ConfirmReq`)
+//!    must fail compilation where it is dispatched, never be silently
+//!    swallowed.
+//! 2. **No non-test `unwrap`/`expect`** (`crates/core/src/replica`,
+//!    `crates/transport/src`): replica and transport code must use typed
+//!    errors or documented invariant panics (`panic!`/`unreachable!` with
+//!    rationale), not ad-hoc unwraps.
+//! 3. **Persist-before-send** (`crates/core/src/replica`): the functions
+//!    that acknowledge protocol steps must call the corresponding
+//!    `Storage` persist *before* constructing the acknowledgment message,
+//!    and must contain the persist call at all — the paper's §3.1
+//!    recovery model is sound only if promises and acceptances hit stable
+//!    storage before they are announced.
+//!
+//! The pass is a hand-rolled token scan, not a full parse: comments,
+//! strings and char literals are blanked first, `#[cfg(test)]` items are
+//! masked out, and the rules run on the remainder. That is precise enough
+//! for these rules and keeps the checker dependency-free. The rule
+//! functions take source text, so the self-tests can feed known-bad
+//! snippets (see `tests/lint_self.rs`).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in (repo-relative label).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Blank comments, string literals and char literals with spaces,
+/// preserving line structure (newlines survive) so byte offsets map to
+/// the original line numbers. Lifetimes (`'a`) are distinguished from
+/// char literals.
+#[must_use]
+pub fn strip_noise(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                // Regular string (raw strings handled below via 'r').
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' if i + 1 < b.len() => {
+                            out.extend_from_slice(b"  ");
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        }
+                        c => {
+                            out.push(if c == b'\n' { b'\n' } else { b' ' });
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string r"..." / r#"..."#.
+                let start = i;
+                i += 1;
+                let mut hashes = 0;
+                while i < b.len() && b[i] == b'#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'"' {
+                    i += 1;
+                    loop {
+                        if i >= b.len() {
+                            break;
+                        }
+                        if b[i] == b'"' {
+                            let mut ok = true;
+                            for k in 0..hashes {
+                                if b.get(i + 1 + k) != Some(&b'#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                i += 1 + hashes;
+                                break;
+                            }
+                        }
+                        i += 1;
+                    }
+                    for &c in &b[start..i] {
+                        out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    }
+                } else {
+                    // `r#ident` raw identifier, not a string.
+                    out.extend_from_slice(&b[start..i]);
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime is ' followed by an
+                // identifier NOT closed by a ' right after.
+                let is_char = matches!(
+                    (b.get(i + 1), b.get(i + 2)),
+                    (Some(b'\\'), _) | (Some(_), Some(b'\''))
+                );
+                if is_char {
+                    out.push(b' ');
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' if i + 1 < b.len() => {
+                                out.extend_from_slice(b"  ");
+                                i += 2;
+                            }
+                            b'\'' => {
+                                out.push(b' ');
+                                i += 1;
+                                break;
+                            }
+                            c => {
+                                out.push(if c == b'\n' { b'\n' } else { b' ' });
+                                i += 1;
+                            }
+                        }
+                    }
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Additionally blank every item annotated `#[cfg(test)]` (attribute plus
+/// the following item's braces). Input must already be noise-stripped.
+#[must_use]
+pub fn mask_test_items(cleaned: &str) -> String {
+    let b = cleaned.as_bytes();
+    let mut out = cleaned.as_bytes().to_vec();
+    let pat = b"#[cfg(test)]";
+    let mut i = 0;
+    while i + pat.len() <= b.len() {
+        if &b[i..i + pat.len()] != pat.as_slice() {
+            i += 1;
+            continue;
+        }
+        // Find the end of the annotated item: the matching close of the
+        // first `{` after the attribute (covers `mod`, `fn`, `impl`), or
+        // the next `;` for brace-less items.
+        let mut j = i + pat.len();
+        let mut end = None;
+        while j < b.len() {
+            match b[j] {
+                b'{' => {
+                    let mut depth = 1;
+                    j += 1;
+                    while j < b.len() && depth > 0 {
+                        match b[j] {
+                            b'{' => depth += 1,
+                            b'}' => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    end = Some(j);
+                    break;
+                }
+                b';' => {
+                    end = Some(j + 1);
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let end = end.unwrap_or(b.len());
+        for item in out.iter_mut().take(end).skip(i) {
+            if *item != b'\n' {
+                *item = b' ';
+            }
+        }
+        i = end;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn line_of(src: &str, offset: usize) -> usize {
+    src.as_bytes()[..offset.min(src.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+/// Rule 1: no bare `_ =>` arm in a `match` whose arms match `Msg::`
+/// patterns. Runs on noise-stripped source.
+#[must_use]
+pub fn check_msg_wildcards(file: &str, cleaned: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let b = cleaned.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = cleaned[i..].find("match ") {
+        let start = i + pos;
+        i = start + 6;
+        // Word-boundary check on the left.
+        if start > 0 && (b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_') {
+            continue;
+        }
+        // Find the match body: first `{` at paren/bracket depth 0.
+        let mut j = start + 6;
+        let mut depth = 0i32;
+        let body_start = loop {
+            if j >= b.len() {
+                break None;
+            }
+            match b[j] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => break Some(j + 1),
+                // A `{` inside parens (struct expr in the scrutinee).
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                b';' if depth == 0 => break None, // not a match expr after all
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(body_start) = body_start else {
+            continue;
+        };
+        // Walk the arms at depth 0 within the body.
+        let mut k = body_start;
+        let mut depth = 0i32;
+        let mut arm_start = body_start;
+        let mut has_msg_pattern = false;
+        let mut wildcard_at: Option<usize> = None;
+        let mut in_pattern = true;
+        while k < b.len() {
+            match b[k] {
+                b'{' | b'(' | b'[' => depth += 1,
+                b'}' | b')' | b']' => {
+                    if b[k] == b'}' && depth == 0 {
+                        break; // end of match body
+                    }
+                    depth -= 1;
+                }
+                b'=' if depth == 0 && in_pattern && k + 1 < b.len() && b[k + 1] == b'>' => {
+                    let pat = cleaned[arm_start..k].trim();
+                    // Strip a guard for classification.
+                    let head = pat.split(" if ").next().unwrap_or(pat).trim();
+                    // Only *top-level* `Msg::` patterns make this a Msg
+                    // dispatch: a match over Action with a nested
+                    // `msg: Msg::X` pattern is a filter, not dispatch.
+                    if head.starts_with("Msg::") {
+                        has_msg_pattern = true;
+                    }
+                    if head == "_" {
+                        wildcard_at = Some(arm_start);
+                    }
+                    in_pattern = false;
+                    k += 1;
+                }
+                b',' if depth == 0 && !in_pattern => {
+                    arm_start = k + 1;
+                    in_pattern = true;
+                }
+                _ => {}
+            }
+            // A block-bodied arm returns to pattern position after its
+            // braces close back to depth 0; detect via `}` + lookahead is
+            // overkill — the `,` rule plus brace tracking covers idiomatic
+            // rustfmt output, where block arms are followed by no comma
+            // but a newline then the next pattern. Handle that: if we are
+            // past a block close at depth 0, treat the next non-space
+            // char as a new pattern start.
+            if !in_pattern && depth == 0 && b[k] == b'}' {
+                arm_start = k + 1;
+                in_pattern = true;
+            }
+            k += 1;
+        }
+        if has_msg_pattern {
+            if let Some(off) = wildcard_at {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: line_of(cleaned, off),
+                    rule: "msg-wildcard",
+                    msg: "match over Msg variants has a bare `_ =>` arm; list every \
+                          variant so new messages cannot be silently dropped"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Rule 2: no `.unwrap()` / `.expect(` outside test code. Runs on
+/// noise-stripped, test-masked source.
+#[must_use]
+pub fn check_unwraps(file: &str, masked: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for pat in [".unwrap()", ".expect("] {
+        let mut i = 0;
+        while let Some(pos) = masked[i..].find(pat) {
+            let off = i + pos;
+            i = off + pat.len();
+            findings.push(Finding {
+                file: file.to_string(),
+                line: line_of(masked, off),
+                rule: "no-unwrap",
+                msg: format!(
+                    "`{}` in non-test replica/transport code; use typed errors or a \
+                     documented invariant panic",
+                    pat.trim_matches(|c| c == '.' || c == '(' || c == ')')
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// (function name, persist call that must appear, message it must precede)
+const PERSIST_RULES: &[(&str, &str, &str)] = &[
+    ("handle_accept", "save_accepted", "Msg::Accepted"),
+    ("handle_prepare", "save_promised", "Msg::Promise"),
+    ("execute_and_propose", "save_accepted", "Msg::Accept"),
+    ("install_recovery_batch", "save_accepted", "Msg::Accept"),
+];
+
+/// Rule 3: persist-before-send. For each protocol-acknowledging function,
+/// the persist call must be present and must textually dominate (precede)
+/// the construction of the message it covers. Additionally, any function
+/// containing both a persist call and its covered message construction
+/// must order them persist-first. Runs on noise-stripped, test-masked
+/// source.
+#[must_use]
+pub fn check_persist_before_send(file: &str, masked: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for &(fn_name, persist, msg) in PERSIST_RULES {
+        let needle = format!("fn {fn_name}");
+        let mut i = 0;
+        while let Some(pos) = masked[i..].find(&needle) {
+            let start = i + pos;
+            i = start + needle.len();
+            // Word boundary after the name.
+            let after = masked.as_bytes().get(start + needle.len());
+            if after.is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
+                continue;
+            }
+            let Some(body) = fn_body(masked, start) else {
+                continue;
+            };
+            let text = &masked[body.clone()];
+            let p = text.find(persist);
+            let m = text.find(msg);
+            match (p, m) {
+                (None, _) => findings.push(Finding {
+                    file: file.to_string(),
+                    line: line_of(masked, start),
+                    rule: "persist-before-send",
+                    msg: format!(
+                        "`{fn_name}` must persist via `{persist}` before acknowledging \
+                         (no persist call found)"
+                    ),
+                }),
+                (Some(p_off), Some(m_off)) if m_off < p_off => findings.push(Finding {
+                    file: file.to_string(),
+                    line: line_of(masked, body.start + m_off),
+                    rule: "persist-before-send",
+                    msg: format!(
+                        "`{fn_name}` constructs `{msg}` before calling `{persist}`; \
+                         stable storage must precede the acknowledgment (§3.1)"
+                    ),
+                }),
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+/// Byte range of the body (inside the outermost braces) of the function
+/// whose `fn` keyword starts at `fn_start`.
+fn fn_body(src: &str, fn_start: usize) -> Option<std::ops::Range<usize>> {
+    let b = src.as_bytes();
+    let mut j = fn_start;
+    let mut depth = 0i32;
+    // Find the opening brace of the body (skip generic/where/params).
+    while j < b.len() {
+        match b[j] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'{' if depth == 0 => break,
+            b';' if depth == 0 => return None, // trait method without body
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= b.len() {
+        return None;
+    }
+    let body_start = j + 1;
+    let mut depth = 1i32;
+    j += 1;
+    while j < b.len() && depth > 0 {
+        match b[j] {
+            b'{' => depth += 1,
+            b'}' => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    Some(body_start..j.saturating_sub(1))
+}
+
+/// Lint one source file's text under the rule scopes that apply to it.
+#[must_use]
+pub fn lint_source(label: &str, src: &str, scope: Scope) -> Vec<Finding> {
+    let cleaned = strip_noise(src);
+    let masked = mask_test_items(&cleaned);
+    let mut findings = check_msg_wildcards(label, &masked);
+    if scope.no_unwrap {
+        findings.extend(check_unwraps(label, &masked));
+    }
+    if scope.persist {
+        findings.extend(check_persist_before_send(label, &masked));
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Which rule groups apply to a file.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scope {
+    /// Apply the no-unwrap rule.
+    pub no_unwrap: bool,
+    /// Apply the persist-before-send rules.
+    pub persist: bool,
+}
+
+/// Lint the repository rooted at `root`. Scopes: the `Msg`-wildcard rule
+/// covers all of `crates/core/src` and `crates/transport/src`; no-unwrap
+/// covers `crates/core/src/replica` and `crates/transport/src`
+/// (`tests.rs` files and `#[cfg(test)]` items excluded); the persist
+/// rules cover `crates/core/src/replica`.
+pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut files: Vec<(PathBuf, Scope)> = Vec::new();
+    collect_rs(&root.join("crates/core/src"), &mut |p| {
+        let in_replica = p
+            .strip_prefix(root)
+            .ok()
+            .is_some_and(|r| r.starts_with("crates/core/src/replica"));
+        let is_test_file = p.file_name().is_some_and(|f| f == "tests.rs");
+        files.push((
+            p.to_path_buf(),
+            Scope {
+                no_unwrap: in_replica && !is_test_file,
+                persist: in_replica && !is_test_file,
+            },
+        ));
+    })?;
+    collect_rs(&root.join("crates/transport/src"), &mut |p| {
+        files.push((
+            p.to_path_buf(),
+            Scope {
+                no_unwrap: true,
+                persist: false,
+            },
+        ));
+    })?;
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    for (path, scope) in files {
+        let src = std::fs::read_to_string(&path)?;
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .display()
+            .to_string();
+        findings.extend(lint_source(&label, &src, scope));
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, f: &mut impl FnMut(&Path)) -> std::io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, f)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            f(&p);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! Checker scenarios: an initial configuration plus a client script.
+//!
+//! Each scenario pins down the protocol features under test (read mode,
+//! transaction mode, confirm batching) and the workload; the explorer
+//! then covers every environment schedule up to a depth bound. The smoke
+//! suite ([`smoke_scenarios`]) is sized to finish comfortably inside CI;
+//! the `gridcheck` binary exposes depth knobs for deeper offline sweeps.
+
+use crate::harness::HarnessOpts;
+use gridpaxos_core::config::{Config, ReadMode, TxnMode};
+use gridpaxos_core::types::{Dur, ProcessId, TxnId};
+
+/// One scripted client operation. Bits identify operations in observed
+/// state masks (see [`crate::app::CheckerApp`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientOp {
+    /// A write setting the given bit.
+    Write(u8),
+    /// A read of the whole bit-set.
+    Read,
+    /// A T-Paxos transaction operation setting the given bit.
+    TxnOp(TxnId, u8),
+    /// Commit the transaction (`n_ops` = operations the client issued).
+    TxnCommit(TxnId, u32),
+    /// Abort the transaction.
+    TxnAbort(TxnId),
+}
+
+/// A checker scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Display name (appears in counterexamples and progress output).
+    pub name: &'static str,
+    /// Replica configuration.
+    pub cfg: Config,
+    /// Scripted client operations, injected in order.
+    pub script: Vec<ClientOp>,
+    /// Environment nondeterminism the explorer may exercise.
+    pub opts: HarnessOpts,
+    /// Exploration depth bound for the smoke suite.
+    pub smoke_depth: usize,
+}
+
+/// Base configuration for checking: 3 replicas, pre-elected leader 0,
+/// batching windows off (they only add timer noise at depth 1).
+#[must_use]
+pub fn base_config() -> Config {
+    let mut cfg = Config::cluster(3);
+    cfg.batch_window = Dur::ZERO;
+    cfg.bootstrap_leader = Some(ProcessId(0));
+    cfg
+}
+
+/// The bounded suite run by `gridcheck --smoke` and CI.
+#[must_use]
+pub fn smoke_scenarios() -> Vec<Scenario> {
+    vec![
+        // Plain writes + read, lossy reordered network: agreement,
+        // gap-freedom and the X-Paxos per-read confirm path.
+        Scenario {
+            name: "write-read-lossy",
+            cfg: base_config(),
+            script: vec![ClientOp::Write(0), ClientOp::Write(1), ClientOp::Read],
+            opts: HarnessOpts {
+                drops: true,
+                dups: true,
+                ..HarnessOpts::default()
+            },
+            smoke_depth: 6,
+        },
+        // Epoch-batched confirm rounds (PR 2): retransmissions force the
+        // round-launch path; reads must stay linearizable.
+        Scenario {
+            name: "confirm-batching",
+            cfg: Config {
+                read_mode: ReadMode::XPaxos,
+                confirm_batching: true,
+                ..base_config()
+            },
+            script: vec![ClientOp::Write(0), ClientOp::Read, ClientOp::Read],
+            opts: HarnessOpts {
+                dups: true,
+                retransmits: true,
+                ..HarnessOpts::default()
+            },
+            smoke_depth: 7,
+        },
+        // Leader crash + recovery mid-write: durability of acked writes,
+        // single-message gap-closing on takeover.
+        Scenario {
+            name: "leader-crash",
+            cfg: base_config(),
+            script: vec![ClientOp::Write(0), ClientOp::Write(1), ClientOp::Read],
+            opts: HarnessOpts {
+                crashes: 1,
+                recovers: true,
+                ..HarnessOpts::default()
+            },
+            smoke_depth: 7,
+        },
+        // T-Paxos commit: staged effects surface atomically, exactly once.
+        Scenario {
+            name: "tpaxos-commit",
+            cfg: Config {
+                txn_mode: TxnMode::TPaxos,
+                ..base_config()
+            },
+            script: vec![
+                ClientOp::TxnOp(TxnId(1), 0),
+                ClientOp::TxnOp(TxnId(1), 1),
+                ClientOp::TxnCommit(TxnId(1), 2),
+                ClientOp::Read,
+            ],
+            opts: HarnessOpts {
+                dups: true,
+                ..HarnessOpts::default()
+            },
+            smoke_depth: 7,
+        },
+        // T-Paxos abort + leader crash: staged effects must vanish; an
+        // aborted transaction's bits may never surface anywhere.
+        Scenario {
+            name: "tpaxos-abort-crash",
+            cfg: Config {
+                txn_mode: TxnMode::TPaxos,
+                ..base_config()
+            },
+            script: vec![
+                ClientOp::TxnOp(TxnId(1), 0),
+                ClientOp::TxnAbort(TxnId(1)),
+                ClientOp::Write(1),
+                ClientOp::Read,
+            ],
+            opts: HarnessOpts {
+                crashes: 1,
+                recovers: true,
+                ..HarnessOpts::default()
+            },
+            smoke_depth: 6,
+        },
+    ]
+}

@@ -1,0 +1,178 @@
+//! Lint self-tests: each rule fires on a deliberately bad snippet and
+//! stays silent on the idiomatic equivalent. The wildcard-arm case is
+//! the CI tripwire: introducing `_ =>` into Msg dispatch anywhere in the
+//! core makes `cargo run -p check --bin lint` (and these tests) fail.
+
+use check::lint::{
+    check_msg_wildcards, check_persist_before_send, check_unwraps, lint_source, mask_test_items,
+    strip_noise, Scope,
+};
+
+const FULL: Scope = Scope {
+    no_unwrap: true,
+    persist: true,
+};
+
+#[test]
+fn wildcard_msg_arm_is_flagged() {
+    let src = r#"
+        fn dispatch(&mut self, msg: Msg) {
+            match msg {
+                Msg::Request(req) => self.handle_request(req),
+                Msg::Prepare { ballot, .. } => self.handle_prepare(ballot),
+                _ => {}
+            }
+        }
+    "#;
+    let findings = check_msg_wildcards("dispatch.rs", &strip_noise(src));
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "msg-wildcard");
+}
+
+#[test]
+fn exhaustive_msg_match_is_clean() {
+    let src = r#"
+        fn dispatch(&mut self, msg: Msg) {
+            match msg {
+                Msg::Request(req) => self.handle_request(req),
+                Msg::Prepare { ballot, .. } | Msg::Promise { ballot, .. } => {
+                    self.handle_ballot(ballot)
+                }
+                Msg::Reply(r) => drop(r),
+            }
+        }
+    "#;
+    assert!(check_msg_wildcards("dispatch.rs", &strip_noise(src)).is_empty());
+}
+
+/// A match over a *different* enum that merely binds a nested `Msg::`
+/// pattern is a filter, not Msg dispatch — its `_` arm is fine.
+#[test]
+fn nested_msg_pattern_in_action_match_is_clean() {
+    let src = r#"
+        fn sent(actions: &[Action]) -> Vec<GroupId> {
+            actions
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Send { msg: Msg::Grouped { group, .. }, .. } => Some(*group),
+                    _ => None,
+                })
+                .collect()
+        }
+    "#;
+    assert!(check_msg_wildcards("helpers.rs", &strip_noise(src)).is_empty());
+}
+
+#[test]
+fn wildcard_inside_test_module_is_exempt() {
+    let src = r#"
+        #[cfg(test)]
+        mod tests {
+            fn pick(msg: Msg) -> u32 {
+                match msg {
+                    Msg::Request(_) => 1,
+                    _ => 0,
+                }
+            }
+        }
+    "#;
+    let masked = mask_test_items(&strip_noise(src));
+    assert!(check_msg_wildcards("mod.rs", &masked).is_empty());
+}
+
+#[test]
+fn unwrap_outside_tests_is_flagged() {
+    let src = r#"
+        fn decode(buf: &[u8]) -> Frame {
+            let len = buf.first().copied().unwrap();
+            parse(&buf[1..]).expect("valid frame")
+        }
+    "#;
+    let findings = check_unwraps("decode.rs", &mask_test_items(&strip_noise(src)));
+    assert_eq!(findings.len(), 2, "findings: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "no-unwrap"));
+}
+
+#[test]
+fn unwrap_inside_test_module_is_exempt() {
+    let src = r#"
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn roundtrip() {
+                decode(&encode()).unwrap();
+            }
+        }
+    "#;
+    let findings = check_unwraps("decode.rs", &mask_test_items(&strip_noise(src)));
+    assert!(findings.is_empty(), "findings: {findings:?}");
+}
+
+/// The string literal `".unwrap()"` must not fool the rule — noise
+/// stripping removes string contents before scanning.
+#[test]
+fn unwrap_in_string_literal_is_clean() {
+    let src = r#"
+        fn banner() -> &'static str {
+            "never call .unwrap() here"
+        }
+    "#;
+    assert!(check_unwraps("doc.rs", &mask_test_items(&strip_noise(src))).is_empty());
+}
+
+#[test]
+fn send_before_persist_is_flagged() {
+    // `handle_accept` builds its Accepted reply before calling
+    // save_accepted: acknowledging before durability (§3.1 violation).
+    let src = r#"
+        fn handle_accept(&mut self, from: Addr) {
+            let reply = Msg::Accepted { instance: i };
+            out.push(Action::Send { to: from, msg: reply });
+            self.storage.save_accepted(i, &decree);
+        }
+    "#;
+    let findings = check_persist_before_send("mod.rs", &mask_test_items(&strip_noise(src)));
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "persist-before-send");
+}
+
+#[test]
+fn missing_persist_is_flagged() {
+    let src = r#"
+        fn handle_accept(&mut self, from: Addr) {
+            out.push(Action::Send { to: from, msg: Msg::Accepted { instance: i } });
+        }
+    "#;
+    let findings = check_persist_before_send("mod.rs", &mask_test_items(&strip_noise(src)));
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "persist-before-send");
+}
+
+#[test]
+fn persist_before_send_is_clean() {
+    let src = r#"
+        fn handle_accept(&mut self, from: Addr) {
+            self.storage.save_accepted(i, &decree);
+            out.push(Action::Send { to: from, msg: Msg::Accepted { instance: i } });
+        }
+    "#;
+    let findings = check_persist_before_send("mod.rs", &mask_test_items(&strip_noise(src)));
+    assert!(findings.is_empty(), "findings: {findings:?}");
+}
+
+/// End-to-end: `lint_source` composes stripping, masking and every rule.
+#[test]
+fn lint_source_composes_all_rules() {
+    let src = r#"
+        fn handle(&mut self, msg: Msg) {
+            match msg {
+                Msg::Request(req) => self.queue.push(req),
+                _ => self.count.checked_add(1).unwrap(),
+            }
+        }
+    "#;
+    let findings = lint_source("handle.rs", src, FULL);
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"msg-wildcard"), "rules: {rules:?}");
+    assert!(rules.contains(&"no-unwrap"), "rules: {rules:?}");
+}

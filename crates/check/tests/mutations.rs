@@ -1,0 +1,149 @@
+//! Seeded-mutation self-tests: prove each checker invariant actually
+//! fires by feeding it a known-bad state, and that clean states pass.
+//!
+//! The chaos hooks used here are compiled under the `check-hooks`
+//! feature of gridpaxos-core, which this crate enables; production
+//! builds never contain them.
+
+use check::harness::{Choice, Cluster, Observations};
+use check::invariants::{
+    check_chosen_digests, check_mask_invariants, check_read_mask, check_state,
+};
+use check::{replay, smoke_scenarios, Scenario};
+use gridpaxos_core::types::{Instance, TxnId};
+
+fn scenario(name: &str) -> Scenario {
+    smoke_scenarios()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no scenario named {name}"))
+}
+
+/// A freshly booted cluster satisfies every invariant.
+#[test]
+fn clean_initial_state_passes() {
+    let cl = Cluster::new(&scenario("write-read-lossy"));
+    assert_eq!(check_state(&cl), None);
+}
+
+/// Deliver pending messages (in queue order) until a leader emerges —
+/// drives the bootstrap Prepare/Promise election to completion.
+fn establish_leader(cl: &mut Cluster) -> usize {
+    for _ in 0..64 {
+        if let Some(i) = cl.leader() {
+            return i;
+        }
+        let choices = cl.choices();
+        let c = choices
+            .iter()
+            .find(|c| matches!(c, Choice::Deliver(_)))
+            .copied()
+            .expect("bootstrap election ran out of messages without a leader");
+        assert_eq!(cl.apply(c), None);
+    }
+    panic!("no leader after 64 deliveries");
+}
+
+/// §3.3 strict pipelining: a leader that skips an instance number (a
+/// pipeline gap) is caught by the gap-freedom invariant.
+#[test]
+fn skipped_instance_trips_gap_freedom() {
+    let mut cl = Cluster::new(&scenario("write-read-lossy"));
+    let leader = establish_leader(&mut cl);
+    assert_eq!(check_state(&cl), None, "pre-mutation state must be clean");
+    assert!(cl.chaos_skip_instance(leader), "replica must lead");
+    let v = check_state(&cl).expect("gap must be detected");
+    assert!(v.contains("gap-freedom"), "unexpected violation: {v}");
+}
+
+/// §3.3 agreement: two replicas deciding different decrees for the same
+/// instance is a violation; identical decrees are not.
+#[test]
+fn conflicting_decrees_trip_agreement() {
+    let inst = Instance(3);
+    let agree = vec![(0, vec![(inst, 7)]), (1, vec![(inst, 7)])];
+    assert_eq!(check_chosen_digests(&agree), None);
+
+    let conflict = vec![(0, vec![(inst, 7)]), (2, vec![(inst, 8)])];
+    let v = check_chosen_digests(&conflict).expect("conflict must be detected");
+    assert!(v.contains("agreement"), "unexpected violation: {v}");
+}
+
+/// §3.4 read linearizability: a read missing a write that was already
+/// acknowledged when the read was issued is a violation.
+#[test]
+fn stale_read_trips_linearizability() {
+    let obs = Observations {
+        issued_bits: 0b11,
+        acked_bits: 0b10,
+        ..Observations::default()
+    };
+    // Read issued after bit 1 was acked, but its result lacks bit 1.
+    let v = check_read_mask(0b01, 0b10, &obs).expect("stale read must be detected");
+    assert!(v.contains("linearizability"), "unexpected violation: {v}");
+    // The same result is fine for a read issued before the ack.
+    assert_eq!(check_read_mask(0b01, 0b00, &obs), None);
+}
+
+/// A state mask containing a bit no client ever issued is a violation
+/// (state must come from decided requests only).
+#[test]
+fn unissued_bits_trip_state_check() {
+    let obs = Observations {
+        issued_bits: 0b01,
+        ..Observations::default()
+    };
+    let v = check_mask_invariants(0b10, &obs).expect("phantom write must be detected");
+    assert!(v.contains("never issued"), "unexpected violation: {v}");
+}
+
+/// §3.5 atomicity: a transaction's effects surfacing partially is a
+/// violation; all-or-nothing is not.
+#[test]
+fn partial_transaction_trips_atomicity() {
+    let mut obs = Observations {
+        issued_bits: 0b111,
+        ..Observations::default()
+    };
+    obs.txn_bits.insert(TxnId(1), 0b110);
+    let v = check_mask_invariants(0b010, &obs).expect("partial txn must be detected");
+    assert!(v.contains("atomicity"), "unexpected violation: {v}");
+    assert_eq!(check_mask_invariants(0b000, &obs), None);
+    assert_eq!(check_mask_invariants(0b110, &obs), None);
+}
+
+/// §3.6: effects of an aborted transaction may never resurface in any
+/// state, even after leader switches.
+#[test]
+fn aborted_bits_trip_resurrection_check() {
+    let obs = Observations {
+        issued_bits: 0b11,
+        aborted_bits: 0b01,
+        ..Observations::default()
+    };
+    let v = check_mask_invariants(0b01, &obs).expect("resurrection must be detected");
+    assert!(v.contains("aborted"), "unexpected violation: {v}");
+    assert_eq!(check_mask_invariants(0b10, &obs), None);
+}
+
+/// Replay is deterministic: the same schedule reproduces the same state,
+/// so a printed counterexample schedule is sufficient to reproduce it.
+#[test]
+fn replay_is_deterministic() {
+    let s = scenario("leader-crash");
+    let schedule = [0, 0, 1, 0, 0];
+    let (a, va) = replay(&s, &schedule);
+    let (b, vb) = replay(&s, &schedule);
+    assert_eq!(va, None);
+    assert_eq!(vb, None);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
+/// Replay rejects schedules that index past the available choices.
+#[test]
+fn replay_reports_bad_schedule() {
+    let s = scenario("write-read-lossy");
+    let (_, v) = replay(&s, &[usize::MAX]);
+    let v = v.expect("out-of-range index must be reported");
+    assert!(v.contains("schedule error"), "unexpected violation: {v}");
+}

@@ -17,7 +17,7 @@ use bytes::Bytes;
 /// *reproduce* the nondeterministic choice deterministically
 /// ([`StateUpdate::Reproduce`], e.g. the random draw made by a randomized
 /// resource broker).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum StateUpdate {
     /// The request did not change service state (reads, no-ops).
     None,
@@ -48,7 +48,7 @@ impl StateUpdate {
 }
 
 /// The command half of a decree.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Command {
     /// Gap filler proposed during recovery when no live proposal exists for
     /// an instance (§3.3's new-leader narrative).
@@ -86,7 +86,7 @@ impl Command {
 /// The reply is carried so that (a) the leader can answer the client after
 /// commit and (b) any later leader can re-answer a retransmitted duplicate
 /// without re-executing (at-most-once semantics).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct DecreeEntry {
     /// What was executed.
     pub cmd: Command,
@@ -106,7 +106,7 @@ pub struct DecreeEntry {
 /// `1 / (2m)` regardless of client count, far below the paper's Figure 5.
 /// Entries apply in order; the state after the decree reflects all of
 /// them.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Decree {
     /// Executed commands, in execution order.
     pub entries: Vec<DecreeEntry>,
@@ -138,7 +138,7 @@ impl Decree {
 
 /// An entry a replica has *accepted* (but not necessarily learned chosen)
 /// for some instance. Shipped inside `Promise` messages during recovery.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct AcceptedEntry {
     /// The instance.
     pub instance: Instance,
@@ -150,7 +150,7 @@ pub struct AcceptedEntry {
 
 /// One row of the at-most-once deduplication table: the last executed
 /// sequence number and reply for a client.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct DedupEntry {
     /// The client.
     pub client: ClientId,
@@ -164,7 +164,7 @@ pub struct DedupEntry {
 /// given instance: the application state plus the dedup table. Shipped in
 /// promises (when the promiser is ahead of the candidate), in catch-up
 /// transfers to lagging replicas, and written as periodic checkpoints.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct SnapshotBlob {
     /// All instances `<= upto` are reflected in `app`.
     pub upto: Instance,

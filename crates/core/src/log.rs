@@ -106,6 +106,12 @@ impl ReplicaLog {
         self.known_chosen_above.iter().copied().collect()
     }
 
+    /// Every retained accepted entry, in instance order. Used by the model
+    /// checker (`crates/check`) to fingerprint and compare log state.
+    pub fn iter_accepted(&self) -> impl Iterator<Item = (Instance, &(Ballot, Decree))> + '_ {
+        self.accepted.iter().map(|(i, e)| (*i, e))
+    }
+
     /// Highest instance with any accepted entry (or the prefix if none).
     #[must_use]
     pub fn max_instance(&self) -> Instance {

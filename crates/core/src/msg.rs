@@ -9,7 +9,7 @@ use crate::request::{Reply, Request, RequestId};
 use crate::types::{GroupId, Instance};
 
 /// A protocol message.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Hash, Debug)]
 pub enum Msg {
     // ----- client <-> replicas ------------------------------------------
     /// Client request; clients send it to **all** replicas (§3.3: "Clients
@@ -222,7 +222,20 @@ impl Msg {
         match self {
             Msg::Request(_) | Msg::Reply(_) => false,
             Msg::Grouped { inner, .. } => inner.is_coordination(),
-            _ => true,
+            Msg::Prepare { .. }
+            | Msg::Promise { .. }
+            | Msg::PrepareNack { .. }
+            | Msg::Accept { .. }
+            | Msg::Accepted { .. }
+            | Msg::AcceptNack { .. }
+            | Msg::Chosen { .. }
+            | Msg::Confirm { .. }
+            | Msg::ConfirmReq { .. }
+            | Msg::ConfirmBatch { .. }
+            | Msg::Heartbeat { .. }
+            | Msg::HeartbeatAck { .. }
+            | Msg::CatchUpReq { .. }
+            | Msg::CatchUp { .. } => true,
         }
     }
 

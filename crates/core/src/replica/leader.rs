@@ -419,7 +419,7 @@ impl Replica {
         let lease_mode = self.cfg.read_mode == ReadMode::Lease;
         enum Disposition {
             Wait,
-            Reply(PendingRead),
+            Reply,
             /// The lease lapsed under a lease-mode read: re-route through
             /// consensus for safety.
             Requeue(Request),
@@ -434,12 +434,12 @@ impl Replica {
                 Some(p) => {
                     if lease_mode {
                         if l.lease_valid(now) {
-                            Disposition::Reply(l.reads.remove(&id).expect("present"))
+                            Disposition::Reply
                         } else {
                             Disposition::Requeue(p.req.clone())
                         }
                     } else if p.votes.len() >= majority || p.confirmed {
-                        Disposition::Reply(l.reads.remove(&id).expect("present"))
+                        Disposition::Reply
                     } else {
                         Disposition::Wait
                     }
@@ -448,7 +448,17 @@ impl Replica {
         };
         match disposition {
             Disposition::Wait => {}
-            Disposition::Reply(p) => {
+            Disposition::Reply => {
+                // The read was just observed present with a result; take it
+                // out by ownership (no-op if that somehow no longer holds).
+                let removed = {
+                    let Role::Leader(l) = &mut self.role else {
+                        return;
+                    };
+                    l.reads.remove(&id)
+                };
+                let Some(p) = removed else { return };
+                let Some(body) = p.result else { return };
                 if lease_mode {
                     self.stats.lease_reads += 1;
                 } else {
@@ -457,7 +467,7 @@ impl Replica {
                         self.stats.batched_reads += 1;
                     }
                 }
-                self.reply_to(id, p.result.expect("checked"), out);
+                self.reply_to(id, body, out);
             }
             Disposition::Requeue(req) => {
                 let Role::Leader(l) = &mut self.role else {
@@ -1080,6 +1090,10 @@ impl Replica {
                 .map(|(id, _)| *id)
                 .collect()
         };
+        // HashMap iteration order is arbitrary; execute in request order so
+        // replies are deterministic for a given schedule (replay/checking).
+        let mut pending_reads = pending_reads;
+        pending_reads.sort_unstable();
         for id in pending_reads {
             self.execute_pending_read(id, now);
             self.check_read_complete(id, now, out);

@@ -26,10 +26,11 @@ use crate::msg::Msg;
 use crate::request::{Reply, ReplyBody};
 use crate::service::{App, ExecCtx};
 use crate::storage::Storage;
-use crate::types::{Addr, ClientId, Dur, Instance, ProcessId, Seq, Time};
+use crate::types::{Addr, ClientId, Dur, Instance, ProcessId, Seq, Time, TxnId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// The role a replica currently plays.
 #[derive(Debug)]
@@ -53,6 +54,35 @@ impl Role {
             Role::Leader(_) => "leader",
         }
     }
+}
+
+/// Protocol-relevant snapshot of a replica's control state, produced by
+/// [`Replica::checker_view`] for the model checker (`crates/check`).
+#[derive(Clone, Debug)]
+pub struct CheckerView {
+    /// Role name: `"follower"`, `"candidate"` or `"leader"`.
+    pub role: &'static str,
+    /// Highest ballot this replica has promised.
+    pub promised: crate::ballot::Ballot,
+    /// Instances `< chosen_prefix` are contiguously chosen.
+    pub chosen_prefix: Instance,
+    /// Leader only: the next instance it would assign.
+    pub next_instance: Option<Instance>,
+    /// Leader only: no Accept batch in flight and no recovery outstanding.
+    pub quiescent: bool,
+    /// Leader only: open (uncommitted) T-Paxos sessions.
+    pub open_txns: usize,
+    /// Whether a leader-side tentative execution is pending (§3.3: the
+    /// leader executes before the decree is chosen).
+    pub tentative_exec: bool,
+}
+
+/// Sorted copy of a hash-set's contents, so fingerprints don't depend on
+/// iteration order.
+fn sorted<T: Ord + Copy>(set: &std::collections::HashSet<T>) -> Vec<T> {
+    let mut v: Vec<T> = set.iter().copied().collect();
+    v.sort_unstable();
+    v
 }
 
 /// Observable counters, used by tests and the benchmark harness.
@@ -216,11 +246,15 @@ impl Replica {
         let upto = replica.log.chosen_prefix();
         let mut i = replay_from.next();
         while i <= upto {
-            let decree = replica
-                .log
-                .get(i)
-                .map(|(_, d)| d.clone())
-                .expect("log covers (checkpoint, chosen_prefix]");
+            let Some(decree) = replica.log.get(i).map(|(_, d)| d.clone()) else {
+                // Storage invariant: the WAL retains every entry above the
+                // last checkpoint (truncation only happens at checkpoints,
+                // and the chosen prefix is persisted only after the entry
+                // is). A hole here means the durable state is corrupt, and
+                // resuming from it would silently fork the replica's state
+                // — halt instead (crash-stop model).
+                panic!("recover: durable log is missing instance {i:?} inside (checkpoint, chosen_prefix]");
+            };
             replica.apply_to_service(i, &decree);
             i = i.next();
         }
@@ -302,6 +336,163 @@ impl Replica {
     #[must_use]
     pub fn into_storage(self) -> Box<dyn Storage> {
         self.storage
+    }
+
+    // ------------------------------------------------------------------
+    // Checker hooks (`crates/check`): inspection and state fingerprinting
+    // ------------------------------------------------------------------
+
+    /// Protocol-relevant summary of this replica's control state, consumed
+    /// by the model checker's invariant assertions.
+    #[must_use]
+    pub fn checker_view(&self) -> CheckerView {
+        let (next_instance, quiescent, open_txns) = match &self.role {
+            Role::Leader(l) => (
+                Some(l.next_instance),
+                l.inflight.is_none() && l.recovery.is_none(),
+                l.txns.len(),
+            ),
+            _ => (None, false, 0),
+        };
+        CheckerView {
+            role: self.role.name(),
+            promised: self.promised,
+            chosen_prefix: self.log.chosen_prefix(),
+            next_instance,
+            quiescent,
+            open_txns,
+            tentative_exec: self.self_executed.is_some(),
+        }
+    }
+
+    /// Digest of every retained log entry this replica knows *chosen*, as
+    /// `(instance, decree digest)` pairs in instance order. Two replicas
+    /// that decided different decrees for the same instance produce
+    /// different digests — the checker's agreement assertion (§3.3).
+    #[must_use]
+    pub fn chosen_digests(&self) -> Vec<(Instance, u64)> {
+        self.log
+            .iter_accepted()
+            .filter(|(i, _)| self.log.is_known_chosen(*i))
+            .map(|(i, (_, d))| {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                d.hash(&mut h);
+                (i, h.finish())
+            })
+            .collect()
+    }
+
+    /// Order-independent fingerprint of the replica's complete protocol
+    /// state, for the model checker's visited-set pruning.
+    ///
+    /// Deliberate abstractions: raw timestamps (`fd` deadlines, read
+    /// arrival times, lease expiries) and the RNG position are excluded —
+    /// the checker explores timer firings as nondeterministic events, so
+    /// two states differing only in clock or jitter values are equivalent
+    /// under its transition relation. Everything that determines message
+    /// handling is included.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.id.hash(&mut h);
+        self.promised.hash(&mut h);
+        self.max_ballot_seen.hash(&mut h);
+        self.confirm_suppressed.hash(&mut h);
+        self.last_checkpoint.hash(&mut h);
+        self.self_executed.hash(&mut h);
+        self.fd.leader_ballot().hash(&mut h);
+        // Log: prefix, retained entries, out-of-order chosen marks.
+        self.log.chosen_prefix().hash(&mut h);
+        for (i, (b, d)) in self.log.iter_accepted() {
+            (i, b, d).hash(&mut h);
+        }
+        self.log.known_above().hash(&mut h);
+        // Dedup table, in client order (HashMap iteration is arbitrary).
+        let mut dedup: Vec<_> = self.dedup.iter().collect();
+        dedup.sort_unstable_by_key(|(c, _)| **c);
+        dedup.hash(&mut h);
+        // Service state.
+        self.app.snapshot().hash(&mut h);
+        // Role internals.
+        match &self.role {
+            Role::Follower => 0u8.hash(&mut h),
+            Role::Candidate(c) => {
+                1u8.hash(&mut h);
+                c.ballot.hash(&mut h);
+                let mut promises: Vec<_> = c.promises.iter().collect();
+                promises.sort_unstable_by_key(|(p, _)| **p);
+                for (p, info) in promises {
+                    p.hash(&mut h);
+                    info.accepted.hash(&mut h);
+                    info.snapshot.hash(&mut h);
+                }
+            }
+            Role::Leader(l) => {
+                2u8.hash(&mut h);
+                l.ballot.hash(&mut h);
+                l.next_instance.hash(&mut h);
+                l.queue.hash(&mut h);
+                if let Some(inf) = &l.inflight {
+                    inf.instance.hash(&mut h);
+                    sorted(&inf.acks).hash(&mut h);
+                } else {
+                    u64::MAX.hash(&mut h);
+                }
+                if let Some(rec) = &l.recovery {
+                    rec.pending.hash(&mut h);
+                    let mut acks: Vec<_> = rec.acks.iter().collect();
+                    acks.sort_unstable_by_key(|(i, _)| **i);
+                    for (i, set) in acks {
+                        (i, sorted(set)).hash(&mut h);
+                    }
+                }
+                let mut reads: Vec<_> = l.reads.iter().collect();
+                reads.sort_unstable_by_key(|(id, _)| **id);
+                for (id, p) in reads {
+                    (id, sorted(&p.votes), &p.result, p.epoch, p.confirmed).hash(&mut h);
+                }
+                let mut early: Vec<_> = l.early_confirms.iter().collect();
+                early.sort_unstable_by_key(|(id, _)| **id);
+                for (id, set) in early {
+                    (id, sorted(set)).hash(&mut h);
+                }
+                l.early_order.hash(&mut h);
+                l.confirm_epoch.hash(&mut h);
+                if let Some(round) = &l.confirm_round {
+                    (round.epoch, round.backlog, sorted(&round.acks)).hash(&mut h);
+                }
+                l.last_round_covered.hash(&mut h);
+                l.suppress_hinted.hash(&mut h);
+                let mut txns: Vec<_> = l.txns.iter().collect();
+                txns.sort_unstable_by_key(|(k, _)| **k);
+                for (k, sess) in txns {
+                    (k, &sess.ops).hash(&mut h);
+                }
+                let mut committing: Vec<_> = l.committing.iter().collect();
+                committing.sort_unstable_by_key(|(id, _)| **id);
+                for (id, (k, sess)) in committing {
+                    (id, k, &sess.ops).hash(&mut h);
+                }
+                (l.hb_seq, sorted(&l.hb_acks)).hash(&mut h);
+                (l.last_batch, l.window_armed, l.window_rearms).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// Chaos hook for checker self-tests (`check-hooks` feature only):
+    /// advance the leader's `next_instance` without proposing anything,
+    /// manufacturing exactly the pipeline gap §3.3's strict pipelining
+    /// forbids. Returns whether the mutation applied (i.e. we lead).
+    /// Never called by production code.
+    #[cfg(feature = "check-hooks")]
+    pub fn chaos_skip_instance(&mut self) -> bool {
+        if let Role::Leader(l) = &mut self.role {
+            l.next_instance = l.next_instance.next();
+            true
+        } else {
+            false
+        }
     }
 
     // ------------------------------------------------------------------
@@ -807,18 +998,23 @@ impl Replica {
     }
 
     pub(crate) fn make_snapshot(&self) -> SnapshotBlob {
+        let mut dedup: Vec<DedupEntry> = self
+            .dedup
+            .iter()
+            .map(|(c, (s, r))| DedupEntry {
+                client: *c,
+                seq: *s,
+                reply: r.clone(),
+            })
+            .collect();
+        // `dedup` is a HashMap, so iteration order is arbitrary per
+        // process; snapshots must serialize identically on every replica or
+        // state digests (and seeded replays) diverge on equal states.
+        dedup.sort_unstable_by_key(|e| e.client);
         SnapshotBlob {
             upto: self.log.chosen_prefix(),
             app: self.app.snapshot(),
-            dedup: self
-                .dedup
-                .iter()
-                .map(|(c, (s, r))| DedupEntry {
-                    client: *c,
-                    seq: *s,
-                    reply: r.clone(),
-                })
-                .collect(),
+            dedup,
         }
     }
 
@@ -852,7 +1048,11 @@ impl Replica {
                 // T-Paxos sessions die with the leadership (§3.6): staged
                 // effects are discarded; clients learn via LeaderSwitch
                 // aborts when they try to commit at the new leader.
-                for ((_, txn), _) in l.txns {
+                // Abort in key order — `txns` is a HashMap and the service
+                // may observe the abort sequence.
+                let mut dying: Vec<(ClientId, TxnId)> = l.txns.into_keys().collect();
+                dying.sort_unstable();
+                for (_, txn) in dying {
                     self.app.txn_abort(txn);
                     self.stats.txns_aborted += 1;
                 }

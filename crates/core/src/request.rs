@@ -102,7 +102,7 @@ impl TxnCtl {
 }
 
 /// A client request.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Request {
     /// Unique identity; duplicates (retransmissions) carry the same id.
     pub id: RequestId,
@@ -182,7 +182,7 @@ pub enum AbortReason {
 }
 
 /// Body of a reply from the leader to a client.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum ReplyBody {
     /// Successful execution; opaque service-level result.
     Ok(Bytes),
@@ -221,7 +221,7 @@ impl ReplyBody {
 }
 
 /// A reply, as delivered to the client by the leader.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Reply {
     /// The request this reply answers.
     pub id: RequestId,

@@ -18,6 +18,7 @@ pub mod cpu;
 pub mod latency;
 pub mod metrics;
 pub mod runner;
+pub mod sched;
 pub mod stats;
 pub mod topology;
 pub mod trace;
@@ -30,6 +31,7 @@ pub use metrics::Metrics;
 pub use runner::{
     measure_rrt, measure_throughput, measure_txn_rrt, measure_txn_throughput, Experiment,
 };
+pub use sched::TimerGens;
 pub use stats::{summarize, Summary};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent};

@@ -150,7 +150,7 @@ pub struct World {
     busy_until: Vec<Time>,
     clients: HashMap<ClientId, SimClient>,
     next_client_id: u64,
-    timer_gen: HashMap<(Addr, GroupId, TimerKind), u64>,
+    timer_gen: crate::sched::TimerGens<(Addr, GroupId, TimerKind)>,
     rng: SmallRng,
     app_factory: Box<dyn Fn() -> Box<dyn App> + Send>,
     partitions: Vec<Partition>,
@@ -192,7 +192,7 @@ impl World {
             busy_until: vec![Time::ZERO; n],
             clients: HashMap::new(),
             next_client_id: 1,
-            timer_gen: HashMap::new(),
+            timer_gen: crate::sched::TimerGens::new(),
             rng: SmallRng::seed_from_u64(opts.seed),
             cfg,
             opts,
@@ -530,7 +530,7 @@ impl World {
     }
 
     fn fire_timer(&mut self, who: Addr, group: GroupId, kind: TimerKind, gen: u64) {
-        if self.timer_gen.get(&(who, group, kind)).copied() != Some(gen) {
+        if !self.timer_gen.is_live(&(who, group, kind), gen) {
             return; // cancelled or replaced
         }
         match who {
@@ -603,9 +603,7 @@ impl World {
                     }
                 }
                 Action::SetTimer { kind, after } => {
-                    let gen = self.timer_gen.entry((from, g, kind)).or_insert(0);
-                    *gen += 1;
-                    let gen = *gen;
+                    let gen = self.timer_gen.arm((from, g, kind));
                     self.schedule(
                         depart.after(after),
                         Payload::Timer {
@@ -617,7 +615,7 @@ impl World {
                     );
                 }
                 Action::CancelTimer { kind } => {
-                    *self.timer_gen.entry((from, g, kind)).or_insert(0) += 1;
+                    self.timer_gen.cancel((from, g, kind));
                 }
             }
         }

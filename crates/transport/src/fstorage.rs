@@ -34,6 +34,20 @@ const TAG_PROMISED: u8 = 1;
 const TAG_ACCEPTED: u8 = 2;
 const TAG_CHOSEN: u8 = 3;
 
+/// Unwrap an I/O result that the durability layer cannot survive losing.
+///
+/// Storage failures here are fatal *by design*: the `Storage` trait's
+/// persist calls must complete before the corresponding protocol message
+/// is sent (persist-before-send), so continuing past a failed write would
+/// silently void the crash-recovery guarantees the protocol relies on.
+/// Halting is the crash-stop behavior the model assumes (§3.1).
+fn fatal_io<T>(what: &str, r: io::Result<T>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("fatal storage I/O failure ({what}): {e}"),
+    }
+}
+
 /// Durable [`Storage`] backed by files in a directory.
 pub struct FileStorage {
     dir: PathBuf,
@@ -104,12 +118,9 @@ impl FileStorage {
     }
 
     fn append(&mut self, payload: &[u8]) {
-        // Storage failures at this layer are fatal by design: continuing
-        // without durability would silently void the crash-recovery
-        // guarantees the protocol relies on.
-        write_frame(&mut self.wal, payload).expect("WAL append");
+        fatal_io("WAL append", write_frame(&mut self.wal, payload));
         if self.sync {
-            self.wal.sync_data().expect("WAL fsync");
+            fatal_io("WAL fsync", self.wal.sync_data());
         }
     }
 
@@ -117,32 +128,34 @@ impl FileStorage {
     fn rewrite_wal(&mut self) {
         let tmp = self.dir.join("wal.tmp");
         {
-            let mut f = File::create(&tmp).expect("create wal.tmp");
+            let mut f = fatal_io("create wal.tmp", File::create(&tmp));
             let mut out = BytesMut::new();
             out.put_u8(TAG_PROMISED);
             put_ballot(&mut out, &self.state.promised);
-            write_frame(&mut f, &out).expect("write");
+            fatal_io("write wal.tmp", write_frame(&mut f, &out));
             let mut out = BytesMut::new();
             out.put_u8(TAG_CHOSEN);
             put_instance(&mut out, &self.state.chosen_prefix);
-            write_frame(&mut f, &out).expect("write");
+            fatal_io("write wal.tmp", write_frame(&mut f, &out));
             for (i, (b, d)) in &self.state.accepted {
                 let mut out = BytesMut::new();
                 out.put_u8(TAG_ACCEPTED);
                 put_instance(&mut out, i);
                 put_ballot(&mut out, b);
                 put_decree(&mut out, d);
-                write_frame(&mut f, &out).expect("write");
+                fatal_io("write wal.tmp", write_frame(&mut f, &out));
             }
             if self.sync {
-                f.sync_data().expect("fsync wal.tmp");
+                fatal_io("fsync wal.tmp", f.sync_data());
             }
         }
-        fs::rename(&tmp, self.dir.join("wal.log")).expect("swap WAL");
-        self.wal = OpenOptions::new()
-            .append(true)
-            .open(self.dir.join("wal.log"))
-            .expect("reopen WAL");
+        fatal_io("swap WAL", fs::rename(&tmp, self.dir.join("wal.log")));
+        self.wal = fatal_io(
+            "reopen WAL",
+            OpenOptions::new()
+                .append(true)
+                .open(self.dir.join("wal.log")),
+        );
     }
 }
 
@@ -212,15 +225,18 @@ impl Storage for FileStorage {
         self.state.checkpoint = Some(snap.clone());
         let tmp = self.dir.join("checkpoint.tmp");
         {
-            let mut f = File::create(&tmp).expect("create checkpoint.tmp");
+            let mut f = fatal_io("create checkpoint.tmp", File::create(&tmp));
             let mut out = BytesMut::new();
             put_snapshot(&mut out, snap);
-            f.write_all(&out).expect("write checkpoint");
+            fatal_io("write checkpoint", f.write_all(&out));
             if self.sync {
-                f.sync_data().expect("fsync checkpoint");
+                fatal_io("fsync checkpoint", f.sync_data());
             }
         }
-        fs::rename(&tmp, self.dir.join("checkpoint.bin")).expect("swap checkpoint");
+        fatal_io(
+            "swap checkpoint",
+            fs::rename(&tmp, self.dir.join("checkpoint.bin")),
+        );
     }
 
     fn truncate_upto(&mut self, upto: Instance) {

@@ -175,16 +175,16 @@ impl<T: Transport> ReplicaNode<T> {
     }
 }
 
-/// Spawn a replica node on its own OS thread.
+/// Spawn a replica node on its own OS thread. Fails only if the OS
+/// refuses to create the thread.
 pub fn spawn_replica<T: Transport + 'static>(
     replica: Replica,
     transport: T,
     stop: Arc<AtomicBool>,
-) -> std::thread::JoinHandle<Replica> {
+) -> std::io::Result<std::thread::JoinHandle<Replica>> {
     std::thread::Builder::new()
         .name(format!("gridpaxos-{}", replica.id()))
         .spawn(move || ReplicaNode::new(replica, transport, stop).run())
-        .expect("spawn replica thread")
 }
 
 /// A blocking client handle: one outstanding request, automatic

@@ -89,7 +89,11 @@ impl ShardedNode {
         let replicas = self
             .replicas
             .into_iter()
-            .map(|h| h.join().expect("replica thread panicked"))
+            .map(|h| match h.join() {
+                Ok(replica) => replica,
+                // Propagate a group thread's panic to the caller intact.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect();
         let _ = self.router.join();
         replicas
@@ -103,7 +107,7 @@ pub fn spawn_sharded_node<T: Transport + 'static>(
     group_replicas: Vec<Replica>,
     transport: T,
     stop: Arc<AtomicBool>,
-) -> ShardedNode {
+) -> io::Result<ShardedNode> {
     let n_groups = group_replicas.len();
     assert!(n_groups >= 1, "need at least one group");
     let local = Addr::Replica(group_replicas[0].id());
@@ -125,7 +129,7 @@ pub fn spawn_sharded_node<T: Transport + 'static>(
             rx,
             out: out_tx.clone(),
         };
-        replicas.push(spawn_replica(replica, port, Arc::clone(&stop)));
+        replicas.push(spawn_replica(replica, port, Arc::clone(&stop))?);
     }
 
     let router = std::thread::Builder::new()
@@ -158,10 +162,9 @@ pub fn spawn_sharded_node<T: Transport + 'static>(
             while let Ok((to, msg)) = out_rx.try_recv() {
                 transport.send(to, msg);
             }
-        })
-        .expect("spawn demux thread");
+        })?;
 
-    ShardedNode { replicas, router }
+    Ok(ShardedNode { replicas, router })
 }
 
 /// A whole multi-group replica cluster over loopback TCP: `cfg.n` nodes,
@@ -193,8 +196,8 @@ impl ShardedTcpCluster {
         let mut pending = Vec::new();
         for i in 0..n {
             let id = ProcessId(i as u32);
-            let (node, bound) =
-                TcpNode::bind_replica(id, "127.0.0.1:0".parse().unwrap(), HashMap::new())?;
+            let ephemeral = SocketAddr::from(([127, 0, 0, 1], 0));
+            let (node, bound) = TcpNode::bind_replica(id, ephemeral, HashMap::new())?;
             addrs.insert(id, bound);
             pending.push((id, node));
         }
@@ -222,7 +225,7 @@ impl ShardedTcpCluster {
                 group_replicas,
                 transport,
                 Arc::clone(&stop),
-            ));
+            )?);
         }
         Ok(ShardedTcpCluster {
             addrs,
@@ -307,11 +310,10 @@ mod tests {
                 })
                 .collect();
             let endpoint = hub.endpoint(Addr::Replica(id));
-            nodes.push(spawn_sharded_node(
-                group_replicas,
-                endpoint,
-                Arc::clone(&stop),
-            ));
+            nodes.push(
+                spawn_sharded_node(group_replicas, endpoint, Arc::clone(&stop))
+                    .expect("spawn sharded node"),
+            );
         }
 
         let cid = ClientId(400);

@@ -65,8 +65,7 @@ impl TcpNode {
                     let Ok(stream) = stream else { continue };
                     spawn_connection(stream, None, local, inbox_tx.clone(), Arc::clone(&conns));
                 }
-            })
-            .expect("spawn listener thread");
+            })?;
         Ok((node, bound))
     }
 
@@ -158,7 +157,10 @@ fn spawn_connection(
     } else {
         // Accepted: learn the peer from its hello, then register.
         std::thread::spawn(move || {
-            let mut r = BufReader::new(stream.try_clone().expect("clone stream"));
+            let Ok(read_stream) = stream.try_clone() else {
+                return; // fd duplication failed: abandon the connection
+            };
+            let mut r = BufReader::new(read_stream);
             let Ok(Some(mut hello)) = read_frame(&mut r) else {
                 return;
             };
@@ -251,8 +253,8 @@ impl TcpCluster {
         let mut pending = Vec::new();
         for i in 0..n {
             let id = ProcessId(i as u32);
-            let (node, bound) =
-                TcpNode::bind_replica(id, "127.0.0.1:0".parse().unwrap(), HashMap::new())?;
+            let ephemeral = SocketAddr::from(([127, 0, 0, 1], 0));
+            let (node, bound) = TcpNode::bind_replica(id, ephemeral, HashMap::new())?;
             addrs.insert(id, bound);
             pending.push((id, node));
         }
@@ -289,7 +291,11 @@ impl TcpCluster {
                     gridpaxos_core::types::Time::ZERO,
                 )
             };
-            handles.push(crate::node::spawn_replica(replica, node, Arc::clone(&stop)));
+            handles.push(crate::node::spawn_replica(
+                replica,
+                node,
+                Arc::clone(&stop),
+            )?);
         }
         Ok(TcpCluster {
             addrs,
@@ -331,7 +337,11 @@ impl TcpCluster {
         self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
         self.handles
             .into_iter()
-            .map(|h| h.join().expect("replica thread panicked"))
+            .map(|h| match h.join() {
+                Ok(replica) => replica,
+                // Propagate a replica thread's panic to the caller intact.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     }
 }

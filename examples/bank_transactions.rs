@@ -45,11 +45,14 @@ fn main() {
             0xba9c + u64::from(i),
             Time::ZERO,
         );
-        handles.push(spawn_replica(
-            replica,
-            hub.endpoint(Addr::Replica(ProcessId(i))),
-            Arc::clone(&stop),
-        ));
+        handles.push(
+            spawn_replica(
+                replica,
+                hub.endpoint(Addr::Replica(ProcessId(i))),
+                Arc::clone(&stop),
+            )
+            .expect("spawn replica"),
+        );
     }
     std::thread::sleep(std::time::Duration::from_millis(100));
 

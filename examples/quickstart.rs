@@ -36,7 +36,7 @@ fn main() {
             Time::ZERO,
         );
         let endpoint = hub.endpoint(Addr::Replica(ProcessId(i)));
-        handles.push(spawn_replica(replica, endpoint, Arc::clone(&stop)));
+        handles.push(spawn_replica(replica, endpoint, Arc::clone(&stop)).expect("spawn replica"));
     }
 
     // 2. A blocking client that broadcasts to the whole group (§3.3:
