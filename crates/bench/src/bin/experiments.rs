@@ -29,6 +29,7 @@ fn run_one(name: &str, seed: u64) -> Option<Vec<TableOut>> {
         "state-size" => gridpaxos_bench::state_size(seed),
         "batch-ablation" => gridpaxos_bench::batch_ablation(seed),
         "sharding" => gridpaxos_bench::sharding(seed),
+        "group-commit" => gridpaxos_bench::group_commit(seed),
         "read-batching" => gridpaxos_bench::read_batching(seed),
         _ => return None,
     };
@@ -63,7 +64,7 @@ fn main() {
                 eprintln!(
                     "unknown experiment '{name}'; known: all rrt-sysnet fig5 fig6 fig7 fig8 \
                      table1 fig9 leader-switch scale-t ablation state-size batch-ablation \
-                     sharding read-batching"
+                     sharding group-commit read-batching"
                 );
                 any_bad = true;
             }

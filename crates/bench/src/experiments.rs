@@ -15,7 +15,7 @@ use gridpaxos_simnet::runner::{
 };
 use gridpaxos_simnet::topology::Topology;
 use gridpaxos_simnet::workload::{OpLoop, TxnLoop};
-use gridpaxos_simnet::world::{SimOpts, World};
+use gridpaxos_simnet::world::{DurabilityMode, SimOpts, World};
 
 fn fmt_ms(v: f64) -> String {
     format!("{v:.3}")
@@ -663,6 +663,159 @@ fn write_sharding_json(results: &[(usize, f64, f64, f64)]) -> std::io::Result<St
     Ok(path.to_owned())
 }
 
+/// Extension — group-commit durability: closed-loop durable write
+/// throughput with one fsync per WAL record (the classic
+/// persist-before-send discipline) vs batched group commit (the drive
+/// loop drains a batch of events, issues one covering `flush()`, and only
+/// then transmits — persist-before-send at batch granularity). Sweeps
+/// sync mode × client count × consensus groups; multi-group nodes share
+/// one WAL, so a single barrier covers every group's appends in a drain
+/// cycle. Strict pipelining (§3.3) bounds the G=1 win to the shortened
+/// decree round; the shard plane is where coalescing pays — G groups'
+/// records ride one sync. Emits `BENCH_group_commit.json`.
+#[must_use]
+pub fn group_commit(seed: u64) -> TableOut {
+    group_commit_with(seed, &[16, 64], 200, true)
+}
+
+/// One measured row of the group-commit sweep.
+struct GcRow {
+    groups: usize,
+    clients: usize,
+    per_record_tput: f64,
+    batched_tput: f64,
+    pr_fsyncs_per_op: f64,
+    gc_fsyncs_per_op: f64,
+}
+
+fn group_commit_with(
+    seed: u64,
+    client_counts: &[usize],
+    per_client: u64,
+    emit_json: bool,
+) -> TableOut {
+    use gridpaxos_services::{shard_router, KvOp, KvStore};
+
+    let mut t = TableOut::new(
+        "group-commit",
+        "Durable write throughput: per-record fsync vs group commit (req/s, KV store)",
+        &[
+            "groups",
+            "clients",
+            "per_record_tput",
+            "batched_tput",
+            "speedup",
+            "pr_fsyncs_per_op",
+            "gc_fsyncs_per_op",
+        ],
+    );
+    let start = Time(Dur::from_millis(200).0);
+    let run = |g: usize, clients: usize, mode: DurabilityMode| -> (f64, f64) {
+        let mut exp = Experiment::on(Topology::sysnet(3), seed);
+        // Same pipeline-bound regime as the `sharding` experiment: small
+        // decree batches, no batching window. An unbounded batch would
+        // let per-record mode amortize through the leader's own queueing
+        // and hide what the fsync schedule changes.
+        exp.cfg.max_batch = 4;
+        exp.cfg.batch_window = Dur::ZERO;
+        let deadline = exp.deadline;
+        let opts = SimOpts {
+            cpu: exp.cpu,
+            durability: mode,
+            ..SimOpts::for_topology(exp.topology, seed)
+        };
+        let mut w = World::new_sharded(
+            exp.cfg,
+            opts,
+            Box::new(|| Box::new(KvStore::sharded())),
+            g,
+            Some(shard_router()),
+        );
+        for i in 0..clients {
+            let op = KvOp::Put(format!("c{i}"), "v".into());
+            w.add_client(
+                Box::new(OpLoop::with_payload(
+                    RequestKind::Write,
+                    per_client,
+                    op.encode(),
+                )),
+                None,
+                start,
+            );
+        }
+        let ok = w.run_to_completion(Time::ZERO.after(deadline));
+        assert!(
+            ok,
+            "group-commit run (G={g}, {clients} clients, {mode:?}) did not complete"
+        );
+        (w.metrics.ops_per_sec(), w.metrics.fsyncs_per_op())
+    };
+    let mut results: Vec<GcRow> = Vec::new();
+    for &g in &[1usize, 4] {
+        for &clients in client_counts {
+            let (pr_tput, pr_fpo) = run(g, clients, DurabilityMode::PerRecord);
+            let (gc_tput, gc_fpo) = run(g, clients, DurabilityMode::Batched);
+            t.row(vec![
+                g.to_string(),
+                clients.to_string(),
+                fmt_tput(pr_tput),
+                fmt_tput(gc_tput),
+                format!("{:.2}x", gc_tput / pr_tput),
+                format!("{pr_fpo:.2}"),
+                format!("{gc_fpo:.2}"),
+            ]);
+            results.push(GcRow {
+                groups: g,
+                clients,
+                per_record_tput: pr_tput,
+                batched_tput: gc_tput,
+                pr_fsyncs_per_op: pr_fpo,
+                gc_fsyncs_per_op: gc_fpo,
+            });
+        }
+    }
+    if emit_json {
+        match write_group_commit_json(&results) {
+            Ok(p) => t.note(format!("json: {p}")),
+            Err(e) => t.note(format!("json write failed: {e}")),
+        }
+    }
+    t.note("group commit amortizes the WAL sync over a drain cycle's records — and over all G groups sharing the node's log, where per-record pays G independent fsync streams");
+    t
+}
+
+/// Machine-readable companion to the `group-commit` table, written to
+/// `BENCH_group_commit.json` in the working directory.
+fn write_group_commit_json(results: &[GcRow]) -> std::io::Result<String> {
+    let mut s = String::from(
+        "{\n  \"experiment\": \"group-commit\",\n  \"workload\": \"closed-loop KV Puts, \
+         n=3 cluster (sysnet topology), max_batch=4, 200 writes per client; durability \
+         charged at 2 ms per fsync\",\n  \"modes\": {\"per_record\": \"one blocking fsync \
+         per WAL record\", \"batched\": \"group commit: one flush barrier per drain cycle, \
+         shared across a node's groups\"},\n  \"units\": {\"per_record_tput\": \"req/s\", \
+         \"batched_tput\": \"req/s\"},\n  \"results\": [\n",
+    );
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"groups\": {}, \"clients\": {}, \"per_record_tput\": {:.1}, \
+             \"batched_tput\": {:.1}, \"speedup\": {:.3}, \"per_record_fsyncs_per_op\": \
+             {:.3}, \"batched_fsyncs_per_op\": {:.3}}}{}\n",
+            r.groups,
+            r.clients,
+            r.per_record_tput,
+            r.batched_tput,
+            r.batched_tput / r.per_record_tput,
+            r.pr_fsyncs_per_op,
+            r.gc_fsyncs_per_op,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    let path = "BENCH_group_commit.json";
+    std::fs::write(path, s)?;
+    Ok(path.to_owned())
+}
+
 /// Extension — epoch-batched confirm rounds: closed-loop X-Paxos read
 /// throughput with the paper's per-read confirms vs confirm batching.
 /// Runs on a message-bound CPU model ([`CpuModel::msg_bound`]) where
@@ -763,6 +916,7 @@ pub fn all(seed: u64) -> Vec<TableOut> {
         state_size(seed),
         batch_ablation(seed),
         sharding(seed),
+        group_commit(seed),
         read_batching(seed),
     ]
 }
@@ -781,6 +935,25 @@ mod tests {
         let tput = |g: &str| -> f64 { t.cell(g, "write_tput").unwrap().parse().unwrap() };
         let (g1, g4) = (tput("1"), tput("4"));
         assert!(g4 > g1 * 2.0, "G=4 {g4:.0}/s vs G=1 {g1:.0}/s");
+    }
+
+    #[test]
+    fn group_commit_amortizes_durable_writes() {
+        // Short version of the headline run (the full one generates
+        // BENCH_group_commit.json): at 64 closed-loop writers on a G=4
+        // shard plane, batching fsyncs across a drain cycle — and across
+        // the groups sharing each node's WAL — must at least double
+        // durable write throughput while charging less than one sync per
+        // completed op. Per-record pays a sync per WAL record, so its
+        // ratio sits well above 1.0.
+        let t = group_commit_with(31, &[64], 25, false);
+        let cell = |col: &str| -> f64 { t.cell("4", col).unwrap().parse().unwrap() };
+        let (pr, gc) = (cell("per_record_tput"), cell("batched_tput"));
+        assert!(gc >= pr * 2.0, "batched {gc:.0}/s vs per-record {pr:.0}/s");
+        let gc_fpo: f64 = t.cell("4", "gc_fsyncs_per_op").unwrap().parse().unwrap();
+        let pr_fpo: f64 = t.cell("4", "pr_fsyncs_per_op").unwrap().parse().unwrap();
+        assert!(gc_fpo < 1.0, "group-commit fsyncs per op {gc_fpo:.2}");
+        assert!(pr_fpo > 1.0, "per-record fsyncs per op {pr_fpo:.2}");
     }
 
     #[test]

@@ -195,6 +195,10 @@ impl Cluster {
                 continue;
             };
             let actions = r.on_start(cl.now);
+            // Same discipline as the drive loops: a covering flush barrier
+            // before the actions are released to the network, so the
+            // checker explores exactly the states group commit can reach.
+            r.flush_storage();
             cl.replicas[i] = Some(r);
             cl.process_actions(ProcessId(i as u32), actions);
         }
@@ -369,6 +373,7 @@ impl Cluster {
                     let idx = on.0 as usize;
                     if let Some(mut r) = self.replicas[idx].take() {
                         let actions = r.on_timer(kind, self.now);
+                        r.flush_storage();
                         self.replicas[idx] = Some(r);
                         self.process_actions(on, actions);
                     }
@@ -455,6 +460,7 @@ impl Cluster {
         if let Some(mut r) = self.replicas[idx].take() {
             let was_leader = r.is_leader();
             let actions = r.on_message(from, msg, self.now);
+            r.flush_storage();
             let became_leader = !was_leader && r.is_leader();
             self.replicas[idx] = Some(r);
             if became_leader {
@@ -522,6 +528,7 @@ impl Cluster {
             self.now,
         );
         let actions = r.on_start(self.now);
+        r.flush_storage();
         self.replicas[idx] = Some(r);
         self.process_actions(id, actions);
     }

@@ -1,6 +1,6 @@
 //! Repo-specific lint pass: protocol coding rules clippy cannot express.
 //!
-//! Three rules, scoped to the consensus-critical crates:
+//! Four rules, scoped to the consensus-critical crates:
 //!
 //! 1. **Exhaustive `Msg` dispatch** (`crates/core`, `crates/transport`):
 //!    a `match` whose arms pattern-match `Msg::` variants must not have a
@@ -17,6 +17,13 @@
 //!    and must contain the persist call at all — the paper's §3.1
 //!    recovery model is sound only if promises and acceptances hit stable
 //!    storage before they are announced.
+//! 4. **Flush-before-transmit** (`crates/transport/src`): under group
+//!    commit the per-record persist calls only *buffer* WAL records; the
+//!    drive loop's `flush_and_transmit` is where durability actually
+//!    happens. That function must call the `flush_storage` barrier
+//!    before handing any buffered message to the transport — otherwise
+//!    the batched mode re-introduces the acknowledge-before-durable bug
+//!    that rule 3 guards against, one level up.
 //!
 //! The pass is a hand-rolled token scan, not a full parse: comments,
 //! strings and char literals are blanked first, `#[cfg(test)]` items are
@@ -436,6 +443,67 @@ pub fn check_persist_before_send(file: &str, masked: &str) -> Vec<Finding> {
     findings
 }
 
+/// (function name, flush barrier that must appear, transmit calls it must
+/// precede). The rule-3 table covers the sans-io core, where persists are
+/// synchronous; this table covers the drive loop, where persists are
+/// *buffered* and the flush barrier is the durable point. Any of the
+/// transmit tokens appearing before the barrier is a violation.
+const FLUSH_RULES: &[(&str, &str, &[&str])] = &[(
+    "flush_and_transmit",
+    "flush_storage",
+    &["transport.send", "broadcast("],
+)];
+
+/// Rule 4: flush-before-transmit. Each drive-loop transmit function must
+/// contain the `flush_storage` barrier, and the barrier must textually
+/// precede every transport handoff in the function. Runs on
+/// noise-stripped, test-masked source.
+#[must_use]
+pub fn check_flush_barrier(file: &str, masked: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for &(fn_name, barrier, transmits) in FLUSH_RULES {
+        let needle = format!("fn {fn_name}");
+        let mut i = 0;
+        while let Some(pos) = masked[i..].find(&needle) {
+            let start = i + pos;
+            i = start + needle.len();
+            let after = masked.as_bytes().get(start + needle.len());
+            if after.is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
+                continue;
+            }
+            let Some(body) = fn_body(masked, start) else {
+                continue;
+            };
+            let text = &masked[body.clone()];
+            let p = text.find(barrier);
+            let m = transmits.iter().filter_map(|t| text.find(t)).min();
+            match (p, m) {
+                (None, _) => findings.push(Finding {
+                    file: file.to_string(),
+                    line: line_of(masked, start),
+                    rule: "flush-before-transmit",
+                    msg: format!(
+                        "`{fn_name}` must run the `{barrier}` barrier before handing \
+                         buffered messages to the transport (no barrier found)"
+                    ),
+                }),
+                (Some(p_off), Some(m_off)) if m_off < p_off => findings.push(Finding {
+                    file: file.to_string(),
+                    line: line_of(masked, body.start + m_off),
+                    rule: "flush-before-transmit",
+                    msg: format!(
+                        "`{fn_name}` transmits before the `{barrier}` barrier; under \
+                         group commit buffered WAL records are not durable until the \
+                         flush, so sends must follow it (§3.1 at batch granularity)"
+                    ),
+                }),
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
 /// Byte range of the body (inside the outermost braces) of the function
 /// whose `fn` keyword starts at `fn_start`.
 fn fn_body(src: &str, fn_start: usize) -> Option<std::ops::Range<usize>> {
@@ -482,6 +550,9 @@ pub fn lint_source(label: &str, src: &str, scope: Scope) -> Vec<Finding> {
     if scope.persist {
         findings.extend(check_persist_before_send(label, &masked));
     }
+    if scope.flush {
+        findings.extend(check_flush_barrier(label, &masked));
+    }
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
 }
@@ -493,13 +564,17 @@ pub struct Scope {
     pub no_unwrap: bool,
     /// Apply the persist-before-send rules.
     pub persist: bool,
+    /// Apply the flush-before-transmit rule.
+    pub flush: bool,
 }
 
 /// Lint the repository rooted at `root`. Scopes: the `Msg`-wildcard rule
 /// covers all of `crates/core/src` and `crates/transport/src`; no-unwrap
 /// covers `crates/core/src/replica` and `crates/transport/src`
 /// (`tests.rs` files and `#[cfg(test)]` items excluded); the persist
-/// rules cover `crates/core/src/replica`.
+/// rules cover `crates/core/src/replica`; the flush-barrier rule covers
+/// `crates/transport/src` (it keys on the drive loop's
+/// `flush_and_transmit`).
 pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     let mut files: Vec<(PathBuf, Scope)> = Vec::new();
@@ -514,6 +589,7 @@ pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Finding>> {
             Scope {
                 no_unwrap: in_replica && !is_test_file,
                 persist: in_replica && !is_test_file,
+                flush: false,
             },
         ));
     })?;
@@ -523,6 +599,7 @@ pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Finding>> {
             Scope {
                 no_unwrap: true,
                 persist: false,
+                flush: true,
             },
         ));
     })?;

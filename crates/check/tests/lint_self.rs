@@ -4,13 +4,14 @@
 //! core makes `cargo run -p check --bin lint` (and these tests) fail.
 
 use check::lint::{
-    check_msg_wildcards, check_persist_before_send, check_unwraps, lint_source, mask_test_items,
-    strip_noise, Scope,
+    check_flush_barrier, check_msg_wildcards, check_persist_before_send, check_unwraps,
+    lint_source, mask_test_items, strip_noise, Scope,
 };
 
 const FULL: Scope = Scope {
     no_unwrap: true,
     persist: true,
+    flush: true,
 };
 
 #[test]
@@ -157,6 +158,54 @@ fn persist_before_send_is_clean() {
         }
     "#;
     let findings = check_persist_before_send("mod.rs", &mask_test_items(&strip_noise(src)));
+    assert!(findings.is_empty(), "findings: {findings:?}");
+}
+
+#[test]
+fn transmit_before_flush_is_flagged() {
+    // The drive loop hands a buffered message to the transport before the
+    // covering flush: under group commit the WAL record backing that
+    // message may still be un-synced.
+    let src = r#"
+        fn flush_and_transmit(&mut self) {
+            for out in std::mem::take(&mut self.outbox) {
+                self.transport.send(out.0, out.1);
+            }
+            self.replica.flush_storage();
+        }
+    "#;
+    let findings = check_flush_barrier("node.rs", &mask_test_items(&strip_noise(src)));
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "flush-before-transmit");
+}
+
+#[test]
+fn missing_flush_barrier_is_flagged() {
+    let src = r#"
+        fn flush_and_transmit(&mut self) {
+            for out in std::mem::take(&mut self.outbox) {
+                broadcast(&self.transport, n, Some(me), out);
+            }
+        }
+    "#;
+    let findings = check_flush_barrier("node.rs", &mask_test_items(&strip_noise(src)));
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "flush-before-transmit");
+}
+
+#[test]
+fn flush_before_transmit_is_clean() {
+    let src = r#"
+        fn flush_and_transmit(&mut self) {
+            if self.replica.storage_dirty() {
+                self.replica.flush_storage();
+            }
+            for out in std::mem::take(&mut self.outbox) {
+                self.transport.send(out.0, out.1);
+            }
+        }
+    "#;
+    let findings = check_flush_barrier("node.rs", &mask_test_items(&strip_noise(src)));
     assert!(findings.is_empty(), "findings: {findings:?}");
 }
 

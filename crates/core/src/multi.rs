@@ -146,6 +146,26 @@ impl MultiReplica {
         self.groups.into_iter().map(Replica::into_storage).collect()
     }
 
+    /// Durability barrier over every group's storage (see
+    /// [`Replica::flush_storage`]). Groups sharing a write-ahead log
+    /// coalesce: after the first dirty group syncs, the rest observe
+    /// clean storage and skip.
+    pub fn flush_all(&mut self) {
+        for r in &mut self.groups {
+            if r.storage_dirty() {
+                r.flush_storage();
+            }
+        }
+    }
+
+    /// Total persist operations recorded across every group's storage
+    /// ([`Replica::storage_writes`]). The simulator's durability cost
+    /// model charges fsync time from deltas of this sum.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.groups.iter().map(Replica::storage_writes).sum()
+    }
+
     /// Start every group. Actions are tagged with the group they belong
     /// to; timer actions must be keyed per group by the runtime.
     pub fn on_start(&mut self, now: Time) -> Vec<(GroupId, Action)> {

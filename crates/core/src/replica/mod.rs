@@ -338,6 +338,28 @@ impl Replica {
         self.storage
     }
 
+    /// Durability barrier ([`Storage::flush`]): everything the handlers
+    /// persisted so far is on stable storage when this returns. The drive
+    /// loop must call it before transmitting any message produced by those
+    /// handlers — persist-before-send at batch granularity (§3.1/§3.3).
+    pub fn flush_storage(&mut self) {
+        self.storage.flush();
+    }
+
+    /// Whether storage holds records awaiting a [`Replica::flush_storage`]
+    /// barrier.
+    #[must_use]
+    pub fn storage_dirty(&self) -> bool {
+        self.storage.is_dirty()
+    }
+
+    /// Total persist operations this replica's storage has recorded
+    /// ([`Storage::write_count`]).
+    #[must_use]
+    pub fn storage_writes(&self) -> u64 {
+        self.storage.write_count()
+    }
+
     // ------------------------------------------------------------------
     // Checker hooks (`crates/check`): inspection and state fingerprinting
     // ------------------------------------------------------------------

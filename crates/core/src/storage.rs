@@ -26,11 +26,23 @@ pub struct DurableState {
 }
 
 /// Write-ahead stable storage for one replica.
+///
+/// Durability is *batch-granular*: `save_*` records a write-ahead entry
+/// but need not reach the platter on its own — [`Storage::flush`] is the
+/// barrier that makes everything recorded so far durable. The protocol's
+/// persist-before-send rule (§3.1/§3.3) therefore holds as long as the
+/// embedding runtime calls `flush()` after the handlers run and before
+/// any resulting `Promise`/`Accepted` leaves the process; see
+/// `gridpaxos_transport::node` for the drive loop that enforces it.
+/// Backends that sync on every `save_*` (or keep state purely in memory)
+/// implement `flush` as a no-op.
 pub trait Storage: Send {
-    /// Persist a promise. Must be durable before the promise is sent.
+    /// Persist a promise. Must be durable (after the covering [`Storage::flush`])
+    /// before the promise is sent.
     fn save_promised(&mut self, b: Ballot);
-    /// Persist an accepted proposal. Must be durable before `Accepted` is
-    /// sent. Overwrites any previous acceptance for the same instance.
+    /// Persist an accepted proposal. Must be durable (after the covering
+    /// [`Storage::flush`]) before `Accepted` is sent. Overwrites any
+    /// previous acceptance for the same instance.
     fn save_accepted(&mut self, i: Instance, b: Ballot, d: &Decree);
     /// Persist the contiguous chosen-and-applied prefix.
     fn save_chosen_prefix(&mut self, upto: Instance);
@@ -41,6 +53,22 @@ pub trait Storage: Send {
     fn truncate_upto(&mut self, upto: Instance);
     /// Reload everything (crash recovery).
     fn load(&self) -> DurableState;
+    /// Durability barrier: everything recorded by earlier `save_*` calls
+    /// is on stable storage when this returns. One `flush` may cover many
+    /// records (group commit); backends that sync per record or hold
+    /// state in memory need not override the default no-op.
+    fn flush(&mut self) {}
+    /// Whether records recorded since the last [`Storage::flush`] are
+    /// still awaiting the barrier. Always `false` for backends whose
+    /// `save_*` calls are immediately durable.
+    fn is_dirty(&self) -> bool {
+        false
+    }
+    /// Total persist operations recorded so far (observability: the
+    /// simulator's durability cost model reads deltas of this counter).
+    fn write_count(&self) -> u64 {
+        0
+    }
 }
 
 /// In-memory [`Storage`]. "Durability" means surviving a *simulated* crash:
@@ -91,6 +119,14 @@ impl Storage for MemStorage {
 
     fn load(&self) -> DurableState {
         self.state.clone()
+    }
+
+    // `flush` stays the default no-op: a MemStorage write is "durable"
+    // the moment it lands in the struct, so the barrier has nothing to do
+    // and `is_dirty` is always false.
+
+    fn write_count(&self) -> u64 {
+        self.writes
     }
 }
 
@@ -161,5 +197,16 @@ mod tests {
         s.save_promised(ballot(1));
         s.save_chosen_prefix(Instance(0));
         assert_eq!(s.writes, 2);
+        assert_eq!(s.write_count(), 2);
+    }
+
+    #[test]
+    fn mem_storage_flush_is_a_clean_no_op() {
+        let mut s = MemStorage::new();
+        s.save_promised(ballot(1));
+        assert!(!s.is_dirty(), "MemStorage writes are durable immediately");
+        s.flush();
+        assert_eq!(s.load().promised, ballot(1));
+        assert_eq!(s.writes, 1, "flush is not a persist op");
     }
 }

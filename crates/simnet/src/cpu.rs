@@ -29,6 +29,13 @@ pub struct CpuModel {
     /// This is what makes write throughput saturate below read throughput,
     /// as in the paper's Figures 5–6.
     pub accept_entry: Dur,
+    /// Cost of one stable-storage sync (`fsync`). Only charged when the
+    /// simulation opts into a durability model
+    /// ([`crate::world::DurabilityMode`]): per persisted record in
+    /// per-record mode, per flush barrier in batched (group-commit) mode.
+    /// Dominates everything above by orders of magnitude on real disks —
+    /// which is exactly why group commit is worth modeling.
+    pub fsync: Dur,
 }
 
 impl CpuModel {
@@ -42,6 +49,9 @@ impl CpuModel {
             coord_msg: Dur::from_nanos(1_300),
             send: Dur::from_nanos(700),
             accept_entry: Dur::from_nanos(800),
+            // ~half a 7200 rpm rotation + controller overhead: the
+            // write-cache-disabled commodity disks of the paper's era.
+            fsync: Dur::from_nanos(2_000_000),
         }
     }
 
@@ -63,6 +73,7 @@ impl CpuModel {
             coord_msg: Dur::from_nanos(12_000),
             send: Dur::from_nanos(2_000),
             accept_entry: Dur::from_nanos(800),
+            fsync: Dur::from_nanos(2_000_000),
         }
     }
 
@@ -75,6 +86,7 @@ impl CpuModel {
             coord_msg: Dur::ZERO,
             send: Dur::ZERO,
             accept_entry: Dur::ZERO,
+            fsync: Dur::ZERO,
         }
     }
 

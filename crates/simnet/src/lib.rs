@@ -36,4 +36,4 @@ pub use stats::{summarize, Summary};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent};
 pub use workload::{Driver, OpLoop, TxnLoop};
-pub use world::{SimOpts, World};
+pub use world::{DurabilityMode, SimOpts, World};

@@ -1,20 +1,43 @@
-//! File-backed stable storage: a write-ahead log plus an atomically
-//! replaced checkpoint file. This is what makes the TCP deployment
+//! File-backed stable storage: a write-ahead log plus atomically
+//! replaced checkpoint files. This is what makes the TCP deployment
 //! actually crash-recoverable — the paper's model explicitly allows
 //! processes to recover (§3.1), which requires promises and accepted
 //! proposals to survive on disk.
 //!
 //! Layout inside the data directory:
 //!
-//! * `wal.log` — length-prefixed records, appended (and fsync'd, unless
-//!   `sync` is off): promised ballots, accepted decrees, chosen-prefix
-//!   advances.
-//! * `checkpoint.bin` — the latest snapshot, written to a temp file and
-//!   renamed into place (atomic on POSIX).
+//! * `wal.log` — length-prefixed records, appended: promised ballots,
+//!   accepted decrees, chosen-prefix advances. In a multi-group
+//!   deployment every group sharing the directory appends to this one
+//!   log (records for group `g > 0` carry a group envelope; group 0
+//!   records stay byte-identical to the single-group format).
+//! * `checkpoint.bin` (group 0) / `checkpoint-g<N>.bin` — the latest
+//!   snapshot per group, written to a temp file and renamed into place
+//!   (atomic on POSIX). After the rename the *directory* is fsync'd so
+//!   the replacement itself survives power loss.
+//!
+//! Durability is governed by [`SyncMode`]:
+//!
+//! * [`SyncMode::PerRecord`] — `sync_data` after every appended record,
+//!   the classic persist-before-send discipline (one fsync per record).
+//! * [`SyncMode::Batched`] — group commit: appends only write; the
+//!   [`Storage::flush`] barrier issues one `sync_data` covering every
+//!   record appended since the previous barrier. The drive loop in
+//!   [`crate::node`] calls `flush()` after draining a batch of events
+//!   and *before* transmitting any resulting message, so
+//!   persist-before-send still holds — at batch granularity.
+//! * [`SyncMode::Never`] — no fsync at all (tests only).
+//!
+//! A [`FlushCoordinator`] opens one shared log for all `G` groups of a
+//! node: every group's handle appends into the same file, and whichever
+//! group reaches its flush barrier first syncs everything — the other
+//! groups then observe clean storage and skip their own fsync. That is
+//! what collapses `G` per-group fsyncs per drain cycle into one.
 //!
 //! `truncate_upto` compacts by rewriting the WAL with only the retained
-//! records. A torn record at the WAL tail (a crash mid-append) is
-//! detected and ignored — everything before it replays cleanly.
+//! records (all groups). A torn record at the WAL tail (a crash
+//! mid-append) is detected and ignored — everything before it replays
+//! cleanly.
 
 use crate::framing::{read_frame, write_frame};
 use crate::wire::{
@@ -26,13 +49,32 @@ use gridpaxos_core::ballot::Ballot;
 use gridpaxos_core::command::{Decree, SnapshotBlob};
 use gridpaxos_core::storage::{DurableState, Storage};
 use gridpaxos_core::types::Instance;
+use parking_lot::Mutex;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufReader, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const TAG_PROMISED: u8 = 1;
 const TAG_ACCEPTED: u8 = 2;
 const TAG_CHOSEN: u8 = 3;
+/// Envelope for a record belonging to group `> 0` in a shared WAL:
+/// `TAG_GROUP, u32 LE group, <bare record>`. Group 0 records are written
+/// bare so a single-group WAL stays byte-identical to the original
+/// format.
+const TAG_GROUP: u8 = 4;
+
+/// When the write-ahead log reaches the platter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncMode {
+    /// `sync_data` after every record — one fsync per persist call.
+    PerRecord,
+    /// Group commit: records only append; the [`Storage::flush`] barrier
+    /// issues one `sync_data` covering everything since the last barrier.
+    Batched,
+    /// Never fsync (tests; durability limited to surviving process exit).
+    Never,
+}
 
 /// Unwrap an I/O result that the durability layer cannot survive losing.
 ///
@@ -48,122 +90,231 @@ fn fatal_io<T>(what: &str, r: io::Result<T>) -> T {
     }
 }
 
-/// Durable [`Storage`] backed by files in a directory.
-pub struct FileStorage {
+/// Shared state of one data directory's WAL (all groups).
+struct WalInner {
     dir: PathBuf,
     wal: File,
-    /// In-memory mirror (authoritative for `load`, kept in sync with disk).
-    state: DurableState,
-    /// fsync after every record (set false to trade durability for speed,
-    /// e.g. in tests).
-    sync: bool,
+    /// In-memory mirror per group (authoritative for `load`, kept in sync
+    /// with disk).
+    states: Vec<DurableState>,
+    mode: SyncMode,
+    /// Records appended since the last `sync_data` barrier.
+    dirty: bool,
+    /// Total records appended (all groups).
+    appends: u64,
+    /// Total WAL `sync_data` calls issued (all groups). `appends / syncs`
+    /// is the amortization factor group commit buys.
+    syncs: u64,
 }
 
-impl FileStorage {
-    /// Open (or create) storage in `dir`, replaying any existing WAL.
-    pub fn open(dir: impl AsRef<Path>) -> io::Result<FileStorage> {
-        Self::open_with_sync(dir, true)
+impl WalInner {
+    fn checkpoint_path(&self, group: u32) -> PathBuf {
+        if group == 0 {
+            self.dir.join("checkpoint.bin")
+        } else {
+            self.dir.join(format!("checkpoint-g{group}.bin"))
+        }
     }
 
-    /// Like [`FileStorage::open`], with explicit fsync behavior.
-    pub fn open_with_sync(dir: impl AsRef<Path>, sync: bool) -> io::Result<FileStorage> {
-        let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
-        let mut state = DurableState::default();
-
-        // Checkpoint first (it is the base the WAL builds on).
-        let ckpt_path = dir.join("checkpoint.bin");
-        if ckpt_path.exists() {
-            let raw = fs::read(&ckpt_path)?;
-            let mut buf = Bytes::from(raw);
-            if let Ok(Some(snap)) = get_snapshot(&mut buf).map(Some) {
-                state.chosen_prefix = state.chosen_prefix.max(snap.upto);
-                state.checkpoint = Some(snap);
+    fn append(&mut self, group: u32, record: &[u8]) {
+        if group == 0 {
+            fatal_io("WAL append", write_frame(&mut self.wal, record));
+        } else {
+            let mut wrapped = BytesMut::with_capacity(record.len() + 5);
+            wrapped.put_u8(TAG_GROUP);
+            wrapped.put_u32_le(group);
+            wrapped.extend_from_slice(record);
+            fatal_io("WAL append", write_frame(&mut self.wal, &wrapped));
+        }
+        self.appends += 1;
+        match self.mode {
+            SyncMode::PerRecord => {
+                fatal_io("WAL fsync", self.wal.sync_data());
+                self.syncs += 1;
             }
-        }
-
-        // Replay the WAL; stop cleanly at a torn tail.
-        let wal_path = dir.join("wal.log");
-        if wal_path.exists() {
-            let mut r = BufReader::new(File::open(&wal_path)?);
-            loop {
-                match read_frame(&mut r) {
-                    Ok(Some(mut frame)) => {
-                        if !replay_record(&mut frame, &mut state) {
-                            break; // corrupt record: treat as torn tail
-                        }
-                    }
-                    Ok(None) => break, // clean EOF
-                    Err(_) => break,   // torn tail
-                }
-            }
-        }
-
-        let wal = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&wal_path)?;
-        Ok(FileStorage {
-            dir,
-            wal,
-            state,
-            sync,
-        })
-    }
-
-    /// The data directory.
-    #[must_use]
-    pub fn dir(&self) -> &Path {
-        &self.dir
-    }
-
-    fn append(&mut self, payload: &[u8]) {
-        fatal_io("WAL append", write_frame(&mut self.wal, payload));
-        if self.sync {
-            fatal_io("WAL fsync", self.wal.sync_data());
+            SyncMode::Batched => self.dirty = true,
+            SyncMode::Never => {}
         }
     }
 
-    /// Rewrite the WAL from the in-memory mirror (compaction).
+    /// The group-commit barrier: one `sync_data` covers every record
+    /// appended (by any group) since the previous barrier.
+    fn flush(&mut self) {
+        if self.dirty {
+            fatal_io("WAL fsync (flush barrier)", self.wal.sync_data());
+            self.syncs += 1;
+            self.dirty = false;
+        }
+    }
+
+    /// Rewrite the WAL from the in-memory mirrors (compaction).
     fn rewrite_wal(&mut self) {
         let tmp = self.dir.join("wal.tmp");
         {
             let mut f = fatal_io("create wal.tmp", File::create(&tmp));
-            let mut out = BytesMut::new();
-            out.put_u8(TAG_PROMISED);
-            put_ballot(&mut out, &self.state.promised);
-            fatal_io("write wal.tmp", write_frame(&mut f, &out));
-            let mut out = BytesMut::new();
-            out.put_u8(TAG_CHOSEN);
-            put_instance(&mut out, &self.state.chosen_prefix);
-            fatal_io("write wal.tmp", write_frame(&mut f, &out));
-            for (i, (b, d)) in &self.state.accepted {
+            for (g, state) in self.states.iter().enumerate() {
+                let g = g as u32;
                 let mut out = BytesMut::new();
-                out.put_u8(TAG_ACCEPTED);
-                put_instance(&mut out, i);
-                put_ballot(&mut out, b);
-                put_decree(&mut out, d);
-                fatal_io("write wal.tmp", write_frame(&mut f, &out));
+                out.put_u8(TAG_PROMISED);
+                put_ballot(&mut out, &state.promised);
+                write_compacted(&mut f, g, &out);
+                let mut out = BytesMut::new();
+                out.put_u8(TAG_CHOSEN);
+                put_instance(&mut out, &state.chosen_prefix);
+                write_compacted(&mut f, g, &out);
+                for (i, (b, d)) in &state.accepted {
+                    let mut out = BytesMut::new();
+                    out.put_u8(TAG_ACCEPTED);
+                    put_instance(&mut out, i);
+                    put_ballot(&mut out, b);
+                    put_decree(&mut out, d);
+                    write_compacted(&mut f, g, &out);
+                }
             }
-            if self.sync {
+            if self.mode != SyncMode::Never {
                 fatal_io("fsync wal.tmp", f.sync_data());
             }
         }
         fatal_io("swap WAL", fs::rename(&tmp, self.dir.join("wal.log")));
+        if self.mode != SyncMode::Never {
+            sync_dir(&self.dir);
+        }
         self.wal = fatal_io(
             "reopen WAL",
             OpenOptions::new()
                 .append(true)
                 .open(self.dir.join("wal.log")),
         );
+        // The fresh log was synced before the swap; nothing is pending.
+        self.dirty = false;
+    }
+
+    fn save_checkpoint(&mut self, group: u32, snap: &SnapshotBlob) {
+        let tmp = self.dir.join(format!("checkpoint-g{group}.tmp"));
+        {
+            let mut f = fatal_io("create checkpoint.tmp", File::create(&tmp));
+            let mut out = BytesMut::new();
+            put_snapshot(&mut out, snap);
+            fatal_io("write checkpoint", f.write_all(&out));
+            if self.mode != SyncMode::Never {
+                fatal_io("fsync checkpoint", f.sync_data());
+            }
+        }
+        fatal_io(
+            "swap checkpoint",
+            fs::rename(&tmp, self.checkpoint_path(group)),
+        );
+        // Without this the atomic replacement itself can be lost on power
+        // failure even though the temp file's *contents* were synced: the
+        // rename lives in the directory, not the file.
+        if self.mode != SyncMode::Never {
+            sync_dir(&self.dir);
+        }
     }
 }
 
-fn replay_record(frame: &mut Bytes, state: &mut DurableState) -> bool {
+fn write_compacted(f: &mut File, group: u32, record: &[u8]) {
+    if group == 0 {
+        fatal_io("write wal.tmp", write_frame(f, record));
+    } else {
+        let mut wrapped = BytesMut::with_capacity(record.len() + 5);
+        wrapped.put_u8(TAG_GROUP);
+        wrapped.put_u32_le(group);
+        wrapped.extend_from_slice(record);
+        fatal_io("write wal.tmp", write_frame(f, &wrapped));
+    }
+}
+
+/// fsync a directory so a rename performed inside it is durable.
+fn sync_dir(dir: &Path) {
+    let d = fatal_io("open data dir for fsync", File::open(dir));
+    fatal_io("fsync data dir", d.sync_all());
+}
+
+/// Durable [`Storage`] backed by files in a directory — the handle for
+/// one consensus group's share of the (possibly shared) write-ahead log.
+pub struct FileStorage {
+    inner: Arc<Mutex<WalInner>>,
+    group: u32,
+}
+
+impl FileStorage {
+    /// Open (or create) single-group storage in `dir`, replaying any
+    /// existing WAL. Per-record fsync (the conservative default).
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<FileStorage> {
+        Self::open_with_mode(dir, SyncMode::PerRecord)
+    }
+
+    /// Like [`FileStorage::open`], with explicit legacy fsync behavior:
+    /// `true` is per-record sync, `false` never syncs.
+    pub fn open_with_sync(dir: impl AsRef<Path>, sync: bool) -> io::Result<FileStorage> {
+        Self::open_with_mode(
+            dir,
+            if sync {
+                SyncMode::PerRecord
+            } else {
+                SyncMode::Never
+            },
+        )
+    }
+
+    /// Open (or create) single-group storage in `dir` with an explicit
+    /// [`SyncMode`].
+    pub fn open_with_mode(dir: impl AsRef<Path>, mode: SyncMode) -> io::Result<FileStorage> {
+        let coord = FlushCoordinator::open(dir, mode, 1)?;
+        Ok(coord.storage(0))
+    }
+
+    /// The data directory.
+    #[must_use]
+    pub fn dir(&self) -> PathBuf {
+        self.inner.lock().dir.clone()
+    }
+
+    /// Records appended to the (shared) WAL so far.
+    #[must_use]
+    pub fn appends(&self) -> u64 {
+        self.inner.lock().appends
+    }
+
+    /// WAL `sync_data` calls issued so far. Group commit amortizes:
+    /// `syncs` grows per flush barrier, not per record.
+    #[must_use]
+    pub fn syncs(&self) -> u64 {
+        self.inner.lock().syncs
+    }
+}
+
+fn replay_record(frame: &mut Bytes, states: &mut Vec<DurableState>, max_groups: usize) -> bool {
     if frame.remaining() < 1 {
         return false;
     }
-    match frame.get_u8() {
+    let tag = frame.get_u8();
+    let group = if tag == TAG_GROUP {
+        if frame.remaining() < 5 {
+            return false;
+        }
+        let g = frame.get_u32_le() as usize;
+        if g >= max_groups {
+            return false; // a WAL from a larger deployment: refuse
+        }
+        g
+    } else {
+        0
+    };
+    while states.len() <= group {
+        states.push(DurableState::default());
+    }
+    let state = &mut states[group];
+    let tag = if tag == TAG_GROUP {
+        if frame.remaining() < 1 {
+            return false;
+        }
+        frame.get_u8()
+    } else {
+        tag
+    };
+    match tag {
         TAG_PROMISED => match get_ballot(frame) {
             Ok(b) => {
                 state.promised = state.promised.max(b);
@@ -196,56 +347,188 @@ fn replay_record(frame: &mut Bytes, state: &mut DurableState) -> bool {
 
 impl Storage for FileStorage {
     fn save_promised(&mut self, b: Ballot) {
-        self.state.promised = b;
+        let mut inner = self.inner.lock();
+        inner.states[self.group as usize].promised = b;
         let mut out = BytesMut::new();
         out.put_u8(TAG_PROMISED);
         put_ballot(&mut out, &b);
-        self.append(&out);
+        inner.append(self.group, &out);
     }
 
     fn save_accepted(&mut self, i: Instance, b: Ballot, d: &Decree) {
-        self.state.accepted.insert(i, (b, d.clone()));
+        let mut inner = self.inner.lock();
+        inner.states[self.group as usize]
+            .accepted
+            .insert(i, (b, d.clone()));
         let mut out = BytesMut::new();
         out.put_u8(TAG_ACCEPTED);
         put_instance(&mut out, &i);
         put_ballot(&mut out, &b);
         put_decree(&mut out, d);
-        self.append(&out);
+        inner.append(self.group, &out);
     }
 
     fn save_chosen_prefix(&mut self, upto: Instance) {
-        self.state.chosen_prefix = upto;
+        let mut inner = self.inner.lock();
+        inner.states[self.group as usize].chosen_prefix = upto;
         let mut out = BytesMut::new();
         out.put_u8(TAG_CHOSEN);
         put_instance(&mut out, &upto);
-        self.append(&out);
+        inner.append(self.group, &out);
     }
 
     fn save_checkpoint(&mut self, snap: &SnapshotBlob) {
-        self.state.checkpoint = Some(snap.clone());
-        let tmp = self.dir.join("checkpoint.tmp");
-        {
-            let mut f = fatal_io("create checkpoint.tmp", File::create(&tmp));
-            let mut out = BytesMut::new();
-            put_snapshot(&mut out, snap);
-            fatal_io("write checkpoint", f.write_all(&out));
-            if self.sync {
-                fatal_io("fsync checkpoint", f.sync_data());
-            }
-        }
-        fatal_io(
-            "swap checkpoint",
-            fs::rename(&tmp, self.dir.join("checkpoint.bin")),
-        );
+        let mut inner = self.inner.lock();
+        inner.states[self.group as usize].checkpoint = Some(snap.clone());
+        inner.save_checkpoint(self.group, snap);
     }
 
     fn truncate_upto(&mut self, upto: Instance) {
-        self.state.accepted = self.state.accepted.split_off(&upto.next());
-        self.rewrite_wal();
+        let mut inner = self.inner.lock();
+        let g = self.group as usize;
+        inner.states[g].accepted = inner.states[g].accepted.split_off(&upto.next());
+        inner.rewrite_wal();
     }
 
     fn load(&self) -> DurableState {
-        self.state.clone()
+        self.inner.lock().states[self.group as usize].clone()
+    }
+
+    fn flush(&mut self) {
+        self.inner.lock().flush();
+    }
+
+    fn is_dirty(&self) -> bool {
+        self.inner.lock().dirty
+    }
+
+    fn write_count(&self) -> u64 {
+        self.inner.lock().appends
+    }
+}
+
+/// One node's durability plane: all `G` groups sharing a data directory
+/// append into a single write-ahead log, so one [`Storage::flush`]
+/// barrier — issued by whichever group's drive loop reaches it first —
+/// covers every group's pending records with a single fsync per drain
+/// cycle instead of `G` independent ones.
+pub struct FlushCoordinator {
+    inner: Arc<Mutex<WalInner>>,
+    n_groups: usize,
+}
+
+impl FlushCoordinator {
+    /// Open (or create) the shared log in `dir` for `n_groups` groups,
+    /// replaying any existing WAL and per-group checkpoints. Opening a
+    /// WAL that contains records for group `>= n_groups` fails (a
+    /// differently sized deployment's data directory).
+    pub fn open(
+        dir: impl AsRef<Path>,
+        mode: SyncMode,
+        n_groups: usize,
+    ) -> io::Result<FlushCoordinator> {
+        assert!(n_groups >= 1, "need at least one group");
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut states: Vec<DurableState> =
+            (0..n_groups).map(|_| DurableState::default()).collect();
+
+        // Checkpoints first (they are the base the WAL builds on).
+        for (g, state) in states.iter_mut().enumerate() {
+            let path = if g == 0 {
+                dir.join("checkpoint.bin")
+            } else {
+                dir.join(format!("checkpoint-g{g}.bin"))
+            };
+            if path.exists() {
+                let raw = fs::read(&path)?;
+                let mut buf = Bytes::from(raw);
+                if let Ok(snap) = get_snapshot(&mut buf) {
+                    state.chosen_prefix = state.chosen_prefix.max(snap.upto);
+                    state.checkpoint = Some(snap);
+                }
+            }
+        }
+
+        // Replay the WAL; stop cleanly at a torn tail. A record for an
+        // out-of-range group also stops the replay (same as a corrupt
+        // record: nothing after it can be trusted to belong to us).
+        let wal_path = dir.join("wal.log");
+        if wal_path.exists() {
+            let mut r = BufReader::new(File::open(&wal_path)?);
+            loop {
+                match read_frame(&mut r) {
+                    Ok(Some(mut frame)) => {
+                        if !replay_record(&mut frame, &mut states, n_groups) {
+                            break; // corrupt record: treat as torn tail
+                        }
+                    }
+                    Ok(None) => break, // clean EOF
+                    Err(_) => break,   // torn tail
+                }
+            }
+        }
+
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)?;
+        Ok(FlushCoordinator {
+            inner: Arc::new(Mutex::new(WalInner {
+                dir,
+                wal,
+                states,
+                mode,
+                dirty: false,
+                appends: 0,
+                syncs: 0,
+            })),
+            n_groups,
+        })
+    }
+
+    /// Number of groups sharing this log.
+    #[must_use]
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
+    }
+
+    /// The [`Storage`] handle for group `g`.
+    ///
+    /// # Panics
+    /// If `g >= n_groups`.
+    #[must_use]
+    pub fn storage(&self, g: usize) -> FileStorage {
+        assert!(g < self.n_groups, "group {g} out of range");
+        FileStorage {
+            inner: Arc::clone(&self.inner),
+            group: g as u32,
+        }
+    }
+
+    /// Handles for every group, in group order.
+    #[must_use]
+    pub fn storages(&self) -> Vec<FileStorage> {
+        (0..self.n_groups).map(|g| self.storage(g)).collect()
+    }
+
+    /// Records appended to the shared WAL so far (all groups).
+    #[must_use]
+    pub fn appends(&self) -> u64 {
+        self.inner.lock().appends
+    }
+
+    /// WAL `sync_data` calls issued so far (all groups). With group
+    /// commit, `appends / syncs` is the amortization factor.
+    #[must_use]
+    pub fn syncs(&self) -> u64 {
+        self.inner.lock().syncs
+    }
+
+    /// Whether records are pending the next flush barrier.
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.inner.lock().dirty
     }
 }
 
@@ -400,6 +683,211 @@ mod tests {
         assert_eq!(r.chosen_prefix(), Instance(3));
         let snap = r.service_snapshot();
         assert_eq!(u64::from_le_bytes(snap[..8].try_into().unwrap()), 3);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    /// Per-record sync mode must write exactly the bytes the original
+    /// always-sync implementation wrote: bare tagged records, one frame
+    /// each, no group envelopes — a WAL from before group commit replays
+    /// identically and vice versa.
+    #[test]
+    fn per_record_wal_bytes_are_unchanged() {
+        let dir = tmpdir("bytes");
+        {
+            let mut s = FileStorage::open_with_mode(&dir, SyncMode::PerRecord).unwrap();
+            s.save_promised(ballot(3));
+            s.save_accepted(Instance(1), ballot(3), &decree(1));
+            s.save_chosen_prefix(Instance(1));
+        }
+        let got = fs::read(dir.join("wal.log")).unwrap();
+
+        // Golden encoding, assembled by hand.
+        let mut expect = Vec::new();
+        let mut rec = BytesMut::new();
+        rec.put_u8(TAG_PROMISED);
+        put_ballot(&mut rec, &ballot(3));
+        write_frame(&mut expect, &rec).unwrap();
+        let mut rec = BytesMut::new();
+        rec.put_u8(TAG_ACCEPTED);
+        put_instance(&mut rec, &Instance(1));
+        put_ballot(&mut rec, &ballot(3));
+        put_decree(&mut rec, &decree(1));
+        write_frame(&mut expect, &rec).unwrap();
+        let mut rec = BytesMut::new();
+        rec.put_u8(TAG_CHOSEN);
+        put_instance(&mut rec, &Instance(1));
+        write_frame(&mut expect, &rec).unwrap();
+        assert_eq!(got, expect, "per-record WAL bytes changed");
+
+        // Batched mode appends the same bytes; only the fsync schedule
+        // differs.
+        let dir2 = tmpdir("bytes-batched");
+        {
+            let mut s = FileStorage::open_with_mode(&dir2, SyncMode::Batched).unwrap();
+            s.save_promised(ballot(3));
+            s.save_accepted(Instance(1), ballot(3), &decree(1));
+            s.save_chosen_prefix(Instance(1));
+            s.flush();
+        }
+        assert_eq!(fs::read(dir2.join("wal.log")).unwrap(), expect);
+        fs::remove_dir_all(dir).ok();
+        fs::remove_dir_all(dir2).ok();
+    }
+
+    #[test]
+    fn counters_expose_group_commit_amortization() {
+        let dir = tmpdir("counters");
+        let mut s = FileStorage::open_with_mode(&dir, SyncMode::Batched).unwrap();
+        for i in 1..=10u64 {
+            s.save_accepted(Instance(i), ballot(1), &decree(i));
+        }
+        assert_eq!(s.appends(), 10);
+        assert_eq!(s.syncs(), 0, "no record forced its own fsync");
+        assert!(s.is_dirty());
+        s.flush();
+        assert_eq!(s.syncs(), 1, "one barrier covered all ten records");
+        assert!(!s.is_dirty());
+        s.flush();
+        assert_eq!(s.syncs(), 1, "clean flush is free");
+
+        let dir2 = tmpdir("counters-pr");
+        let mut p = FileStorage::open_with_mode(&dir2, SyncMode::PerRecord).unwrap();
+        for i in 1..=10u64 {
+            p.save_accepted(Instance(i), ballot(1), &decree(i));
+        }
+        assert_eq!((p.appends(), p.syncs()), (10, 10));
+        assert!(!p.is_dirty(), "per-record mode is never dirty");
+        fs::remove_dir_all(dir).ok();
+        fs::remove_dir_all(dir2).ok();
+    }
+
+    #[test]
+    fn shared_wal_coalesces_groups_and_survives_reopen() {
+        let dir = tmpdir("shared");
+        {
+            let coord = FlushCoordinator::open(&dir, SyncMode::Batched, 3).unwrap();
+            let mut handles = coord.storages();
+            // Interleaved appends from three groups, one barrier.
+            handles[0].save_promised(ballot(1));
+            handles[1].save_promised(ballot(2));
+            handles[2].save_promised(ballot(3));
+            handles[1].save_accepted(Instance(1), ballot(2), &decree(1));
+            handles[2].save_chosen_prefix(Instance(0));
+            assert_eq!(coord.appends(), 5);
+            assert!(coord.is_dirty());
+            handles[0].flush(); // whichever group reaches its barrier first
+            assert_eq!(coord.syncs(), 1, "one fsync covered all three groups");
+            // The other groups observe clean storage and skip.
+            assert!(!handles[1].is_dirty());
+            assert!(!handles[2].is_dirty());
+            handles[1].flush();
+            handles[2].flush();
+            assert_eq!(coord.syncs(), 1);
+            // Per-group checkpoints land in distinct files.
+            handles[1].save_checkpoint(&SnapshotBlob {
+                upto: Instance(1),
+                app: Bytes::from_static(b"g1"),
+                dedup: vec![],
+            });
+            assert!(dir.join("checkpoint-g1.bin").exists());
+            assert!(!dir.join("checkpoint.bin").exists());
+        } // crash
+        let coord = FlushCoordinator::open(&dir, SyncMode::Batched, 3).unwrap();
+        let d0 = coord.storage(0).load();
+        let d1 = coord.storage(1).load();
+        let d2 = coord.storage(2).load();
+        assert_eq!(d0.promised, ballot(1));
+        assert_eq!(d1.promised, ballot(2));
+        assert_eq!(d1.accepted[&Instance(1)].1, decree(1));
+        assert_eq!(d1.checkpoint.as_ref().unwrap().upto, Instance(1));
+        assert_eq!(d2.promised, ballot(3));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn shared_wal_compaction_retains_every_group() {
+        let dir = tmpdir("shared-compact");
+        {
+            let coord = FlushCoordinator::open(&dir, SyncMode::Never, 2).unwrap();
+            let mut handles = coord.storages();
+            for i in 1..=6u64 {
+                handles[0].save_accepted(Instance(i), ballot(1), &decree(i));
+                handles[1].save_accepted(Instance(i), ballot(1), &decree(i + 100));
+            }
+            handles[0].save_chosen_prefix(Instance(6));
+            // Group 0 compacts; group 1's records must survive the rewrite.
+            handles[0].truncate_upto(Instance(4));
+        }
+        let coord = FlushCoordinator::open(&dir, SyncMode::Never, 2).unwrap();
+        let d0 = coord.storage(0).load();
+        let d1 = coord.storage(1).load();
+        assert_eq!(
+            d0.accepted.keys().copied().collect::<Vec<_>>(),
+            vec![Instance(5), Instance(6)]
+        );
+        assert_eq!(d0.chosen_prefix, Instance(6));
+        assert_eq!(d1.accepted.len(), 6, "other group untouched by compaction");
+        assert_eq!(d1.accepted[&Instance(3)].1, decree(103));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    /// Crash-torture: truncate the WAL at *every* byte boundary inside a
+    /// multi-record group-commit batch and assert replay recovers exactly
+    /// the longest intact prefix of records — never a misparse, never a
+    /// lost intact record.
+    #[test]
+    fn torture_truncation_replays_exact_prefix() {
+        let dir = tmpdir("torture");
+        // Record the WAL length after each append: the durability
+        // boundaries replay must respect.
+        let mut boundaries = vec![0u64];
+        let mut prefix_states: Vec<DurableState> = vec![DurableState::default()];
+        {
+            let mut s = FileStorage::open_with_mode(&dir, SyncMode::Batched).unwrap();
+            let mut model = DurableState::default();
+            let save = |s: &mut FileStorage, model: &mut DurableState, step: usize| match step {
+                0 => {
+                    s.save_promised(ballot(7));
+                    model.promised = ballot(7);
+                }
+                1..=3 => {
+                    let i = step as u64;
+                    s.save_accepted(Instance(i), ballot(7), &decree(i));
+                    model.accepted.insert(Instance(i), (ballot(7), decree(i)));
+                }
+                _ => {
+                    s.save_chosen_prefix(Instance(2));
+                    model.chosen_prefix = Instance(2);
+                }
+            };
+            for step in 0..5 {
+                save(&mut s, &mut model, step);
+                boundaries.push(fs::metadata(dir.join("wal.log")).unwrap().len());
+                prefix_states.push(model.clone());
+            }
+            s.flush();
+        }
+        let raw = fs::read(dir.join("wal.log")).unwrap();
+        assert_eq!(*boundaries.last().unwrap(), raw.len() as u64);
+
+        for cut in 0..=raw.len() {
+            let tdir = tmpdir(&format!("torture-cut{cut}"));
+            fs::create_dir_all(&tdir).unwrap();
+            fs::write(tdir.join("wal.log"), &raw[..cut]).unwrap();
+            let s = FileStorage::open_with_mode(&tdir, SyncMode::Batched).unwrap();
+            let got = s.load();
+            // The longest intact prefix: every record whose frame ends at
+            // or before the cut.
+            let k = boundaries.iter().filter(|&&b| b <= cut as u64).count() - 1;
+            let want = &prefix_states[k];
+            assert_eq!(
+                (got.promised, got.chosen_prefix, got.accepted.len()),
+                (want.promised, want.chosen_prefix, want.accepted.len()),
+                "cut at byte {cut}: expected prefix of {k} records"
+            );
+            assert_eq!(got.accepted, want.accepted, "cut at byte {cut}");
+            fs::remove_dir_all(tdir).ok();
+        }
         fs::remove_dir_all(dir).ok();
     }
 }

@@ -29,7 +29,7 @@ pub mod shard;
 pub mod tcp;
 pub mod wire;
 
-pub use fstorage::FileStorage;
+pub use fstorage::{FileStorage, FlushCoordinator, SyncMode};
 pub use inproc::{Hub, HubEndpoint};
 pub use node::{spawn_replica, RecvResult, ReplicaNode, SyncClient, Transport};
 pub use shard::{spawn_sharded_node, GroupPort, ShardedNode, ShardedTcpCluster};

@@ -10,6 +10,7 @@
 //! per-group parallel execution on multicore nodes — the throughput lever
 //! the sharding extension exists for.
 
+use crate::fstorage::{FlushCoordinator, SyncMode};
 use crate::node::{spawn_replica, RecvResult, SyncClient, Transport};
 use crate::tcp::TcpNode;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -178,6 +179,9 @@ pub struct ShardedTcpCluster {
     n_groups: usize,
     router: Option<ShardRouter>,
     next_client: AtomicU64,
+    /// Per-node WAL coordinators (durable launches only): counters for
+    /// asserting fsync amortization.
+    coordinators: HashMap<ProcessId, FlushCoordinator>,
 }
 
 impl ShardedTcpCluster {
@@ -190,6 +194,55 @@ impl ShardedTcpCluster {
         n_groups: usize,
         app_factory: impl Fn() -> Box<dyn App> + Send + Sync,
         router: Option<ShardRouter>,
+    ) -> io::Result<ShardedTcpCluster> {
+        Self::launch_with_storage(cfg, n_groups, app_factory, router, |_| {
+            (0..n_groups)
+                .map(|_| Box::new(MemStorage::new()) as Box<dyn Storage>)
+                .collect()
+        })
+    }
+
+    /// Launch a *durable* cluster: each node's `n_groups` replicas share
+    /// one write-ahead log under `data_root/node-<id>` via a
+    /// [`FlushCoordinator`], so a drain cycle's flush barrier costs one
+    /// fsync for the whole node, not one per group. Nodes whose
+    /// directories hold prior state are recovered, not created fresh.
+    pub fn launch_durable(
+        cfg: Config,
+        n_groups: usize,
+        app_factory: impl Fn() -> Box<dyn App> + Send + Sync,
+        router: Option<ShardRouter>,
+        data_root: impl AsRef<std::path::Path>,
+        mode: SyncMode,
+    ) -> io::Result<ShardedTcpCluster> {
+        let root = data_root.as_ref().to_path_buf();
+        let mut coordinators = HashMap::new();
+        for i in 0..cfg.n {
+            let id = ProcessId(i as u32);
+            let coord =
+                FlushCoordinator::open(root.join(format!("node-{}", id.0)), mode, n_groups)?;
+            coordinators.insert(id, coord);
+        }
+        let mut cluster = Self::launch_with_storage(cfg, n_groups, app_factory, router, |id| {
+            coordinators[&id]
+                .storages()
+                .into_iter()
+                .map(|s| Box::new(s) as Box<dyn Storage>)
+                .collect()
+        })?;
+        cluster.coordinators = coordinators;
+        Ok(cluster)
+    }
+
+    /// Launch with custom per-node storage: `storage_factory(id)` returns
+    /// one [`Storage`] per group, group `g` at index `g`. Groups whose
+    /// storage holds prior state are recovered rather than created fresh.
+    pub fn launch_with_storage(
+        cfg: Config,
+        n_groups: usize,
+        app_factory: impl Fn() -> Box<dyn App> + Send + Sync,
+        router: Option<ShardRouter>,
+        storage_factory: impl Fn(ProcessId) -> Vec<Box<dyn Storage>>,
     ) -> io::Result<ShardedTcpCluster> {
         let n = cfg.n;
         let mut addrs = HashMap::new();
@@ -208,17 +261,37 @@ impl ShardedTcpCluster {
         let stop = Arc::new(AtomicBool::new(false));
         let mut nodes = Vec::new();
         for (id, transport) in pending {
-            let group_replicas = (0..n_groups)
-                .map(|gi| {
+            let storages = storage_factory(id);
+            assert_eq!(storages.len(), n_groups, "one storage per group");
+            let group_replicas = storages
+                .into_iter()
+                .enumerate()
+                .map(|(gi, storage)| {
                     let g = GroupId(gi as u32);
-                    Replica::new(
-                        id,
-                        group_config(&cfg, g),
-                        app_factory(),
-                        Box::new(MemStorage::new()) as Box<dyn Storage>,
-                        group_seed(0xace0 + u64::from(id.0), g),
-                        Time::ZERO,
-                    )
+                    let prior = storage.load();
+                    let has_prior = !prior.promised.is_zero()
+                        || !prior.accepted.is_empty()
+                        || prior.checkpoint.is_some()
+                        || prior.chosen_prefix.0 > 0;
+                    if has_prior {
+                        Replica::recover(
+                            id,
+                            group_config(&cfg, g),
+                            app_factory(),
+                            storage,
+                            group_seed(0xace0 + u64::from(id.0), g),
+                            Time::ZERO,
+                        )
+                    } else {
+                        Replica::new(
+                            id,
+                            group_config(&cfg, g),
+                            app_factory(),
+                            storage,
+                            group_seed(0xace0 + u64::from(id.0), g),
+                            Time::ZERO,
+                        )
+                    }
                 })
                 .collect();
             nodes.push(spawn_sharded_node(
@@ -243,6 +316,7 @@ impl ShardedTcpCluster {
                     .unwrap_or(1)
                     | 1,
             ),
+            coordinators: HashMap::new(),
         })
     }
 
@@ -250,6 +324,12 @@ impl ShardedTcpCluster {
     #[must_use]
     pub fn n_groups(&self) -> usize {
         self.n_groups
+    }
+
+    /// The WAL coordinator for node `id` (durable launches only).
+    #[must_use]
+    pub fn coordinator(&self, id: ProcessId) -> Option<&FlushCoordinator> {
+        self.coordinators.get(&id)
     }
 
     /// Create a blocking shard-aware client connected to the whole group.
@@ -340,6 +420,90 @@ mod tests {
                 "group {g} chose nothing: {prefixes:?}"
             );
         }
+    }
+
+    /// A durable multi-group cluster in batched mode: the shared WAL
+    /// amortizes fsyncs across groups, and a full restart recovers every
+    /// group's state from disk.
+    #[test]
+    fn durable_sharded_cluster_amortizes_fsyncs_and_recovers() {
+        let root = std::env::temp_dir().join(format!(
+            "gridpaxos-shard-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let cfg = Config::cluster(3);
+        let n_groups = 4;
+
+        let first_chosen: Vec<_>;
+        {
+            let cluster = ShardedTcpCluster::launch_durable(
+                cfg.clone(),
+                n_groups,
+                noop_factory,
+                Some(byte_router()),
+                &root,
+                SyncMode::Batched,
+            )
+            .expect("launch durable");
+            let mut client = cluster.client();
+            for key in 0u8..8 {
+                let body = client
+                    .call(RequestKind::Write, Bytes::copy_from_slice(&[key]))
+                    .expect("write completes");
+                assert!(matches!(body, ReplyBody::Ok(_)), "got {body:?}");
+            }
+            for i in 0..cfg.n {
+                let coord = cluster.coordinator(ProcessId(i as u32)).expect("coord");
+                assert!(coord.appends() > 0, "node {i} persisted nothing");
+                assert!(
+                    coord.syncs() <= coord.appends(),
+                    "node {i}: more syncs ({}) than appends ({})?",
+                    coord.syncs(),
+                    coord.appends()
+                );
+            }
+            let per_node = cluster.shutdown();
+            first_chosen = (0..n_groups)
+                .map(|g| {
+                    per_node
+                        .iter()
+                        .map(|rs| rs[g].chosen_prefix())
+                        .max()
+                        .unwrap()
+                })
+                .collect();
+            assert!(
+                first_chosen.iter().all(|p| p.0 >= 1),
+                "every group served at least one write: {first_chosen:?}"
+            );
+        }
+
+        // Restart from the same directories: recovery must replay every
+        // group's chosen prefix from the shared WAL.
+        let cluster = ShardedTcpCluster::launch_durable(
+            cfg,
+            n_groups,
+            noop_factory,
+            Some(byte_router()),
+            &root,
+            SyncMode::Batched,
+        )
+        .expect("relaunch durable");
+        let per_node = cluster.shutdown();
+        for (g, want) in first_chosen.iter().enumerate() {
+            let recovered = per_node
+                .iter()
+                .map(|rs| rs[g].chosen_prefix())
+                .max()
+                .unwrap();
+            assert!(
+                recovered >= *want,
+                "group {g}: recovered prefix {recovered:?} < pre-crash {want:?}"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

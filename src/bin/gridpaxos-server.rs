@@ -16,7 +16,7 @@
 use gridpaxos::core::prelude::*;
 use gridpaxos::services::KvStore;
 use gridpaxos::transport::node::ReplicaNode;
-use gridpaxos::transport::{FileStorage, TcpNode};
+use gridpaxos::transport::{FileStorage, SyncMode, TcpNode};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::process::exit;
@@ -32,6 +32,10 @@ fn usage() -> ! {
          --listen  address to bind\n\
          --peer    listen address of every replica (repeat; include self)\n\
          --data-dir <path>  durable storage directory (default: in-memory)\n\
+         --sync per-record|batched  WAL fsync policy with --data-dir\n\
+                   (per-record: one fsync per record, default; batched:\n\
+                   group commit — the drive loop syncs once per drain\n\
+                   cycle before any acknowledgment is sent)\n\
          --tpaxos  enable T-Paxos transaction mode (default: per-op)\n\
          --wan     use WAN-tuned timeouts (default: cluster-tuned)"
     );
@@ -45,6 +49,7 @@ fn main() {
     let mut tpaxos = false;
     let mut wan = false;
     let mut data_dir: Option<String> = None;
+    let mut sync_mode = SyncMode::PerRecord;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -71,6 +76,14 @@ fn main() {
             "--data-dir" => {
                 i += 1;
                 data_dir = args.get(i).cloned();
+            }
+            "--sync" => {
+                i += 1;
+                sync_mode = match args.get(i).map(String::as_str) {
+                    Some("per-record") => SyncMode::PerRecord,
+                    Some("batched") => SyncMode::Batched,
+                    _ => usage(),
+                };
             }
             "--tpaxos" => tpaxos = true,
             "--wan" => wan = true,
@@ -114,7 +127,7 @@ fn main() {
 
     let replica = match &data_dir {
         Some(dir) => {
-            let storage = match FileStorage::open(dir) {
+            let storage = match FileStorage::open_with_mode(dir, sync_mode) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("open data dir {dir}: {e}");
