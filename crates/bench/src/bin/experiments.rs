@@ -31,6 +31,7 @@ fn run_one(name: &str, seed: u64) -> Option<Vec<TableOut>> {
         "sharding" => gridpaxos_bench::sharding(seed),
         "group-commit" => gridpaxos_bench::group_commit(seed),
         "read-batching" => gridpaxos_bench::read_batching(seed),
+        "reactor" => gridpaxos_bench::reactor(seed),
         _ => return None,
     };
     Some(vec![t])
@@ -64,7 +65,7 @@ fn main() {
                 eprintln!(
                     "unknown experiment '{name}'; known: all rrt-sysnet fig5 fig6 fig7 fig8 \
                      table1 fig9 leader-switch scale-t ablation state-size batch-ablation \
-                     sharding group-commit read-batching"
+                     sharding group-commit read-batching reactor"
                 );
                 any_bad = true;
             }

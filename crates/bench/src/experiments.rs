@@ -898,6 +898,434 @@ fn write_read_batching_json(results: &[(usize, f64, f64, f64)]) -> std::io::Resu
     Ok(path.to_owned())
 }
 
+/// E14 — reactor transport: live-TCP A/B of the thread-per-connection
+/// substrate against the nonblocking epoll reactor, on a real 3-node
+/// loopback cluster (not the simulator). Two phases:
+///
+/// * **closed-loop**: real `SyncClient` connections on both transports at
+///   matched counts, then the headline run — 10,000+ virtual clients
+///   multiplexed over three sockets ([`MuxSwarm`]), a client population
+///   the threaded transport cannot host on one box (two threads per
+///   connection);
+/// * **open-loop**: a fixed offered-rate sweep past saturation on both
+///   transports. The reactor's admission gate sheds the excess with
+///   `Busy` (throughput plateaus, tail latency stays bounded); the
+///   threaded path queues without bound and its tail grows with the
+///   backlog.
+///
+/// Emits `BENCH_reactor.json`. Linux only (epoll); elsewhere the table
+/// carries a note and no rows.
+///
+/// [`MuxSwarm`]: gridpaxos_transport::MuxSwarm
+#[must_use]
+#[cfg(target_os = "linux")]
+pub fn reactor(seed: u64) -> TableOut {
+    reactor_live::reactor_with(seed, &reactor_live::Scale::full(), true)
+}
+
+/// Non-Linux stub: the reactor needs epoll.
+#[must_use]
+#[cfg(not(target_os = "linux"))]
+pub fn reactor(_seed: u64) -> TableOut {
+    let mut t = TableOut::new(
+        "reactor",
+        "Reactor vs thread-per-connection transport (live TCP)",
+        &[
+            "case",
+            "clients",
+            "offered_rps",
+            "tput_rps",
+            "p50_ms",
+            "p99_ms",
+            "busy",
+        ],
+    );
+    t.note("skipped: the reactor transport requires Linux (epoll)");
+    t
+}
+
+#[cfg(target_os = "linux")]
+mod reactor_live {
+    use super::TableOut;
+    use gridpaxos_core::config::Config;
+    use gridpaxos_core::request::RequestKind;
+    use gridpaxos_core::service::NoopApp;
+    use gridpaxos_core::types::ProcessId;
+    use gridpaxos_transport::{MuxSwarm, ReactorCluster, SyncClient, TcpCluster, TcpNode};
+    use std::collections::HashMap;
+    use std::net::SocketAddr;
+    use std::time::{Duration, Instant};
+
+    /// Workload sizes; the CI smoke test shrinks these, the full run
+    /// (and `BENCH_reactor.json`) uses `full()`.
+    pub(crate) struct Scale {
+        /// Real-`SyncClient` counts to run on the threaded transport.
+        pub thread_clients: Vec<usize>,
+        /// Real-`SyncClient` count on the reactor (parity check).
+        pub parity_clients: usize,
+        /// Virtual clients multiplexed over three sockets (headline).
+        pub mux_clients: usize,
+        /// Closed-loop ops per client.
+        pub ops_each: u64,
+        /// Open-loop offered rates (req/s) to sweep on both transports.
+        pub open_rates: Vec<u64>,
+        /// Concurrent single-vclient swarms injecting the open-loop rate
+        /// (each has its own client id, so replies route on both
+        /// transports).
+        pub open_swarms: usize,
+        /// Injection window per open-loop rate.
+        pub open_dur: Duration,
+    }
+
+    impl Scale {
+        pub(crate) fn full() -> Scale {
+            Scale {
+                thread_clients: vec![128, 512],
+                parity_clients: 512,
+                mux_clients: 10_000,
+                ops_each: 10,
+                open_rates: vec![4_000, 16_000, 64_000],
+                open_swarms: 32,
+                open_dur: Duration::from_secs(2),
+            }
+        }
+
+        #[cfg(test)]
+        pub(crate) fn smoke() -> Scale {
+            Scale {
+                thread_clients: vec![32],
+                parity_clients: 32,
+                mux_clients: 300,
+                ops_each: 10,
+                open_rates: vec![2_000],
+                open_swarms: 8,
+                open_dur: Duration::from_millis(500),
+            }
+        }
+    }
+
+    /// One finished closed-loop run.
+    pub(crate) struct ClosedRow {
+        transport: &'static str,
+        clients: usize,
+        conns: usize,
+        completed: u64,
+        busy: u64,
+        tput: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+    }
+
+    /// One finished open-loop rate point.
+    pub(crate) struct OpenRow {
+        transport: &'static str,
+        offered: u64,
+        sent: u64,
+        completed: u64,
+        busy: u64,
+        tput: f64,
+        p99_ms: f64,
+    }
+
+    fn pct_ms(sorted_ns: &[u64], p: f64) -> f64 {
+        if sorted_ns.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+        sorted_ns[idx] as f64 / 1e6
+    }
+
+    fn client_base(seed: u64) -> u64 {
+        (std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1)
+            ^ seed)
+            | 1
+    }
+
+    /// Closed loop with `clients` real connections: each thread owns one
+    /// `SyncClient` and keeps exactly one request outstanding.
+    fn closed_real(
+        transport: &'static str,
+        mk: &(dyn Fn() -> SyncClient<TcpNode> + Sync),
+        clients: usize,
+        ops_each: u64,
+    ) -> ClosedRow {
+        let started = Instant::now();
+        let per_thread: Vec<(u64, Vec<u64>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut cl = mk();
+                        let mut ok = 0u64;
+                        let mut samples = Vec::with_capacity(ops_each as usize);
+                        for i in 0..ops_each {
+                            let t0 = Instant::now();
+                            let body: Vec<u8> = vec![(i & 0xff) as u8];
+                            if cl.call(RequestKind::Write, body.into()).is_some() {
+                                ok += 1;
+                                samples.push(t0.elapsed().as_nanos() as u64);
+                            }
+                        }
+                        (ok, samples)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        });
+        let elapsed = started.elapsed();
+        let completed: u64 = per_thread.iter().map(|(ok, _)| ok).sum();
+        let mut samples: Vec<u64> = per_thread.into_iter().flat_map(|(_, s)| s).collect();
+        samples.sort_unstable();
+        ClosedRow {
+            transport,
+            clients,
+            conns: clients * 3,
+            completed,
+            busy: 0,
+            tput: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50_ms: pct_ms(&samples, 0.50),
+            p99_ms: pct_ms(&samples, 0.99),
+        }
+    }
+
+    /// Closed loop with `mux_clients` virtual clients over one socket per
+    /// replica — the population the threaded transport cannot host.
+    fn closed_mux(
+        addrs: &HashMap<ProcessId, SocketAddr>,
+        mux_clients: usize,
+        ops_each: u64,
+        base: u64,
+    ) -> ClosedRow {
+        let mut swarm = MuxSwarm::connect(addrs, mux_clients, base).expect("mux connect");
+        let rep = swarm.run_closed(ops_each, Duration::from_secs(120));
+        swarm.shutdown();
+        ClosedRow {
+            transport: "reactor+mux",
+            clients: mux_clients,
+            conns: addrs.len(),
+            completed: rep.completed,
+            busy: rep.busy,
+            tput: rep.throughput(),
+            p50_ms: rep.rtt_p50_us / 1e3,
+            p99_ms: rep.rtt_p99_us / 1e3,
+        }
+    }
+
+    /// Open loop at `offered` req/s aggregate: `swarms` single-vclient
+    /// swarms (distinct client ids, so replies route on both transports)
+    /// inject fixed-interval, then drain for a grace period.
+    fn open_point(
+        transport: &'static str,
+        addrs: &HashMap<ProcessId, SocketAddr>,
+        swarms: usize,
+        offered: u64,
+        dur: Duration,
+        base: u64,
+    ) -> OpenRow {
+        let grace = Duration::from_millis(500);
+        let per_swarm_rate = (offered / swarms as u64).max(1);
+        let reports: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..swarms)
+                .map(|i| {
+                    let b = base + i as u64;
+                    s.spawn(move || {
+                        let mut swarm = MuxSwarm::connect(addrs, 1, b).expect("mux connect");
+                        let rep = swarm.run_open(per_swarm_rate, dur, grace);
+                        swarm.shutdown();
+                        rep
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("open-loop swarm panicked"))
+                .collect()
+        });
+        let sent: u64 = reports.iter().map(|r| r.sent).sum();
+        let completed: u64 = reports.iter().map(|r| r.completed).sum();
+        let busy: u64 = reports.iter().map(|r| r.busy).sum();
+        let p99 = reports.iter().map(|r| r.rtt_p99_us).fold(0.0, f64::max) / 1e3;
+        OpenRow {
+            transport,
+            offered,
+            sent,
+            completed,
+            busy,
+            tput: completed as f64 / (dur + grace).as_secs_f64(),
+            p99_ms: p99,
+        }
+    }
+
+    pub(crate) fn reactor_with(seed: u64, scale: &Scale, emit_json: bool) -> TableOut {
+        let mut t = TableOut::new(
+            "reactor",
+            "Reactor vs thread-per-connection transport (live 3-node TCP cluster, req/s)",
+            &[
+                "case",
+                "clients",
+                "conns",
+                "offered_rps",
+                "completed",
+                "tput_rps",
+                "p50_ms",
+                "p99_ms",
+                "busy",
+            ],
+        );
+        let app = || Box::new(NoopApp::new()) as Box<dyn gridpaxos_core::service::App>;
+        let mut closed: Vec<ClosedRow> = Vec::new();
+        let mut open: Vec<OpenRow> = Vec::new();
+
+        // ---- threaded transport ----
+        {
+            let cluster = TcpCluster::launch(Config::cluster(3), app).expect("threads cluster");
+            for &c in &scale.thread_clients {
+                closed.push(closed_real(
+                    "threads",
+                    &|| cluster.client(),
+                    c,
+                    scale.ops_each,
+                ));
+            }
+            for &rate in &scale.open_rates {
+                open.push(open_point(
+                    "threads",
+                    &cluster.addrs,
+                    scale.open_swarms,
+                    rate,
+                    scale.open_dur,
+                    client_base(seed),
+                ));
+            }
+            cluster.shutdown();
+        }
+
+        // ---- reactor transport ----
+        let shed_total;
+        {
+            let cluster = ReactorCluster::launch(Config::cluster(3), app).expect("reactor cluster");
+            closed.push(closed_real(
+                "reactor",
+                &|| cluster.client(),
+                scale.parity_clients,
+                scale.ops_each,
+            ));
+            closed.push(closed_mux(
+                &cluster.addrs,
+                scale.mux_clients,
+                scale.ops_each,
+                client_base(seed),
+            ));
+            for &rate in &scale.open_rates {
+                open.push(open_point(
+                    "reactor",
+                    &cluster.addrs,
+                    scale.open_swarms,
+                    rate,
+                    scale.open_dur,
+                    client_base(seed),
+                ));
+            }
+            shed_total = (0..3)
+                .map(|i| cluster.metrics(i).stats().busy_shed)
+                .sum::<u64>();
+            cluster.shutdown();
+        }
+
+        for r in &closed {
+            t.row(vec![
+                format!("closed/{}", r.transport),
+                r.clients.to_string(),
+                r.conns.to_string(),
+                "-".into(),
+                r.completed.to_string(),
+                format!("{:.0}", r.tput),
+                format!("{:.3}", r.p50_ms),
+                format!("{:.3}", r.p99_ms),
+                r.busy.to_string(),
+            ]);
+        }
+        for r in &open {
+            t.row(vec![
+                format!("open/{}@{}", r.transport, r.offered),
+                "-".into(),
+                "-".into(),
+                r.offered.to_string(),
+                r.completed.to_string(),
+                format!("{:.0}", r.tput),
+                "-".into(),
+                format!("{:.3}", r.p99_ms),
+                r.busy.to_string(),
+            ]);
+        }
+        t.note(format!(
+            "reactor admission gate shed {shed_total} requests with Busy across all runs"
+        ));
+        if emit_json {
+            match write_reactor_json(&closed, &open) {
+                Ok(p) => t.note(format!("json: {p}")),
+                Err(e) => t.note(format!("json write failed: {e}")),
+            }
+        }
+        t.note(
+            "closed loop: reactor hosts 10k+ multiplexed clients on one thread per node; \
+             open loop: the admission gate sheds past saturation (plateau + bounded p99) \
+             where thread-per-connection queues without bound",
+        );
+        t
+    }
+
+    fn write_reactor_json(closed: &[ClosedRow], open: &[OpenRow]) -> std::io::Result<String> {
+        let mut s = String::from(
+            "{\n  \"experiment\": \"reactor\",\n  \"workload\": \"live 3-node loopback TCP \
+             cluster, NoopApp writes; closed-loop real SyncClients vs 10k+ virtual clients \
+             multiplexed over 3 sockets; open-loop fixed-rate sweep via single-vclient \
+             swarms\",\n  \"units\": {\"tput\": \"req/s\", \"p50\": \"ms\", \"p99\": \
+             \"ms\"},\n  \"closed_loop\": [\n",
+        );
+        for (i, r) in closed.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"transport\": \"{}\", \"clients\": {}, \"conns\": {}, \"completed\": \
+                 {}, \"busy\": {}, \"tput\": {:.1}, \"p50\": {:.4}, \"p99\": {:.4}}}{}\n",
+                r.transport,
+                r.clients,
+                r.conns,
+                r.completed,
+                r.busy,
+                r.tput,
+                r.p50_ms,
+                r.p99_ms,
+                if i + 1 == closed.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n  \"open_loop\": [\n");
+        for (i, r) in open.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"transport\": \"{}\", \"offered_rps\": {}, \"sent\": {}, \
+                 \"completed\": {}, \"busy\": {}, \"delivered_rps\": {:.1}, \"p99\": \
+                 {:.4}}}{}\n",
+                r.transport,
+                r.offered,
+                r.sent,
+                r.completed,
+                r.busy,
+                r.tput,
+                r.p99_ms,
+                if i + 1 == open.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        let path = "BENCH_reactor.json";
+        std::fs::write(path, s)?;
+        Ok(path.to_owned())
+    }
+}
+
 /// Every experiment, in paper order.
 #[must_use]
 pub fn all(seed: u64) -> Vec<TableOut> {
@@ -918,6 +1346,7 @@ pub fn all(seed: u64) -> Vec<TableOut> {
         sharding(seed),
         group_commit(seed),
         read_batching(seed),
+        reactor(seed),
     ]
 }
 
@@ -972,5 +1401,33 @@ mod tests {
         );
         let cpr: f64 = t.cell("64", "confirms_per_read").unwrap().parse().unwrap();
         assert!(cpr < 1.0, "confirm msgs per read {cpr:.2}");
+    }
+
+    /// CI smoke for the live-TCP reactor A/B (the full run generates
+    /// BENCH_reactor.json with 10k mux clients): a few hundred virtual
+    /// clients multiplexed over three sockets must all complete against
+    /// the reactor, and the same closed-loop workload must complete on
+    /// both transports with real connections.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn reactor_smoke_serves_mux_swarm_on_both_transports() {
+        let scale = reactor_live::Scale::smoke();
+        let expect_mux = scale.mux_clients as u64 * scale.ops_each;
+        let expect_real = scale.thread_clients[0] as u64 * scale.ops_each;
+        let t = reactor_live::reactor_with(5, &scale, false);
+        let cell = |row: &str, col: &str| -> u64 {
+            t.cell(row, col)
+                .unwrap_or_else(|| panic!("row {row} col {col} missing"))
+                .parse()
+                .unwrap()
+        };
+        // Headline: every multiplexed op completed over 3 sockets.
+        assert_eq!(cell("closed/reactor+mux", "completed"), expect_mux);
+        // Matched real-connection workloads complete on both transports.
+        assert_eq!(cell("closed/threads", "completed"), expect_real);
+        assert_eq!(
+            cell("closed/reactor", "completed"),
+            scale.parity_clients as u64 * scale.ops_each
+        );
     }
 }

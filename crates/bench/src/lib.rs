@@ -13,6 +13,6 @@ pub mod table;
 
 pub use experiments::{
     ablation, all, batch_ablation, fig5, fig6, fig7, fig8, fig9, group_commit, leader_switch,
-    read_batching, rrt_sysnet, scale_t, sharding, state_size, table1,
+    reactor, read_batching, rrt_sysnet, scale_t, sharding, state_size, table1,
 };
 pub use table::TableOut;

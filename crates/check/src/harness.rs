@@ -652,6 +652,10 @@ impl Cluster {
                 }
             }
             ReplyBody::Empty => {}
+            // Transport-level shed: the request never reached the
+            // protocol, so there is nothing to check (the model checker
+            // has no admission gate anyway).
+            ReplyBody::Busy => {}
         }
         let first = &mut self.issued[k].first_reply;
         if first.is_none() {

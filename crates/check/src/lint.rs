@@ -1,6 +1,6 @@
 //! Repo-specific lint pass: protocol coding rules clippy cannot express.
 //!
-//! Four rules, scoped to the consensus-critical crates:
+//! Five rules, scoped to the consensus-critical crates:
 //!
 //! 1. **Exhaustive `Msg` dispatch** (`crates/core`, `crates/transport`):
 //!    a `match` whose arms pattern-match `Msg::` variants must not have a
@@ -24,6 +24,14 @@
 //!    before handing any buffered message to the transport — otherwise
 //!    the batched mode re-introduces the acknowledge-before-durable bug
 //!    that rule 3 guards against, one level up.
+//! 5. **No blocking calls on the reactor thread** (`transport/src/reactor.rs`,
+//!    `transport/src/sys.rs`, `transport/src/backpressure.rs`): the epoll
+//!    reactor runs every connection on one thread, so a single blocking
+//!    primitive (`thread::sleep`, `write_all`, `read_exact`,
+//!    `read_to_end`) stalls the whole node. Reactor-path code must use
+//!    plain `read`/`write` loops that surface `EWOULDBLOCK` and yield
+//!    back to the readiness loop. (The `mux` load driver is deliberately
+//!    thread-per-connection and is *not* in this scope.)
 //!
 //! The pass is a hand-rolled token scan, not a full parse: comments,
 //! strings and char literals are blanked first, `#[cfg(test)]` items are
@@ -451,7 +459,7 @@ pub fn check_persist_before_send(file: &str, masked: &str) -> Vec<Finding> {
 const FLUSH_RULES: &[(&str, &str, &[&str])] = &[(
     "flush_and_transmit",
     "flush_storage",
-    &["transport.send", "broadcast("],
+    &["transport.send", "broadcast(", "enqueue_msg("],
 )];
 
 /// Rule 4: flush-before-transmit. Each drive-loop transmit function must
@@ -499,6 +507,46 @@ pub fn check_flush_barrier(file: &str, masked: &str) -> Vec<Finding> {
                 }),
                 _ => {}
             }
+        }
+    }
+    findings
+}
+
+/// Blocking primitives forbidden on the reactor thread. Each entry is a
+/// token the masked source must not contain. `.write_all(`/`.read_exact(`
+/// keep the leading dot so free functions named e.g. `try_read_exact`
+/// don't false-positive; `thread::sleep` and `read_to_end` are distinctive
+/// enough bare.
+const BLOCKING_TOKENS: &[&str] = &[
+    "thread::sleep",
+    ".write_all(",
+    ".read_exact(",
+    "read_to_end",
+];
+
+/// Rule 5: no blocking calls in reactor-path modules. The reactor drives
+/// every connection from one thread; any call that parks that thread
+/// (sleeping, or looping internally until a full buffer is transferred)
+/// freezes the whole node. Runs on noise-stripped, test-masked source.
+#[must_use]
+pub fn check_no_blocking(file: &str, masked: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for &pat in BLOCKING_TOKENS {
+        let mut i = 0;
+        while let Some(pos) = masked[i..].find(pat) {
+            let off = i + pos;
+            i = off + pat.len();
+            findings.push(Finding {
+                file: file.to_string(),
+                line: line_of(masked, off),
+                rule: "no-blocking-call",
+                msg: format!(
+                    "`{}` in reactor-path code; the reactor thread must never \
+                     block — use nonblocking `read`/`write` loops that yield \
+                     on `EWOULDBLOCK`",
+                    pat.trim_matches(|c| c == '.' || c == '(')
+                ),
+            });
         }
     }
     findings
@@ -553,6 +601,9 @@ pub fn lint_source(label: &str, src: &str, scope: Scope) -> Vec<Finding> {
     if scope.flush {
         findings.extend(check_flush_barrier(label, &masked));
     }
+    if scope.no_blocking {
+        findings.extend(check_no_blocking(label, &masked));
+    }
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
 }
@@ -566,6 +617,8 @@ pub struct Scope {
     pub persist: bool,
     /// Apply the flush-before-transmit rule.
     pub flush: bool,
+    /// Apply the no-blocking-call rule (reactor-path modules).
+    pub no_blocking: bool,
 }
 
 /// Lint the repository rooted at `root`. Scopes: the `Msg`-wildcard rule
@@ -574,7 +627,10 @@ pub struct Scope {
 /// (`tests.rs` files and `#[cfg(test)]` items excluded); the persist
 /// rules cover `crates/core/src/replica`; the flush-barrier rule covers
 /// `crates/transport/src` (it keys on the drive loop's
-/// `flush_and_transmit`).
+/// `flush_and_transmit`); the no-blocking-call rule covers the
+/// reactor-path modules `reactor.rs`, `sys.rs` and `backpressure.rs`
+/// under `crates/transport/src` (the thread-per-connection `tcp`/`node`/
+/// `mux` modules block by design and are excluded).
 pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     let mut files: Vec<(PathBuf, Scope)> = Vec::new();
@@ -590,16 +646,21 @@ pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Finding>> {
                 no_unwrap: in_replica && !is_test_file,
                 persist: in_replica && !is_test_file,
                 flush: false,
+                no_blocking: false,
             },
         ));
     })?;
     collect_rs(&root.join("crates/transport/src"), &mut |p| {
+        let reactor_path = p
+            .file_name()
+            .is_some_and(|f| f == "reactor.rs" || f == "sys.rs" || f == "backpressure.rs");
         files.push((
             p.to_path_buf(),
             Scope {
                 no_unwrap: true,
                 persist: false,
                 flush: true,
+                no_blocking: reactor_path,
             },
         ));
     })?;

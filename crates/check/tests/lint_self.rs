@@ -4,14 +4,15 @@
 //! core makes `cargo run -p check --bin lint` (and these tests) fail.
 
 use check::lint::{
-    check_flush_barrier, check_msg_wildcards, check_persist_before_send, check_unwraps,
-    lint_source, mask_test_items, strip_noise, Scope,
+    check_flush_barrier, check_msg_wildcards, check_no_blocking, check_persist_before_send,
+    check_unwraps, lint_source, mask_test_items, strip_noise, Scope,
 };
 
 const FULL: Scope = Scope {
     no_unwrap: true,
     persist: true,
     flush: true,
+    no_blocking: true,
 };
 
 #[test]
@@ -206,6 +207,110 @@ fn flush_before_transmit_is_clean() {
         }
     "#;
     let findings = check_flush_barrier("node.rs", &mask_test_items(&strip_noise(src)));
+    assert!(findings.is_empty(), "findings: {findings:?}");
+}
+
+/// The reactor's `flush_and_transmit` hands frames out via
+/// `enqueue_msg`; that token counts as a transmit, so enqueuing before
+/// the barrier is flagged exactly like a raw `transport.send`.
+#[test]
+fn reactor_enqueue_before_flush_is_flagged() {
+    let src = r#"
+        fn flush_and_transmit(&mut self) {
+            for out in std::mem::take(&mut self.outbox) {
+                self.enqueue_msg(out.0, out.1);
+            }
+            for core in &mut self.cores {
+                core.flush_storage();
+            }
+        }
+    "#;
+    let findings = check_flush_barrier("reactor.rs", &mask_test_items(&strip_noise(src)));
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "flush-before-transmit");
+}
+
+#[test]
+fn reactor_flush_before_enqueue_is_clean() {
+    let src = r#"
+        fn flush_and_transmit(&mut self) {
+            for core in &mut self.cores {
+                if core.storage_dirty() {
+                    core.flush_storage();
+                }
+            }
+            for out in std::mem::take(&mut self.outbox) {
+                self.enqueue_msg(out.0, out.1);
+            }
+        }
+    "#;
+    let findings = check_flush_barrier("reactor.rs", &mask_test_items(&strip_noise(src)));
+    assert!(findings.is_empty(), "findings: {findings:?}");
+}
+
+#[test]
+fn blocking_calls_on_reactor_path_are_flagged() {
+    // Each of the four forbidden primitives parks the reactor thread:
+    // sleep outright, the others loop internally past EWOULDBLOCK.
+    let src = r#"
+        fn drain(&mut self, stream: &mut TcpStream) {
+            std::thread::sleep(Duration::from_millis(1));
+            stream.write_all(&self.buf);
+            stream.read_exact(&mut self.hdr);
+            stream.read_to_end(&mut self.rest);
+        }
+    "#;
+    let findings = check_no_blocking("reactor.rs", &mask_test_items(&strip_noise(src)));
+    assert_eq!(findings.len(), 4, "findings: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "no-blocking-call"));
+}
+
+#[test]
+fn nonblocking_read_write_loops_are_clean() {
+    let src = r#"
+        fn flush_conn(&mut self, stream: &mut TcpStream) -> io::Result<()> {
+            loop {
+                match stream.write(&self.buf[self.off..]) {
+                    Ok(n) => self.off += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    "#;
+    let findings = check_no_blocking("reactor.rs", &mask_test_items(&strip_noise(src)));
+    assert!(findings.is_empty(), "findings: {findings:?}");
+}
+
+/// Blocking calls inside `#[cfg(test)]` harness code are exempt — the
+/// reactor's own tests drive it from blocking client sockets.
+#[test]
+fn blocking_call_inside_test_module_is_exempt() {
+    let src = r#"
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn burst() {
+                sock.write_all(&batch).expect("send burst");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    "#;
+    let findings = check_no_blocking("reactor.rs", &mask_test_items(&strip_noise(src)));
+    assert!(findings.is_empty(), "findings: {findings:?}");
+}
+
+/// Mentioning a blocking primitive in a comment or string is fine —
+/// noise stripping removes both before the scan.
+#[test]
+fn blocking_token_in_comment_is_clean() {
+    let src = r#"
+        // Unlike write_all, flush_into surfaces EWOULDBLOCK to the caller.
+        fn doc() -> &'static str {
+            "never thread::sleep here"
+        }
+    "#;
+    let findings = check_no_blocking("backpressure.rs", &mask_test_items(&strip_noise(src)));
     assert!(findings.is_empty(), "findings: {findings:?}");
 }
 

@@ -251,6 +251,12 @@ impl ClientCore {
         now: Time,
     ) -> (Option<CompletedOp>, Vec<Action>) {
         match &self.outstanding {
+            // Overload shed: the node's admission gate refused the request
+            // before it reached the protocol. The op stays outstanding —
+            // the already-armed retry timer re-broadcasts after a backoff,
+            // which is exactly the degradation the gate asks for. The
+            // shedder is not the leader, so the hint is not updated.
+            Some(p) if p.req.id == reply.id && reply.body.is_busy() => (None, Vec::new()),
             Some(p) if p.req.id == reply.id => {
                 let p = self.outstanding.take().expect("checked above");
                 if self.n_groups > 1 {
@@ -481,6 +487,32 @@ mod tests {
         assert!(done.is_none());
         assert!(actions.is_empty());
         assert!(c.is_busy());
+    }
+
+    #[test]
+    fn busy_reply_leaves_request_outstanding_and_completes_on_retry() {
+        let mut c = ClientCore::new(ClientId(1), 3, Dur::from_millis(100));
+        let actions = c.submit_op(RequestKind::Write, Bytes::new(), Time::ZERO);
+        let id = match &actions[0] {
+            Action::Send {
+                msg: Msg::Request(r),
+                ..
+            } => r.id,
+            other => panic!("unexpected {other:?}"),
+        };
+        // An overloaded node sheds: the op must stay outstanding (no
+        // completion, no timer cancellation) so the retry timer can
+        // re-broadcast it.
+        let (done, actions) = c.on_message(reply(id, ReplyBody::Busy), Time(1));
+        assert!(done.is_none(), "Busy must not complete the op");
+        assert!(actions.is_empty(), "retry timer stays armed");
+        assert!(c.is_busy());
+        // The retry then re-broadcasts, and a real reply completes with the
+        // retry counted.
+        let actions = c.on_timer(TimerKind::ClientRetry, Time(2));
+        assert!(actions.iter().any(|a| matches!(a, Action::Send { .. })));
+        let (done, _) = c.on_message(reply(id, ReplyBody::Ok(Bytes::new())), Time(3));
+        assert_eq!(done.expect("completes").retries, 1);
     }
 
     #[test]

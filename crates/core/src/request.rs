@@ -201,6 +201,11 @@ pub enum ReplyBody {
     /// Filler for decrees that carry no client reply (e.g. no-ops chosen
     /// to close log gaps during recovery).
     Empty,
+    /// Overload shed: the node's admission gate refused the request before
+    /// it reached the protocol (extension — reactor transport
+    /// backpressure). The request was **not** executed and left no trace
+    /// in the dedup table; the client should back off and retry.
+    Busy,
 }
 
 impl ReplyBody {
@@ -217,6 +222,13 @@ impl ReplyBody {
     #[must_use]
     pub fn is_committed(&self) -> bool {
         matches!(self, ReplyBody::TxnCommitted { .. })
+    }
+
+    /// Whether the reply is an overload shed (the request was not
+    /// executed; retry after a backoff).
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        matches!(self, ReplyBody::Busy)
     }
 }
 

@@ -45,6 +45,90 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Bytes>> {
     Ok(Some(payload.freeze()))
 }
 
+/// Incremental frame decoder for nonblocking byte streams.
+///
+/// [`read_frame`] assumes a blocking stream: it can park the thread until
+/// the whole frame arrives. A readiness loop cannot — a nonblocking read
+/// hands over *whatever bytes the kernel has*, which may be half a length
+/// prefix or three frames and a torn fourth. `FrameDecoder` accumulates
+/// those chunks and yields complete frames as they materialize,
+/// returning `Ok(None)` ("need more bytes") at any split point instead of
+/// blocking.
+///
+/// Internally a flat buffer with a consumed-prefix cursor: consumed bytes
+/// are reclaimed by compaction once they outgrow both the live remainder
+/// and a fixed threshold, so steady-state decoding is amortized O(bytes)
+/// with bounded slack, and a burst's capacity is released afterwards.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already handed out as frames.
+    consumed: usize,
+}
+
+/// Compact (and afterwards shrink) once the dead prefix passes this many
+/// bytes *and* exceeds the live remainder — so compaction moves less than
+/// it reclaims.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    #[must_use]
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append bytes received from the stream.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Try to take one complete frame.
+    ///
+    /// Returns `Ok(None)` when the buffer holds only a partial frame (feed
+    /// more bytes and retry), `Err` on an oversized length prefix (the
+    /// connection should be dropped — the stream can never resynchronize).
+    pub fn next_frame(&mut self) -> io::Result<Option<Bytes>> {
+        let live = &self.buf[self.consumed..];
+        if live.len() < 4 {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([live[0], live[1], live[2], live[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("incoming frame of {len} bytes exceeds limit"),
+            ));
+        }
+        if live.len() < 4 + len {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let frame = Bytes::copy_from_slice(&live[4..4 + len]);
+        self.consumed += 4 + len;
+        self.maybe_compact();
+        Ok(Some(frame))
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.consumed > COMPACT_THRESHOLD && self.consumed >= self.buf.len() - self.consumed {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+            // Don't hoard a burst's buffer once it has drained.
+            if self.buf.capacity() > 4 * COMPACT_THRESHOLD && self.buf.len() < COMPACT_THRESHOLD {
+                self.buf.shrink_to_fit();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +155,85 @@ mod tests {
         buf.truncate(buf.len() - 2); // cut mid-payload
         let mut c = Cursor::new(buf);
         assert!(read_frame(&mut c).is_err());
+    }
+
+    /// Drain every complete frame currently decodable.
+    fn drain(dec: &mut FrameDecoder) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Some(f) = dec.next_frame().unwrap() {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn incremental_decode_split_at_every_byte_offset() {
+        // The frames cover the interesting shapes: empty payload, tiny,
+        // and one long enough that splits land inside the payload.
+        let payloads: &[&[u8]] = &[b"hello", b"", &[7u8; 300], b"x"];
+        let mut stream = Vec::new();
+        for p in payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+
+        // Split the whole byte stream at every offset into two chunks; the
+        // decoder must yield the exact frame sequence regardless of where
+        // the tear falls (mid-length-prefix, mid-payload, on a boundary).
+        for cut in 0..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            dec.extend(&stream[..cut]);
+            got.extend(drain(&mut dec));
+            dec.extend(&stream[cut..]);
+            got.extend(drain(&mut dec));
+            assert_eq!(got.len(), payloads.len(), "cut at {cut}");
+            for (g, p) in got.iter().zip(payloads) {
+                assert_eq!(g.as_ref(), *p, "cut at {cut}");
+            }
+            assert_eq!(dec.pending(), 0, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn incremental_decode_byte_at_a_time() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"abc").unwrap();
+        write_frame(&mut stream, &[9u8; 100]).unwrap();
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.extend(std::slice::from_ref(b));
+            got.extend(drain(&mut dec));
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].as_ref(), b"abc");
+        assert_eq!(got[1].len(), 100);
+    }
+
+    #[test]
+    fn incremental_decode_rejects_oversized_prefix() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&u32::MAX.to_le_bytes());
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn incremental_decoder_compacts_consumed_prefix() {
+        let mut stream = Vec::new();
+        let payload = vec![3u8; 32 * 1024];
+        for _ in 0..8 {
+            write_frame(&mut stream, &payload).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream);
+        assert_eq!(drain(&mut dec).len(), 8);
+        assert_eq!(dec.pending(), 0);
+        // After the burst drains, the internal buffer must not keep the
+        // whole stream's worth of dead bytes around.
+        assert!(dec.buf.len() <= COMPACT_THRESHOLD + 5 * 32 * 1024);
+        dec.extend(&stream);
+        assert_eq!(drain(&mut dec).len(), 8);
     }
 
     #[test]

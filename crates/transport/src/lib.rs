@@ -13,7 +13,11 @@
 //!   [`node::SyncClient`],
 //! * multi-group (sharded) nodes hosting one replica state machine per
 //!   consensus group behind a single endpoint, with per-group execution
-//!   threads ([`shard`]).
+//!   threads ([`shard`]),
+//! * a single-threaded nonblocking `epoll` reactor ([`reactor`], Linux
+//!   only) multiplexing thousands of client connections over one thread
+//!   per node, with explicit backpressure ([`backpressure`]) and a
+//!   many-virtual-clients-per-socket load driver ([`mux`]).
 //!
 //! The protocol code running here is byte-for-byte the same as under the
 //! `gridpaxos-simnet` simulator — that is the point of the sans-io design.
@@ -21,17 +25,32 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backpressure;
 pub mod framing;
 pub mod fstorage;
 pub mod inproc;
+#[cfg(target_os = "linux")]
+pub mod mux;
 pub mod node;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod shard;
+#[cfg(target_os = "linux")]
+pub mod sys;
 pub mod tcp;
 pub mod wire;
 
+pub use backpressure::{AdmissionGate, FlushOutcome, SendQueue};
+pub use framing::FrameDecoder;
 pub use fstorage::{FileStorage, FlushCoordinator, SyncMode};
 pub use inproc::{Hub, HubEndpoint};
+#[cfg(target_os = "linux")]
+pub use mux::{MuxReport, MuxSwarm};
 pub use node::{spawn_replica, RecvResult, ReplicaNode, SyncClient, Transport};
+#[cfg(target_os = "linux")]
+pub use reactor::{
+    spawn_reactor_node, ReactorCluster, ReactorConfig, ReactorHandle, ReactorMetrics, ReactorStats,
+};
 pub use shard::{spawn_sharded_node, GroupPort, ShardedNode, ShardedTcpCluster};
 pub use tcp::{TcpCluster, TcpNode};
 pub use wire::{decode_msg, encode_msg, encode_to_bytes, encode_with_scratch, WireError};

@@ -1,0 +1,1304 @@
+//! Single-threaded epoll reactor: nonblocking multiplexed I/O for one
+//! node, with explicit backpressure.
+//!
+//! The thread-per-connection transport ([`crate::tcp`]) spends two OS
+//! threads per socket; at thousands of closed-loop clients the node
+//! drowns in stacks and context switches before it runs out of protocol
+//! capacity. The reactor replaces all of that with **one thread per
+//! node**: a level-triggered `epoll` loop ([`crate::sys`]) owning the
+//! listener, every connection, all `G` group replica cores, and the
+//! timer wheel. It subsumes what the threaded path splits across
+//! `tcp.rs` readers/writers, the `shard.rs` demux thread and the
+//! `node.rs` drive loop.
+//!
+//! ## I/O discipline
+//!
+//! Sockets are nonblocking in both directions. Reads drain until
+//! `EWOULDBLOCK` into a per-connection [`FrameDecoder`] that tolerates
+//! frames torn at any byte offset; writes go through a per-connection
+//! byte-bounded [`SendQueue`] that resumes partially-written frames at
+//! the exact offset. Outbound encoding reuses one node-wide scratch
+//! buffer (`encode_with_scratch`), same as the threaded writer path.
+//!
+//! ## Group commit: the flush barrier (unchanged)
+//!
+//! The loop keeps PR 4's invariant *exactly*: every drain cycle buffers
+//! the cores' `Send`/`ToAllReplicas` actions in an outbox, then
+//! [`Reactor::flush_and_transmit`] flushes each dirty group storage —
+//! one fsync covering the whole batch — and only after that barrier
+//! frames the outbox into connection send queues and lets bytes reach
+//! the kernel. No `Promise`/`Accepted` can touch the wire before the
+//! storage write it acknowledges is durable.
+//!
+//! ## Backpressure
+//!
+//! Two mechanisms ([`crate::backpressure`]):
+//!
+//! * per-connection send queues are byte-capped; while a connection's
+//!   queue is full its **read interest is suspended**, so a peer that
+//!   stops reading our replies also stops feeding us work (quench
+//!   propagates along the connection);
+//! * a node-wide [`AdmissionGate`] over the inbox backlog sheds new
+//!   client requests with an immediate `ReplyBody::Busy` above the
+//!   high-water mark and re-admits below the low-water mark. Busy
+//!   replies carry no durable state and never touch the protocol core,
+//!   so they are enqueued outside the outbox; they still leave through
+//!   the same flush-gated write path as everything else.
+//!
+//! ## Connection multiplexing
+//!
+//! Replies route by client address: every `Request` decoded from a
+//! connection binds `Addr::Client(req.id.client)` to that connection, so
+//! any number of *virtual* clients (see [`crate::mux`]) can share one
+//! socket — the reactor never needs a connection per client.
+
+use crate::backpressure::{AdmissionGate, FlushOutcome, SendQueue};
+use crate::framing::{FrameDecoder, MAX_FRAME};
+use crate::fstorage::{FlushCoordinator, SyncMode};
+use crate::node::SyncClient;
+use crate::sys::{self, Epoll, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::tcp::TcpNode;
+use crate::wire::{decode_msg, encode_with_scratch, get_addr, put_addr};
+use bytes::{Bytes, BytesMut};
+use gridpaxos_core::action::{Action, TimerKind};
+use gridpaxos_core::client::{ClientCore, ShardRouter};
+use gridpaxos_core::config::Config;
+use gridpaxos_core::msg::Msg;
+use gridpaxos_core::multi::{group_config, group_seed};
+use gridpaxos_core::replica::Replica;
+use gridpaxos_core::request::{Reply, ReplyBody};
+use gridpaxos_core::service::App;
+use gridpaxos_core::storage::{MemStorage, Storage};
+use gridpaxos_core::types::{Addr, ClientId, Dur, GroupId, ProcessId, Time};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Maximum epoll wait per iteration so the stop flag is honored promptly
+/// (same bound as the threaded drive loop).
+const MAX_WAIT: Duration = Duration::from_millis(25);
+
+/// Cap on messages drained through the cores per flush cycle, so one
+/// barrier never covers an unbounded batch.
+const MAX_DRAIN: usize = 128;
+
+/// epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+
+/// Tuning knobs for one reactor node.
+#[derive(Clone, Copy, Debug)]
+pub struct ReactorConfig {
+    /// Byte cap per connection send queue (exceeded by at most one frame).
+    pub send_queue_cap: usize,
+    /// Inbox backlog at which the admission gate starts shedding client
+    /// requests with `Busy`.
+    pub admit_high: usize,
+    /// Backlog at which a shedding gate re-admits.
+    pub admit_low: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            send_queue_cap: 1 << 20,
+            admit_high: 4096,
+            admit_low: 1024,
+        }
+    }
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    accepted: AtomicU64,
+    msgs_in: AtomicU64,
+    msgs_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    busy_shed: AtomicU64,
+    frames_dropped: AtomicU64,
+    reads_suspended: AtomicU64,
+    partial_writes: AtomicU64,
+    unroutable: AtomicU64,
+}
+
+/// Shared, live-readable counters of one reactor node.
+#[derive(Clone, Default)]
+pub struct ReactorMetrics {
+    inner: Arc<MetricsInner>,
+}
+
+/// A point-in-time copy of a node's [`ReactorMetrics`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReactorStats {
+    /// Connections accepted on the listener.
+    pub accepted: u64,
+    /// Protocol messages decoded off the wire.
+    pub msgs_in: u64,
+    /// Protocol messages framed onto send queues.
+    pub msgs_out: u64,
+    /// Payload bytes read.
+    pub bytes_in: u64,
+    /// Payload bytes written.
+    pub bytes_out: u64,
+    /// Client requests shed with `Busy` by the admission gate.
+    pub busy_shed: u64,
+    /// Frames refused by full per-connection send queues.
+    pub frames_dropped: u64,
+    /// Times a connection's read interest was suspended (full send queue).
+    pub reads_suspended: u64,
+    /// Write calls that ended in `EWOULDBLOCK` with bytes still queued.
+    pub partial_writes: u64,
+    /// Messages dropped for lack of any connection to the destination.
+    pub unroutable: u64,
+}
+
+impl ReactorMetrics {
+    /// Copy the current counter values.
+    #[must_use]
+    pub fn stats(&self) -> ReactorStats {
+        let m = &self.inner;
+        ReactorStats {
+            accepted: m.accepted.load(Ordering::Relaxed),
+            msgs_in: m.msgs_in.load(Ordering::Relaxed),
+            msgs_out: m.msgs_out.load(Ordering::Relaxed),
+            bytes_in: m.bytes_in.load(Ordering::Relaxed),
+            bytes_out: m.bytes_out.load(Ordering::Relaxed),
+            busy_shed: m.busy_shed.load(Ordering::Relaxed),
+            frames_dropped: m.frames_dropped.load(Ordering::Relaxed),
+            reads_suspended: m.reads_suspended.load(Ordering::Relaxed),
+            partial_writes: m.partial_writes.load(Ordering::Relaxed),
+            unroutable: m.unroutable.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn bump(c: &AtomicU64, by: u64) {
+    c.fetch_add(by, Ordering::Relaxed);
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outq: SendQueue,
+    /// Protocol address of the peer: known at dial time, learned from the
+    /// hello frame on accepted connections (None until then).
+    peer: Option<Addr>,
+    /// Nonblocking connect still in flight (outcome arrives as EPOLLOUT).
+    connecting: bool,
+    /// Interest mask currently registered with epoll.
+    interest: u32,
+    /// Read interest withdrawn because the send queue filled up.
+    read_suspended: bool,
+    /// Already queued for a socket write in this cycle's dirty list.
+    flush_pending: bool,
+}
+
+fn kind_idx(k: TimerKind) -> u8 {
+    match k {
+        TimerKind::Heartbeat => 0,
+        TimerKind::LeaderCheck => 1,
+        TimerKind::Retransmit => 2,
+        TimerKind::Election => 3,
+        TimerKind::ClientRetry => 4,
+        TimerKind::BatchWindow => 5,
+    }
+}
+
+fn idx_kind(i: u8) -> TimerKind {
+    match i {
+        0 => TimerKind::Heartbeat,
+        1 => TimerKind::LeaderCheck,
+        2 => TimerKind::Retransmit,
+        3 => TimerKind::Election,
+        5 => TimerKind::BatchWindow,
+        _ => TimerKind::ClientRetry,
+    }
+}
+
+/// Length-prefix `body` into an owned frame ready for a send queue.
+fn frame_bytes(body: &[u8]) -> Bytes {
+    debug_assert!(body.len() <= MAX_FRAME);
+    let mut v = Vec::with_capacity(4 + body.len());
+    v.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    v.extend_from_slice(body);
+    Bytes::from(v)
+}
+
+/// A buffered outbound action awaiting the flush barrier.
+enum Out {
+    One(Addr, Msg),
+    All(Msg),
+}
+
+struct Reactor {
+    cores: Vec<Replica>,
+    me: ProcessId,
+    n: usize,
+    n_groups: usize,
+    epoch: Instant,
+    epoll: Epoll,
+    listener: TcpListener,
+    peer_addrs: HashMap<ProcessId, SocketAddr>,
+    conns: HashMap<u64, Conn>,
+    by_addr: HashMap<Addr, u64>,
+    next_token: u64,
+    /// Decoded messages awaiting a trip through the cores.
+    inbox: VecDeque<(Addr, Msg)>,
+    /// Core actions awaiting the flush barrier.
+    outbox: Vec<Out>,
+    /// Connections with freshly queued bytes, flushed after the barrier.
+    dirty: Vec<u64>,
+    /// (due ns, group, kind idx, gen) — min-heap by due time.
+    timers: BinaryHeap<Reverse<(u64, u32, u8, u64)>>,
+    gens: Vec<HashMap<TimerKind, u64>>,
+    gate: AdmissionGate,
+    rcfg: ReactorConfig,
+    scratch: BytesMut,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<MetricsInner>,
+}
+
+impl Reactor {
+    fn now(&self) -> Time {
+        Time(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Wrap `msg` in the group envelope iff this node is multi-group
+    /// (mirrors `shard::GroupPort`).
+    fn wrap(&self, g: usize, msg: Msg) -> Msg {
+        if self.n_groups <= 1 {
+            msg
+        } else {
+            Msg::Grouped {
+                group: GroupId(g as u32),
+                inner: Box::new(msg),
+            }
+        }
+    }
+
+    /// Interpret one handler invocation's actions for group `g`. Sends are
+    /// buffered in the outbox; they leave via the flush barrier.
+    fn apply(&mut self, g: usize, actions: Vec<Action>) {
+        let now = self.now();
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    let msg = self.wrap(g, msg);
+                    self.outbox.push(Out::One(to, msg));
+                }
+                Action::ToAllReplicas { msg } => {
+                    let msg = self.wrap(g, msg);
+                    self.outbox.push(Out::All(msg));
+                }
+                Action::SetTimer { kind, after } => {
+                    let gen = self.gens[g].entry(kind).or_insert(0);
+                    *gen += 1;
+                    self.timers
+                        .push(Reverse((now.0 + after.0, g as u32, kind_idx(kind), *gen)));
+                }
+                Action::CancelTimer { kind } => {
+                    *self.gens[g].entry(kind).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    fn fire_due_timers(&mut self) {
+        loop {
+            let now = self.now();
+            let Some(Reverse((due, g, ki, gen))) = self.timers.peek().copied() else {
+                return;
+            };
+            if due > now.0 {
+                return;
+            }
+            self.timers.pop();
+            let g = g as usize;
+            let kind = idx_kind(ki);
+            if self.gens[g].get(&kind).copied() != Some(gen) {
+                continue; // cancelled or replaced
+            }
+            let actions = self.cores[g].on_timer(kind, now);
+            self.apply(g, actions);
+        }
+    }
+
+    /// The group-commit barrier, identical in spirit to the threaded
+    /// loop's: flush every dirty group storage (one fsync per group per
+    /// batch — a shared-WAL [`FlushCoordinator`] collapses those to one
+    /// per node), and only then frame the buffered outbox onto connection
+    /// queues and let the kernel have the bytes. Busy replies queued
+    /// outside the outbox also drain here, after the same barrier.
+    fn flush_and_transmit(&mut self) {
+        if self.outbox.is_empty() && self.dirty.is_empty() {
+            return;
+        }
+        for core in &mut self.cores {
+            if core.storage_dirty() {
+                core.flush_storage();
+            }
+        }
+        for out in std::mem::take(&mut self.outbox) {
+            match out {
+                Out::One(to, msg) => self.enqueue_msg(to, msg),
+                Out::All(msg) => {
+                    // Fan out to every replica but ourselves, moving the
+                    // original into the last send.
+                    let mut pending: Option<Addr> = None;
+                    for i in 0..self.n {
+                        let to = Addr::Replica(ProcessId(i as u32));
+                        if to == Addr::Replica(self.me) {
+                            continue;
+                        }
+                        if let Some(prev) = pending.replace(to) {
+                            self.enqueue_msg(prev, msg.clone());
+                        }
+                    }
+                    if let Some(last) = pending {
+                        self.enqueue_msg(last, msg);
+                    }
+                }
+            }
+        }
+        for token in std::mem::take(&mut self.dirty) {
+            self.flush_conn(token);
+        }
+    }
+
+    /// Encode `msg` (reusing the node-wide scratch buffer) and queue it on
+    /// the connection serving `to`, dialing the peer replica first if no
+    /// connection exists. Only called from [`Reactor::flush_and_transmit`]
+    /// (after the barrier) and for `Busy` sheds, which carry no durable
+    /// state.
+    fn enqueue_msg(&mut self, to: Addr, msg: Msg) {
+        let token = match self.by_addr.get(&to).copied() {
+            Some(t) => t,
+            None => match to {
+                Addr::Replica(p) => match self.dial_peer(p) {
+                    Some(t) => t,
+                    None => {
+                        bump(&self.metrics.unroutable, 1);
+                        return;
+                    }
+                },
+                // Clients dial us; a client with no live connection is
+                // gone, and its retry logic will come back.
+                Addr::Client(_) => {
+                    bump(&self.metrics.unroutable, 1);
+                    return;
+                }
+            },
+        };
+        let frame = frame_bytes(encode_with_scratch(&msg, &mut self.scratch));
+        self.enqueue_frame(token, frame);
+    }
+
+    /// Queue one ready-made frame on connection `token`.
+    fn enqueue_frame(&mut self, token: u64, frame: Bytes) {
+        let Some(c) = self.conns.get_mut(&token) else {
+            bump(&self.metrics.unroutable, 1);
+            return;
+        };
+        let len = frame.len() as u64;
+        if c.outq.push(frame) {
+            bump(&self.metrics.msgs_out, 1);
+            bump(&self.metrics.bytes_out, len);
+        } else {
+            bump(&self.metrics.frames_dropped, 1);
+        }
+        if !c.flush_pending {
+            c.flush_pending = true;
+            self.dirty.push(token);
+        }
+    }
+
+    /// Write a connection's queued bytes to the socket (as much as it
+    /// takes), then settle its epoll interest: `EPOLLOUT` iff bytes remain
+    /// queued, `EPOLLIN` unless backpressure has suspended reads.
+    fn flush_conn(&mut self, token: u64) {
+        let mut close = false;
+        {
+            let Some(c) = self.conns.get_mut(&token) else {
+                return;
+            };
+            c.flush_pending = false;
+            if c.connecting {
+                // Can't write yet; EPOLLOUT is already registered and will
+                // fire when the connect resolves.
+                return;
+            }
+            match c.outq.flush_into(&mut c.stream) {
+                Ok(outcome) => {
+                    let blocked = outcome == FlushOutcome::Blocked;
+                    if blocked {
+                        bump(&self.metrics.partial_writes, 1);
+                    }
+                    // Backpressure propagation: a full queue suspends
+                    // reads; a queue drained below half the cap resumes
+                    // them.
+                    if c.outq.is_full() && !c.read_suspended {
+                        c.read_suspended = true;
+                        bump(&self.metrics.reads_suspended, 1);
+                    } else if c.read_suspended
+                        && c.outq.queued_bytes() < self.rcfg.send_queue_cap / 2
+                    {
+                        c.read_suspended = false;
+                    }
+                    let mut want = EPOLLRDHUP;
+                    if !c.read_suspended {
+                        want |= EPOLLIN;
+                    }
+                    if blocked {
+                        want |= EPOLLOUT;
+                    }
+                    if want != c.interest {
+                        let fd = c.stream.as_raw_fd();
+                        c.interest = want;
+                        if self.epoll.modify(fd, want, token).is_err() {
+                            close = true;
+                        }
+                    }
+                }
+                Err(_) => close = true,
+            }
+        }
+        if close {
+            self.close_conn(token);
+        }
+    }
+
+    /// Open a nonblocking connection to replica `p`, queueing our hello
+    /// frame so it is the first thing on the wire once the connect lands.
+    fn dial_peer(&mut self, p: ProcessId) -> Option<u64> {
+        let sock = *self.peer_addrs.get(&p)?;
+        let (stream, done) = sys::connect_nonblocking(sock).ok()?;
+        stream.set_nodelay(true).ok();
+        let token = self.next_token;
+        self.next_token += 1;
+        let fd = stream.as_raw_fd();
+        // EPOLLOUT from the start: it signals connect completion and then
+        // drains the hello.
+        let interest = EPOLLIN | EPOLLOUT | EPOLLRDHUP;
+        self.epoll.add(fd, interest, token).ok()?;
+        let mut hello = BytesMut::new();
+        put_addr(&mut hello, &Addr::Replica(self.me));
+        let mut conn = Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            outq: SendQueue::new(self.rcfg.send_queue_cap),
+            peer: Some(Addr::Replica(p)),
+            connecting: !done,
+            interest,
+            read_suspended: false,
+            flush_pending: false,
+        };
+        conn.outq.push(frame_bytes(&hello));
+        self.conns.insert(token, conn);
+        self.by_addr.insert(Addr::Replica(p), token);
+        Some(token)
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(c) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(c.stream.as_raw_fd());
+        }
+        self.by_addr.retain(|_, t| *t != token);
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let fd = stream.as_raw_fd();
+                    let interest = EPOLLIN | EPOLLRDHUP;
+                    if self.epoll.add(fd, interest, token).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            outq: SendQueue::new(self.rcfg.send_queue_cap),
+                            peer: None,
+                            connecting: false,
+                            interest,
+                            read_suspended: false,
+                            flush_pending: false,
+                        },
+                    );
+                    bump(&self.metrics.accepted, 1);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// EPOLLOUT on `token`: resolve an in-flight connect, then drain the
+    /// send queue.
+    fn handle_writable(&mut self, token: u64) {
+        let connecting = match self.conns.get_mut(&token) {
+            Some(c) => c.connecting,
+            None => return,
+        };
+        if connecting {
+            let fd = match self.conns.get(&token) {
+                Some(c) => c.stream.as_raw_fd(),
+                None => return,
+            };
+            if sys::take_socket_error(fd).is_err() {
+                self.close_conn(token);
+                return;
+            }
+            if let Some(c) = self.conns.get_mut(&token) {
+                c.connecting = false;
+            }
+        }
+        self.flush_conn(token);
+    }
+
+    /// EPOLLIN on `token`: read until `EWOULDBLOCK`, decode every complete
+    /// frame, admit or shed.
+    fn handle_readable(&mut self, token: u64) {
+        /// Outcome of one nonblocking read attempt.
+        enum ReadStep {
+            Got(usize),
+            Drained,
+            Close,
+        }
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            let step = {
+                let Some(c) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if c.read_suspended {
+                    // Level-triggered epoll can still deliver a stale
+                    // readable event from before the suspension took hold.
+                    return;
+                }
+                loop {
+                    match c.stream.read(&mut buf) {
+                        Ok(0) => break ReadStep::Close,
+                        Ok(n) => {
+                            c.decoder.extend(&buf[..n]);
+                            bump(&self.metrics.bytes_in, n as u64);
+                            break ReadStep::Got(n);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break ReadStep::Drained,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => break ReadStep::Close,
+                    }
+                }
+            };
+            let read = match step {
+                ReadStep::Got(n) => n,
+                ReadStep::Drained => return,
+                ReadStep::Close => {
+                    self.close_conn(token);
+                    return;
+                }
+            };
+            // Decode everything the chunk completed before reading more,
+            // so one fast sender cannot balloon the decode buffer.
+            loop {
+                let next = match self.conns.get_mut(&token) {
+                    Some(c) => c.decoder.next_frame(),
+                    None => return,
+                };
+                match next {
+                    Ok(Some(frame)) => {
+                        if !self.on_frame(token, frame) {
+                            self.close_conn(token);
+                            return;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Oversized/poisoned length prefix: the stream can
+                        // never resynchronize.
+                        self.close_conn(token);
+                        return;
+                    }
+                }
+            }
+            if read < buf.len() {
+                // Short read: the socket is drained (saves one syscall
+                // that would return EWOULDBLOCK).
+                return;
+            }
+        }
+    }
+
+    /// One complete frame off connection `token`. Returns `false` if the
+    /// connection must be dropped (protocol violation).
+    fn on_frame(&mut self, token: u64, mut frame: Bytes) -> bool {
+        let hello_pending = match self.conns.get(&token) {
+            Some(c) => c.peer.is_none(),
+            None => return false,
+        };
+        if hello_pending {
+            // First frame on an accepted connection: the peer's address.
+            let Ok(addr) = get_addr(&mut frame) else {
+                return false;
+            };
+            if let Some(c) = self.conns.get_mut(&token) {
+                c.peer = Some(addr);
+            }
+            self.by_addr.insert(addr, token);
+            return true;
+        }
+        let Ok(msg) = decode_msg(&mut frame) else {
+            return false;
+        };
+        bump(&self.metrics.msgs_in, 1);
+
+        // Client requests: bind the requesting client's address to this
+        // connection (multiplexing — many virtual clients per socket), and
+        // run the admission gate.
+        // (If-let filter, not a `match`: non-request messages fall through
+        // to normal inbox delivery below — nothing is dispatched here.)
+        let req_meta = if let Msg::Request(r) = &msg {
+            Some((None, r.id))
+        } else if let Msg::Grouped { group, inner } = &msg {
+            if let Msg::Request(r) = inner.as_ref() {
+                Some((Some(*group), r.id))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let from = if let Some((genv, rid)) = req_meta {
+            let caddr = Addr::Client(rid.client);
+            self.by_addr.insert(caddr, token);
+            if self.gate.update(self.inbox.len()) {
+                // Shed: immediate Busy, request never reaches the core, so
+                // no durable state exists for the barrier to cover.
+                self.gate.count_shed();
+                bump(&self.metrics.busy_shed, 1);
+                let reply = Msg::Reply(Reply {
+                    id: rid,
+                    leader: self.me,
+                    body: ReplyBody::Busy,
+                });
+                let reply = match genv {
+                    Some(group) => Msg::Grouped {
+                        group,
+                        inner: Box::new(reply),
+                    },
+                    None => reply,
+                };
+                let frame = frame_bytes(encode_with_scratch(&reply, &mut self.scratch));
+                self.enqueue_frame(token, frame);
+                return true;
+            }
+            caddr
+        } else {
+            match self.conns.get(&token).and_then(|c| c.peer) {
+                Some(p) => p,
+                None => return false,
+            }
+        };
+        self.inbox.push_back((from, msg));
+        true
+    }
+
+    /// Route up to [`MAX_DRAIN`] queued messages through the cores.
+    fn process_inbox(&mut self) {
+        let mut drained = 0;
+        while drained < MAX_DRAIN {
+            let Some((from, msg)) = self.inbox.pop_front() else {
+                break;
+            };
+            drained += 1;
+            let (g, inner) = match msg {
+                Msg::Grouped { group, inner } => (group.0 as usize, *inner),
+                other => (0, other),
+            };
+            if g >= self.n_groups {
+                continue; // peer from a differently sized deployment
+            }
+            let now = self.now();
+            let actions = self.cores[g].on_message(from, inner, now);
+            self.apply(g, actions);
+        }
+        // Keep the gate fed as the backlog shrinks so re-admission happens
+        // even when no new request arrives to trigger an update.
+        self.gate.update(self.inbox.len());
+    }
+
+    /// Milliseconds until the next timer (rounded up), capped at
+    /// [`MAX_WAIT`]; zero when backlog remains.
+    fn wait_ms(&self) -> i32 {
+        if !self.inbox.is_empty() {
+            return 0;
+        }
+        let until = self
+            .timers
+            .peek()
+            .map(|Reverse((due, _, _, _))| Duration::from_nanos(due.saturating_sub(self.now().0)))
+            .unwrap_or(MAX_WAIT)
+            .min(MAX_WAIT);
+        until.as_nanos().div_ceil(1_000_000) as i32
+    }
+
+    fn run(mut self) -> Vec<Replica> {
+        if self.listener.set_nonblocking(true).is_err()
+            || self
+                .epoll
+                .add(self.listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+                .is_err()
+        {
+            return self.cores;
+        }
+        for g in 0..self.n_groups {
+            let now = self.now();
+            let actions = self.cores[g].on_start(now);
+            self.apply(g, actions);
+        }
+        self.flush_and_transmit();
+
+        let mut events: Vec<sys::Event> = Vec::new();
+        while !self.stop.load(Ordering::Relaxed) {
+            events.clear();
+            let timeout = self.wait_ms();
+            if self.epoll.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            for ev in &events {
+                if ev.token == TOKEN_LISTENER {
+                    self.accept_ready();
+                    continue;
+                }
+                if ev.writable() {
+                    self.handle_writable(ev.token);
+                }
+                if ev.readable() && self.conns.contains_key(&ev.token) {
+                    self.handle_readable(ev.token);
+                }
+            }
+            self.process_inbox();
+            self.fire_due_timers();
+            self.flush_and_transmit();
+        }
+        self.flush_and_transmit();
+        self.cores
+    }
+}
+
+/// Join handle + live metrics for one reactor node.
+pub struct ReactorHandle {
+    thread: std::thread::JoinHandle<Vec<Replica>>,
+    metrics: ReactorMetrics,
+}
+
+impl ReactorHandle {
+    /// The node's live counters.
+    #[must_use]
+    pub fn metrics(&self) -> ReactorMetrics {
+        self.metrics.clone()
+    }
+
+    /// Join the reactor thread, returning the per-group replicas.
+    pub fn join(self) -> Vec<Replica> {
+        match self.thread.join() {
+            Ok(replicas) => replicas,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// Spawn one reactor node hosting `group_replicas` (group `g` at index
+/// `g`, all sharing one `ProcessId`) behind `listener`. `peers` maps every
+/// replica node (including this one) to its listen address.
+pub fn spawn_reactor_node(
+    group_replicas: Vec<Replica>,
+    listener: TcpListener,
+    peers: HashMap<ProcessId, SocketAddr>,
+    stop: Arc<AtomicBool>,
+    rcfg: ReactorConfig,
+) -> io::Result<ReactorHandle> {
+    let n_groups = group_replicas.len();
+    assert!(n_groups >= 1, "need at least one group");
+    let me = group_replicas[0].id();
+    for r in &group_replicas {
+        assert_eq!(r.id(), me, "one node hosts one process id across groups");
+    }
+    let n = group_replicas[0].config().n;
+    let metrics = ReactorMetrics::default();
+    let reactor = Reactor {
+        cores: group_replicas,
+        me,
+        n,
+        n_groups,
+        epoch: Instant::now(),
+        epoll: Epoll::new()?,
+        listener,
+        peer_addrs: peers,
+        conns: HashMap::new(),
+        by_addr: HashMap::new(),
+        next_token: TOKEN_LISTENER + 1,
+        inbox: VecDeque::new(),
+        outbox: Vec::new(),
+        dirty: Vec::new(),
+        timers: BinaryHeap::new(),
+        gens: vec![HashMap::new(); n_groups],
+        gate: AdmissionGate::new(rcfg.admit_high, rcfg.admit_low),
+        rcfg,
+        scratch: BytesMut::new(),
+        stop,
+        metrics: Arc::clone(&metrics.inner),
+    };
+    let thread = std::thread::Builder::new()
+        .name(format!("gp-reactor-{me}"))
+        .spawn(move || reactor.run())?;
+    Ok(ReactorHandle { thread, metrics })
+}
+
+/// A whole replica cluster on loopback TCP, every node driven by a
+/// reactor. Wire-compatible with the threaded transport: the same
+/// [`SyncClient`]/[`TcpNode`] clients (and [`crate::mux::MuxSwarm`]) talk
+/// to either.
+pub struct ReactorCluster {
+    /// Listen addresses of the replica nodes.
+    pub addrs: HashMap<ProcessId, SocketAddr>,
+    stop: Arc<AtomicBool>,
+    nodes: Vec<ReactorHandle>,
+    n: usize,
+    n_groups: usize,
+    router: Option<ShardRouter>,
+    next_client: AtomicU64,
+    coordinators: HashMap<ProcessId, FlushCoordinator>,
+}
+
+impl ReactorCluster {
+    /// Launch `cfg.n` single-group reactor nodes with in-memory storage.
+    pub fn launch(
+        cfg: Config,
+        app_factory: impl Fn() -> Box<dyn App> + Send + Sync,
+    ) -> io::Result<ReactorCluster> {
+        Self::launch_sharded(cfg, 1, app_factory, None, ReactorConfig::default())
+    }
+
+    /// Launch a multi-group reactor cluster with in-memory storage.
+    pub fn launch_sharded(
+        cfg: Config,
+        n_groups: usize,
+        app_factory: impl Fn() -> Box<dyn App> + Send + Sync,
+        router: Option<ShardRouter>,
+        rcfg: ReactorConfig,
+    ) -> io::Result<ReactorCluster> {
+        Self::launch_with_storage(cfg, n_groups, app_factory, router, rcfg, |_| {
+            (0..n_groups)
+                .map(|_| Box::new(MemStorage::new()) as Box<dyn Storage>)
+                .collect()
+        })
+    }
+
+    /// Launch a *durable* reactor cluster: each node's groups share one
+    /// write-ahead log under `data_root/node-<id>` via a
+    /// [`FlushCoordinator`]. Nodes whose directories hold prior state are
+    /// recovered, not created fresh.
+    pub fn launch_durable(
+        cfg: Config,
+        n_groups: usize,
+        app_factory: impl Fn() -> Box<dyn App> + Send + Sync,
+        router: Option<ShardRouter>,
+        rcfg: ReactorConfig,
+        data_root: impl AsRef<std::path::Path>,
+        mode: SyncMode,
+    ) -> io::Result<ReactorCluster> {
+        let root = data_root.as_ref().to_path_buf();
+        let mut coordinators = HashMap::new();
+        for i in 0..cfg.n {
+            let id = ProcessId(i as u32);
+            let coord =
+                FlushCoordinator::open(root.join(format!("node-{}", id.0)), mode, n_groups)?;
+            coordinators.insert(id, coord);
+        }
+        let mut cluster =
+            Self::launch_with_storage(cfg, n_groups, app_factory, router, rcfg, |id| {
+                coordinators[&id]
+                    .storages()
+                    .into_iter()
+                    .map(|s| Box::new(s) as Box<dyn Storage>)
+                    .collect()
+            })?;
+        cluster.coordinators = coordinators;
+        Ok(cluster)
+    }
+
+    /// Launch with custom per-node storage (`storage_factory(id)` returns
+    /// one [`Storage`] per group, group `g` at index `g`). Groups whose
+    /// storage holds prior state are recovered rather than created fresh.
+    pub fn launch_with_storage(
+        cfg: Config,
+        n_groups: usize,
+        app_factory: impl Fn() -> Box<dyn App> + Send + Sync,
+        router: Option<ShardRouter>,
+        rcfg: ReactorConfig,
+        storage_factory: impl Fn(ProcessId) -> Vec<Box<dyn Storage>>,
+    ) -> io::Result<ReactorCluster> {
+        let n = cfg.n;
+        let mut addrs = HashMap::new();
+        let mut listeners = Vec::new();
+        for i in 0..n {
+            let id = ProcessId(i as u32);
+            let listener = TcpListener::bind(SocketAddr::from(([127, 0, 0, 1], 0)))?;
+            addrs.insert(id, listener.local_addr()?);
+            listeners.push((id, listener));
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut nodes = Vec::new();
+        for (id, listener) in listeners {
+            let storages = storage_factory(id);
+            assert_eq!(storages.len(), n_groups, "one storage per group");
+            let group_replicas = storages
+                .into_iter()
+                .enumerate()
+                .map(|(gi, storage)| {
+                    let g = GroupId(gi as u32);
+                    let prior = storage.load();
+                    let has_prior = !prior.promised.is_zero()
+                        || !prior.accepted.is_empty()
+                        || prior.checkpoint.is_some()
+                        || prior.chosen_prefix.0 > 0;
+                    if has_prior {
+                        Replica::recover(
+                            id,
+                            group_config(&cfg, g),
+                            app_factory(),
+                            storage,
+                            group_seed(0xace0 + u64::from(id.0), g),
+                            Time::ZERO,
+                        )
+                    } else {
+                        Replica::new(
+                            id,
+                            group_config(&cfg, g),
+                            app_factory(),
+                            storage,
+                            group_seed(0xace0 + u64::from(id.0), g),
+                            Time::ZERO,
+                        )
+                    }
+                })
+                .collect();
+            nodes.push(spawn_reactor_node(
+                group_replicas,
+                listener,
+                addrs.clone(),
+                Arc::clone(&stop),
+                rcfg,
+            )?);
+        }
+        Ok(ReactorCluster {
+            addrs,
+            stop,
+            nodes,
+            n,
+            n_groups,
+            router,
+            // Unique across incarnations: replicas' dedup tables outlive
+            // any single client.
+            next_client: AtomicU64::new(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(1)
+                    | 1,
+            ),
+            coordinators: HashMap::new(),
+        })
+    }
+
+    /// Number of consensus groups per node.
+    #[must_use]
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
+    }
+
+    /// Live metrics of node `i`.
+    #[must_use]
+    pub fn metrics(&self, i: usize) -> ReactorMetrics {
+        self.nodes[i].metrics()
+    }
+
+    /// The WAL coordinator for node `id` (durable launches only).
+    #[must_use]
+    pub fn coordinator(&self, id: ProcessId) -> Option<&FlushCoordinator> {
+        self.coordinators.get(&id)
+    }
+
+    /// Allocate a fresh cluster-unique client id.
+    pub fn next_client_id(&self) -> ClientId {
+        ClientId(self.next_client.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Create a blocking (threaded) client connected to the whole group —
+    /// the reactor speaks the same wire protocol as the threaded
+    /// transport, so the existing client stack works unchanged.
+    #[must_use]
+    pub fn client(&self) -> SyncClient<TcpNode> {
+        let id = self.next_client_id();
+        let node = TcpNode::client(id, self.addrs.clone());
+        let core = ClientCore::new(id, self.n, Dur::from_millis(500))
+            .with_groups(self.n_groups, self.router.clone());
+        SyncClient::new(core, node, self.n)
+    }
+
+    /// Stop everything and join, returning each node's per-group replicas
+    /// (`result[node][group]`).
+    pub fn shutdown(self) -> Vec<Vec<Replica>> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.nodes.into_iter().map(ReactorHandle::join).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framing::{read_frame, write_frame};
+    use bytes::Bytes;
+    use gridpaxos_core::client::ShardRouter;
+    use gridpaxos_core::request::{Request, RequestId, RequestKind};
+    use gridpaxos_core::service::NoopApp;
+    use gridpaxos_core::types::Seq;
+    use std::io::{BufReader, Write};
+
+    fn noop_factory() -> Box<dyn App> {
+        Box::new(NoopApp::new())
+    }
+
+    #[test]
+    fn reactor_cluster_round_trips_writes_and_reads() {
+        let cluster = ReactorCluster::launch(Config::cluster(3), noop_factory).expect("launch");
+        let mut client = cluster.client();
+        for seq in 0..5u8 {
+            let body = client
+                .call(RequestKind::Write, Bytes::copy_from_slice(&[seq]))
+                .expect("write completes");
+            assert!(matches!(body, ReplyBody::Ok(_)), "got {body:?}");
+        }
+        let body = client
+            .call(RequestKind::Read, Bytes::new())
+            .expect("read completes");
+        assert!(matches!(body, ReplyBody::Ok(_)), "got {body:?}");
+        let per_node = cluster.shutdown();
+        assert_eq!(per_node.len(), 3);
+        assert!(
+            per_node.iter().any(|rs| rs[0].chosen_prefix().0 >= 5),
+            "someone chose all five writes"
+        );
+    }
+
+    #[test]
+    fn sharded_reactor_cluster_serves_both_groups() {
+        let router = ShardRouter::new(|req| req.op.first().map(|b| u64::from(*b)));
+        let cluster = ReactorCluster::launch_sharded(
+            Config::cluster(3),
+            2,
+            noop_factory,
+            Some(router),
+            ReactorConfig::default(),
+        )
+        .expect("launch");
+        let mut client = cluster.client();
+        for key in [0u8, 1, 2, 3] {
+            let body = client
+                .call(RequestKind::Write, Bytes::copy_from_slice(&[key]))
+                .expect("write completes");
+            assert!(matches!(body, ReplyBody::Ok(_)), "got {body:?}");
+        }
+        let per_node = cluster.shutdown();
+        for g in 0..2 {
+            assert!(
+                per_node.iter().any(|rs| rs[g].chosen_prefix().0 >= 1),
+                "group {g} chose nothing"
+            );
+        }
+    }
+
+    /// Many virtual clients over ONE raw socket: requests from distinct
+    /// client ids multiplex onto a single connection and every reply comes
+    /// back over it.
+    #[test]
+    fn many_client_ids_multiplex_over_one_connection() {
+        let cluster = ReactorCluster::launch(Config::cluster(3), noop_factory).expect("launch");
+        // Dial only the bootstrap leader (replica 0) — the leader answers.
+        let leader = cluster.addrs[&ProcessId(0)];
+        let mut sock = TcpStream::connect(leader).expect("connect");
+        sock.set_nodelay(true).ok();
+
+        let base = cluster.next_client_id().0;
+        let mut hello = BytesMut::new();
+        put_addr(&mut hello, &Addr::Client(ClientId(base)));
+        let mut batch = Vec::new();
+        write_frame(&mut batch, &hello).expect("hello");
+        let n_virtual = 32u64;
+        let mut scratch = BytesMut::new();
+        for v in 0..n_virtual {
+            let req = Request::new(
+                RequestId::new(ClientId(base + v), Seq(1)),
+                RequestKind::Write,
+                Bytes::copy_from_slice(&[v as u8]),
+            );
+            let frame = encode_with_scratch(&Msg::Request(req), &mut scratch);
+            write_frame(&mut batch, frame).expect("frame");
+        }
+        sock.write_all(&batch).expect("send burst");
+
+        let mut seen = std::collections::HashSet::new();
+        let mut reader = BufReader::new(sock.try_clone().expect("clone"));
+        sock.set_read_timeout(Some(Duration::from_secs(10))).ok();
+        while seen.len() < n_virtual as usize {
+            let mut frame = read_frame(&mut reader)
+                .expect("read reply")
+                .expect("conn open");
+            let msg = decode_msg(&mut frame).expect("decode");
+            if let Msg::Reply(r) = msg {
+                assert!(matches!(r.body, ReplyBody::Ok(_)), "got {:?}", r.body);
+                seen.insert(r.id.client.0);
+            }
+        }
+        assert_eq!(seen.len(), n_virtual as usize);
+        cluster.shutdown();
+    }
+
+    /// A burst beyond the admission gate's high-water mark is answered
+    /// with immediate `Busy` sheds, and the connection keeps working.
+    #[test]
+    fn overload_burst_is_shed_with_busy_replies() {
+        let rcfg = ReactorConfig {
+            admit_high: 4,
+            admit_low: 0,
+            ..ReactorConfig::default()
+        };
+        let cluster =
+            ReactorCluster::launch_sharded(Config::cluster(3), 1, noop_factory, None, rcfg)
+                .expect("launch");
+        let leader = cluster.addrs[&ProcessId(0)];
+        let mut sock = TcpStream::connect(leader).expect("connect");
+        let base = cluster.next_client_id().0;
+        let mut hello = BytesMut::new();
+        put_addr(&mut hello, &Addr::Client(ClientId(base)));
+        let mut batch = Vec::new();
+        write_frame(&mut batch, &hello).expect("hello");
+        let burst = 256u64;
+        let mut scratch = BytesMut::new();
+        for v in 0..burst {
+            let req = Request::new(
+                RequestId::new(ClientId(base + v), Seq(1)),
+                RequestKind::Write,
+                Bytes::copy_from_slice(&[v as u8]),
+            );
+            let frame = encode_with_scratch(&Msg::Request(req), &mut scratch);
+            write_frame(&mut batch, frame).expect("frame");
+        }
+        sock.write_all(&batch).expect("send burst");
+
+        let mut busy = 0u64;
+        let mut ok = 0u64;
+        let mut reader = BufReader::new(sock.try_clone().expect("clone"));
+        sock.set_read_timeout(Some(Duration::from_secs(10))).ok();
+        while busy + ok < burst {
+            let mut frame = read_frame(&mut reader)
+                .expect("read reply")
+                .expect("conn open");
+            if let Ok(Msg::Reply(r)) = decode_msg(&mut frame) {
+                if r.body.is_busy() {
+                    busy += 1;
+                } else {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(busy > 0, "a 256-burst past high-water=4 must shed");
+        assert!(ok > 0, "admitted requests still complete");
+        let shed = cluster.metrics(0).stats().busy_shed;
+        assert_eq!(shed, busy, "metric matches observed Busy replies");
+        cluster.shutdown();
+    }
+
+    /// Durable reactor cluster: writes survive a full stop/restart via the
+    /// shared WAL (the reactor path preserves persist-before-send).
+    #[test]
+    fn durable_reactor_cluster_recovers_chosen_prefix() {
+        let root = std::env::temp_dir().join(format!(
+            "gridpaxos-reactor-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let cfg = Config::cluster(3);
+
+        let first_chosen;
+        {
+            let cluster = ReactorCluster::launch_durable(
+                cfg.clone(),
+                1,
+                noop_factory,
+                None,
+                ReactorConfig::default(),
+                &root,
+                SyncMode::Batched,
+            )
+            .expect("launch durable");
+            let mut client = cluster.client();
+            for seq in 0..6u8 {
+                let body = client
+                    .call(RequestKind::Write, Bytes::copy_from_slice(&[seq]))
+                    .expect("write completes");
+                assert!(matches!(body, ReplyBody::Ok(_)), "got {body:?}");
+            }
+            for i in 0..cfg.n {
+                let coord = cluster.coordinator(ProcessId(i as u32)).expect("coord");
+                assert!(coord.appends() > 0, "node {i} persisted nothing");
+            }
+            let per_node = cluster.shutdown();
+            first_chosen = per_node
+                .iter()
+                .map(|rs| rs[0].chosen_prefix())
+                .max()
+                .expect("nodes");
+            assert!(first_chosen.0 >= 6);
+        }
+
+        let cluster = ReactorCluster::launch_durable(
+            cfg,
+            1,
+            noop_factory,
+            None,
+            ReactorConfig::default(),
+            &root,
+            SyncMode::Batched,
+        )
+        .expect("relaunch durable");
+        let per_node = cluster.shutdown();
+        let recovered = per_node
+            .iter()
+            .map(|rs| rs[0].chosen_prefix())
+            .max()
+            .expect("nodes");
+        assert!(
+            recovered >= first_chosen,
+            "recovered prefix {recovered:?} < pre-crash {first_chosen:?}"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -298,6 +298,7 @@ fn put_reply_body(out: &mut BytesMut, b: &ReplyBody) {
             put_abort_reason(out, reason);
         }
         ReplyBody::Empty => out.put_u8(3),
+        ReplyBody::Busy => out.put_u8(4),
     }
 }
 
@@ -312,6 +313,7 @@ fn get_reply_body(buf: &mut Bytes) -> Result<ReplyBody> {
             reason: get_abort_reason(buf)?,
         }),
         3 => Ok(ReplyBody::Empty),
+        4 => Ok(ReplyBody::Busy),
         tag => Err(WireError::BadTag {
             what: "reply_body",
             tag,
@@ -995,6 +997,7 @@ mod tests {
                 },
             }),
             Just(ReplyBody::Empty),
+            Just(ReplyBody::Busy),
         ]
     }
 

@@ -52,6 +52,10 @@ fn show(body: Option<ReplyBody>) {
         Some(ReplyBody::TxnCommitted { .. }) => println!("committed"),
         Some(ReplyBody::TxnAborted { reason, .. }) => println!("aborted: {reason:?}"),
         Some(ReplyBody::Empty) => println!("ok"),
+        // The client core retries Busy internally; a Busy surfacing here
+        // means the overall deadline expired while the cluster was
+        // shedding load.
+        Some(ReplyBody::Busy) => println!("error: cluster overloaded (busy), try again"),
         None => println!("error: request timed out (no leader reachable?)"),
     }
 }

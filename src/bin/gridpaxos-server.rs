@@ -36,9 +36,70 @@ fn usage() -> ! {
                    (per-record: one fsync per record, default; batched:\n\
                    group commit — the drive loop syncs once per drain\n\
                    cycle before any acknowledgment is sent)\n\
+         --transport threads|reactor  I/O substrate (default: threads)\n\
+                   (threads: two threads per connection; reactor: one\n\
+                   epoll readiness loop multiplexing every connection,\n\
+                   with admission control — Linux only)\n\
          --tpaxos  enable T-Paxos transaction mode (default: per-op)\n\
          --wan     use WAN-tuned timeouts (default: cluster-tuned)"
     );
+    exit(2)
+}
+
+/// Which I/O substrate drives the replica.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TransportKind {
+    /// Two blocking threads per connection (reader + writer).
+    Threads,
+    /// One nonblocking epoll reactor thread for the whole node.
+    Reactor,
+}
+
+/// Run the replica on the epoll reactor until killed (Linux only).
+#[cfg(target_os = "linux")]
+fn run_reactor(
+    replica: Replica,
+    listen: SocketAddr,
+    peers: HashMap<ProcessId, SocketAddr>,
+    stop: Arc<AtomicBool>,
+) -> Replica {
+    use gridpaxos::transport::{spawn_reactor_node, ReactorConfig};
+    let id = replica.id();
+    let listener = match std::net::TcpListener::bind(listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bind {listen}: {e}");
+            exit(1);
+        }
+    };
+    if let Ok(bound) = listener.local_addr() {
+        eprintln!("gridpaxos-server r{}: reactor listening on {bound}", id.0);
+    }
+    let handle = match spawn_reactor_node(
+        vec![replica],
+        listener,
+        peers,
+        stop,
+        ReactorConfig::default(),
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("spawn reactor: {e}");
+            exit(1);
+        }
+    };
+    let mut replicas = handle.join();
+    replicas.remove(0)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn run_reactor(
+    _replica: Replica,
+    _listen: SocketAddr,
+    _peers: HashMap<ProcessId, SocketAddr>,
+    _stop: Arc<AtomicBool>,
+) -> Replica {
+    eprintln!("--transport reactor requires Linux (epoll)");
     exit(2)
 }
 
@@ -50,6 +111,7 @@ fn main() {
     let mut wan = false;
     let mut data_dir: Option<String> = None;
     let mut sync_mode = SyncMode::PerRecord;
+    let mut transport = TransportKind::Threads;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -85,6 +147,14 @@ fn main() {
                     _ => usage(),
                 };
             }
+            "--transport" => {
+                i += 1;
+                transport = match args.get(i).map(String::as_str) {
+                    Some("threads") => TransportKind::Threads,
+                    Some("reactor") => TransportKind::Reactor,
+                    _ => usage(),
+                };
+            }
             "--tpaxos" => tpaxos = true,
             "--wan" => wan = true,
             _ => usage(),
@@ -107,15 +177,6 @@ fn main() {
     if tpaxos {
         cfg.txn_mode = TxnMode::TPaxos;
     }
-
-    let (node, bound) = match TcpNode::bind_replica(ProcessId(id), listen, peers) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("bind {listen}: {e}");
-            exit(1);
-        }
-    };
-    eprintln!("gridpaxos-server r{id}: listening on {bound}, group of {n}");
 
     // Wall-clock-derived seed: replicas must differ (that is the
     // nondeterminism the protocol exists to handle).
@@ -168,9 +229,24 @@ fn main() {
         ),
     };
 
-    // Run until killed.
+    // Run until killed. The threaded path binds via `TcpNode` (acceptor +
+    // two threads per connection); the reactor path hands a raw listener
+    // to the epoll loop, which drives everything from one thread.
     let stop = Arc::new(AtomicBool::new(false));
-    let replica = ReplicaNode::new(replica, node, stop).run();
+    let replica = match transport {
+        TransportKind::Threads => {
+            let (node, bound) = match TcpNode::bind_replica(ProcessId(id), listen, peers) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("bind {listen}: {e}");
+                    exit(1);
+                }
+            };
+            eprintln!("gridpaxos-server r{id}: listening on {bound}, group of {n}");
+            ReplicaNode::new(replica, node, stop).run()
+        }
+        TransportKind::Reactor => run_reactor(replica, listen, peers, stop),
+    };
     eprintln!(
         "gridpaxos-server r{id}: stopped at instance {}",
         replica.chosen_prefix()

@@ -74,6 +74,7 @@ fn arb_reply_body() -> impl Strategy<Value = ReplyBody> {
             },
         }),
         Just(ReplyBody::Empty),
+        Just(ReplyBody::Busy),
     ]
 }
 
