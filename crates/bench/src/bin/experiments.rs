@@ -32,6 +32,7 @@ fn run_one(name: &str, seed: u64) -> Option<Vec<TableOut>> {
         "group-commit" => gridpaxos_bench::group_commit(seed),
         "read-batching" => gridpaxos_bench::read_batching(seed),
         "reactor" => gridpaxos_bench::reactor(seed),
+        "large-state" => gridpaxos_bench::large_state(seed),
         _ => return None,
     };
     Some(vec![t])
@@ -65,7 +66,7 @@ fn main() {
                 eprintln!(
                     "unknown experiment '{name}'; known: all rrt-sysnet fig5 fig6 fig7 fig8 \
                      table1 fig9 leader-switch scale-t ablation state-size batch-ablation \
-                     sharding group-commit read-batching reactor"
+                     sharding group-commit read-batching reactor large-state"
                 );
                 any_bad = true;
             }

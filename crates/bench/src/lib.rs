@@ -12,7 +12,7 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    ablation, all, batch_ablation, fig5, fig6, fig7, fig8, fig9, group_commit, leader_switch,
-    reactor, read_batching, rrt_sysnet, scale_t, sharding, state_size, table1,
+    ablation, all, batch_ablation, fig5, fig6, fig7, fig8, fig9, group_commit, large_state,
+    leader_switch, reactor, read_batching, rrt_sysnet, scale_t, sharding, state_size, table1,
 };
 pub use table::TableOut;

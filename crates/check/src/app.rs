@@ -19,10 +19,30 @@ use gridpaxos_core::service::{App, ExecCtx};
 use gridpaxos_core::types::TxnId;
 use std::collections::HashMap;
 
-/// Decode a bit-set mask from an 8-byte little-endian payload.
+/// Decode a bit-set mask from the first 8 (little-endian) bytes of a
+/// payload. State encodings carry `mask ++ chain`; the mask prefix alone
+/// answers the set-inclusion invariants.
 #[must_use]
 pub fn decode_mask(buf: &[u8]) -> Option<u64> {
-    buf.try_into().ok().map(u64::from_le_bytes)
+    buf.get(..8)?.try_into().ok().map(u64::from_le_bytes)
+}
+
+/// Decode the order-sensitive apply chain from bytes 8..16 of a state
+/// encoding (0 for legacy 8-byte mask-only payloads).
+#[must_use]
+pub fn decode_chain(buf: &[u8]) -> u64 {
+    buf.get(8..16)
+        .and_then(|b| b.try_into().ok())
+        .map_or(0, u64::from_le_bytes)
+}
+
+/// One FNV-style step of the apply chain. Non-commutative on purpose:
+/// folding bits in a different order yields a different chain, which is
+/// what lets the agreement invariant catch an apply pipeline that
+/// reorders writes even when the final OR-mask coincides.
+#[must_use]
+pub fn chain_fold(chain: u64, bits: u64) -> u64 {
+    (chain ^ bits).wrapping_mul(0x0100_0000_01b3)
 }
 
 /// Bit-set register service (see module docs).
@@ -30,6 +50,11 @@ pub fn decode_mask(buf: &[u8]) -> Option<u64> {
 pub struct CheckerApp {
     /// Committed state: OR of every committed operation bit.
     committed: u64,
+    /// Order-sensitive digest of the committed-write sequence (see
+    /// [`chain_fold`]). Part of replicated state: it ships inside every
+    /// `StateUpdate::Full`, so replicas agree on it exactly when they
+    /// applied the same writes in the same order.
+    chain: u64,
     /// T-Paxos staging: per-transaction bits, volatile by contract.
     staged: HashMap<TxnId, u64>,
 }
@@ -42,7 +67,10 @@ impl CheckerApp {
     }
 
     fn encode(&self) -> Bytes {
-        Bytes::copy_from_slice(&self.committed.to_le_bytes())
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.committed.to_le_bytes());
+        out[8..].copy_from_slice(&self.chain.to_le_bytes());
+        Bytes::copy_from_slice(&out)
     }
 
     fn op_bit(req: &Request) -> u64 {
@@ -55,7 +83,9 @@ impl App for CheckerApp {
         match req.kind {
             RequestKind::Read => (self.encode(), StateUpdate::None),
             _ => {
-                self.committed |= Self::op_bit(req);
+                let bit = Self::op_bit(req);
+                self.committed |= bit;
+                self.chain = chain_fold(self.chain, bit);
                 (self.encode(), StateUpdate::Full(self.encode()))
             }
         }
@@ -67,6 +97,7 @@ impl App for CheckerApp {
             StateUpdate::Full(b) | StateUpdate::Delta(b) | StateUpdate::Reproduce(b) => {
                 if let Some(m) = decode_mask(b) {
                     self.committed = m;
+                    self.chain = decode_chain(b);
                 }
             }
         }
@@ -80,6 +111,7 @@ impl App for CheckerApp {
 
     fn restore(&mut self, snap: &[u8]) {
         self.committed = decode_mask(snap).unwrap_or(0);
+        self.chain = decode_chain(snap);
         // The contract: restore clears all volatile staging.
         self.staged.clear();
     }
@@ -111,6 +143,7 @@ impl App for CheckerApp {
     fn txn_commit(&mut self, txn: TxnId) -> StateUpdate {
         let bits = self.staged.remove(&txn).unwrap_or(0);
         self.committed |= bits;
+        self.chain = chain_fold(self.chain, bits);
         StateUpdate::Full(self.encode())
     }
 
@@ -148,6 +181,35 @@ mod tests {
         assert_eq!(decode_mask(&app.snapshot()), Some(0));
         app.txn_commit(TxnId(7));
         assert_eq!(decode_mask(&app.snapshot()), Some(1 << 3));
+    }
+
+    /// The parallel apply pipeline must never reorder writes within one
+    /// group: drive a pool-wrapped CheckerApp and a serial one through
+    /// the same decree sequence and compare the order-sensitive chain.
+    #[test]
+    fn apply_pool_preserves_decree_order_within_a_group() {
+        use gridpaxos_core::apply::ApplyPool;
+        use gridpaxos_core::command::StateUpdate;
+
+        let pool = ApplyPool::new(4);
+        let mut pooled = pool.wrap(Box::new(CheckerApp::new()));
+        let mut serial = CheckerApp::new();
+        let mut chain = 0u64;
+        let mut mask = 0u64;
+        for seq in 0..200u64 {
+            let bit = 1u64 << (seq % 3); // heavy same-register traffic
+            mask |= bit;
+            chain = super::chain_fold(chain, bit);
+            let mut b = [0u8; 16];
+            b[..8].copy_from_slice(&mask.to_le_bytes());
+            b[8..].copy_from_slice(&chain.to_le_bytes());
+            let up = StateUpdate::Full(Bytes::copy_from_slice(&b));
+            pooled.apply(&wreq(seq, (seq % 3) as u8), &up);
+            serial.apply(&wreq(seq, (seq % 3) as u8), &up);
+        }
+        // snapshot() fences: it waits for the worker queue to drain.
+        assert_eq!(pooled.snapshot(), serial.snapshot());
+        assert_eq!(decode_chain(&pooled.snapshot()), chain);
     }
 
     #[test]

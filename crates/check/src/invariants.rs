@@ -26,27 +26,42 @@ fn agreement(cl: &Cluster) -> Option<String> {
     if let Some(v) = check_chosen_digests(&per_replica) {
         return Some(v);
     }
-    // Equal chosen prefix ⟹ equal applied service state, except on a
-    // leader mid-tentative-execution (§3.3: the leader executes before
-    // the decree is chosen, so its service state may run one step ahead).
-    let mut state_at: HashMap<Instance, (usize, u64)> = HashMap::new();
-    for i in 0..cl.n() {
-        let Some(r) = cl.replica(i) else { continue };
-        if r.checker_view().tentative_exec {
-            continue;
-        }
-        let prefix = r.chosen_prefix();
-        let Some(mask) = decode_mask(&r.service_snapshot()) else {
-            continue;
-        };
-        match state_at.get(&prefix) {
+    // Equal chosen prefix ⟹ byte-identical applied service state, except
+    // on a leader mid-tentative-execution (§3.3: the leader executes
+    // before the decree is chosen, so its service state may run one step
+    // ahead). Comparing full snapshots (not just the OR-mask) makes this
+    // order-sensitive: the CheckerApp state embeds an apply chain, so a
+    // pipeline that applied the same writes in a different order is
+    // caught even though the final masks coincide.
+    let states: Vec<(usize, Instance, bytes::Bytes)> = (0..cl.n())
+        .filter_map(|i| {
+            let r = cl.replica(i)?;
+            (!r.checker_view().tentative_exec).then(|| (i, r.chosen_prefix(), r.service_snapshot()))
+        })
+        .collect();
+    check_state_agreement(&states)
+}
+
+/// State-level core of the agreement check: replicas at the same chosen
+/// prefix must hold byte-identical service snapshots. Exposed for the
+/// seeded-mutation self-tests.
+#[must_use]
+pub fn check_state_agreement(states: &[(usize, Instance, bytes::Bytes)]) -> Option<String> {
+    let mut state_at: HashMap<Instance, (usize, &bytes::Bytes)> = HashMap::new();
+    for (i, prefix, snap) in states {
+        match state_at.get(prefix) {
             None => {
-                state_at.insert(prefix, (i, mask));
+                state_at.insert(*prefix, (*i, snap));
             }
-            Some(&(j, other)) if other != mask => {
+            Some(&(j, other)) if other != snap => {
                 return Some(format!(
                     "agreement: replicas {j} and {i} applied the same prefix \
-                     {prefix:?} but hold different state ({other:#x} vs {mask:#x})"
+                     {prefix:?} but hold different state (mask {:#x} chain \
+                     {:#x} vs mask {:#x} chain {:#x})",
+                    decode_mask(other).unwrap_or(0),
+                    crate::app::decode_chain(other),
+                    decode_mask(snap).unwrap_or(0),
+                    crate::app::decode_chain(snap),
                 ));
             }
             Some(_) => {}
@@ -164,4 +179,97 @@ pub fn check_read_mask(mask: u64, acked_at_issue: u64, obs: &Observations) -> Op
         ));
     }
     check_mask_invariants(mask, obs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{chain_fold, decode_chain, CheckerApp};
+    use bytes::Bytes;
+    use gridpaxos_core::command::StateUpdate;
+    use gridpaxos_core::request::{Request, RequestId, RequestKind};
+    use gridpaxos_core::service::App;
+    use gridpaxos_core::types::{ClientId, Seq};
+
+    fn full_update(mask: u64, chain: u64) -> StateUpdate {
+        let mut b = [0u8; 16];
+        b[..8].copy_from_slice(&mask.to_le_bytes());
+        b[8..].copy_from_slice(&chain.to_le_bytes());
+        StateUpdate::Full(Bytes::copy_from_slice(&b))
+    }
+
+    fn wreq(seq: u64, bit: u8) -> Request {
+        Request::new(
+            RequestId::new(ClientId(1), Seq(seq)),
+            RequestKind::Write,
+            Bytes::copy_from_slice(&[bit]),
+        )
+    }
+
+    /// Seeded mutation: two backups apply the same two same-register
+    /// writes in opposite orders (both decrees set bit 0, so either
+    /// order ends at mask 0b1). A mask-only agreement check would pass —
+    /// the apply chain must catch it.
+    #[test]
+    fn state_agreement_fires_on_reordered_applies() {
+        let updates = [
+            full_update(0b01, chain_fold(0, 0b01)),
+            full_update(0b01, chain_fold(chain_fold(0, 0b01), 0b01)),
+        ];
+        let mut in_order = CheckerApp::new();
+        let mut reordered = CheckerApp::new();
+        for u in &updates {
+            in_order.apply(&wreq(1, 0), u);
+        }
+        for u in updates.iter().rev() {
+            reordered.apply(&wreq(1, 0), u);
+        }
+        assert_eq!(
+            decode_mask(&in_order.snapshot()),
+            decode_mask(&reordered.snapshot()),
+            "the mutation is invisible to the OR-mask"
+        );
+        assert_ne!(
+            decode_chain(&in_order.snapshot()),
+            decode_chain(&reordered.snapshot()),
+            "the apply chain distinguishes the orders"
+        );
+        let prefix = Instance(2);
+        let states = vec![
+            (0usize, prefix, in_order.snapshot()),
+            (1usize, prefix, reordered.snapshot()),
+        ];
+        let v = check_state_agreement(&states).expect("must flag the reorder");
+        assert!(v.contains("agreement"), "got: {v}");
+    }
+
+    #[test]
+    fn state_agreement_accepts_identical_histories() {
+        let mut a = CheckerApp::new();
+        let mut b = CheckerApp::new();
+        for (seq, bit) in [(1, 3), (2, 5), (3, 3)] {
+            let u = {
+                let mut leader_ctx_rng = {
+                    use rand::SeedableRng;
+                    rand::rngs::SmallRng::seed_from_u64(1)
+                };
+                let mut ctx = gridpaxos_core::service::ExecCtx::new(
+                    gridpaxos_core::types::Time::ZERO,
+                    &mut leader_ctx_rng,
+                );
+                let mut leader = a.clone();
+                let (_, u) = leader.execute(&wreq(seq, bit), &mut ctx);
+                u
+            };
+            a.apply(&wreq(seq, bit), &u);
+            b.apply(&wreq(seq, bit), &u);
+        }
+        let states = vec![
+            (0usize, Instance(3), a.snapshot()),
+            (1usize, Instance(3), b.snapshot()),
+            // A replica at a different prefix is allowed to differ.
+            (2usize, Instance(1), CheckerApp::new().snapshot()),
+        ];
+        assert!(check_state_agreement(&states).is_none());
+    }
 }

@@ -117,6 +117,33 @@ pub fn smoke_scenarios() -> Vec<Scenario> {
             },
             smoke_depth: 7,
         },
+        // Apply lag: with drops and duplication the Chosen notifications
+        // that advance a backup's apply loop can arrive late, reordered
+        // or twice, so replicas run with visibly lagging applied state.
+        // Reads must stay linearizable against acked writes regardless
+        // (§3.4), and the order-sensitive apply chain in the agreement
+        // invariant proves no replica ever applies the same-register
+        // writes out of decree order while catching up.
+        Scenario {
+            name: "read-under-apply-lag",
+            cfg: Config {
+                read_mode: ReadMode::XPaxos,
+                ..base_config()
+            },
+            script: vec![
+                ClientOp::Write(0),
+                ClientOp::Write(1),
+                ClientOp::Read,
+                ClientOp::Write(2),
+                ClientOp::Read,
+            ],
+            opts: HarnessOpts {
+                drops: true,
+                dups: true,
+                ..HarnessOpts::default()
+            },
+            smoke_depth: 6,
+        },
         // T-Paxos abort + leader crash: staged effects must vanish; an
         // aborted transaction's bits may never surface anywhere.
         Scenario {

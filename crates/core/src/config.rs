@@ -102,6 +102,22 @@ pub struct Config {
     /// stable leader, which is the paper's steady-state assumption
     /// ("the common case is the one of no suspicions and no failures").
     pub bootstrap_leader: Option<ProcessId>,
+    /// Target chunk size (bytes) for incremental checkpoints. When
+    /// nonzero (and the [`crate::storage::Storage`] supports chunked
+    /// checkpoints), a checkpoint freezes the service state and streams it
+    /// out in chunks of roughly this size across drive cycles instead of
+    /// serializing everything inline — decree choice and transport I/O
+    /// never stall for O(state size). `0` keeps the legacy stop-the-world
+    /// monolithic checkpoint.
+    pub checkpoint_chunk_bytes: usize,
+    /// Apply-pipeline worker threads per node (see `crate::apply`). `0`
+    /// applies chosen decrees inline on the drive thread (the legacy,
+    /// fully deterministic path — required by the model checker). With
+    /// `W > 0`, a `MultiReplica` hands each group's state application to a
+    /// pool of `W` workers: groups apply in parallel and the drive thread
+    /// only blocks when it genuinely needs applied state (reads,
+    /// snapshots, tentative execution).
+    pub apply_workers: usize,
 }
 
 impl Config {
@@ -124,6 +140,8 @@ impl Config {
             batch_window: Dur::from_micros(100),
             confirm_batching: true,
             bootstrap_leader: Some(ProcessId(0)),
+            checkpoint_chunk_bytes: 0,
+            apply_workers: 0,
         }
     }
 
@@ -146,6 +164,8 @@ impl Config {
             batch_window: Dur::from_micros(500),
             confirm_batching: true,
             bootstrap_leader: Some(ProcessId(0)),
+            checkpoint_chunk_bytes: 0,
+            apply_workers: 0,
         }
     }
 
@@ -203,6 +223,22 @@ impl Config {
         self.confirm_batching = on;
         self
     }
+
+    /// Builder-style: set the incremental-checkpoint chunk size (`0` =
+    /// legacy monolithic checkpoints).
+    #[must_use]
+    pub fn with_checkpoint_chunk_bytes(mut self, bytes: usize) -> Config {
+        self.checkpoint_chunk_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: set the apply-pipeline worker count (`0` = inline
+    /// apply).
+    #[must_use]
+    pub fn with_apply_workers(mut self, w: usize) -> Config {
+        self.apply_workers = w;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -229,8 +265,12 @@ mod tests {
             .with_value_mode(ValueMode::ReqOnly)
             .with_bootstrap_leader(None)
             .with_checkpoint_every(16)
-            .with_confirm_batching(false);
+            .with_confirm_batching(false)
+            .with_checkpoint_chunk_bytes(1 << 16)
+            .with_apply_workers(4);
         assert!(!c.confirm_batching);
+        assert_eq!(c.checkpoint_chunk_bytes, 1 << 16);
+        assert_eq!(c.apply_workers, 4);
         assert_eq!(c.read_mode, ReadMode::Consensus);
         assert_eq!(c.txn_mode, TxnMode::TPaxos);
         assert_eq!(c.value_mode, ValueMode::ReqOnly);

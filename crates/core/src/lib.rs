@@ -44,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod action;
+pub mod apply;
 pub mod ballot;
 pub mod client;
 pub mod command;
@@ -61,6 +62,7 @@ pub mod types;
 /// Convenient re-exports of the types most embeddings need.
 pub mod prelude {
     pub use crate::action::{Action, TimerKind};
+    pub use crate::apply::{ApplyPool, PipelinedApp};
     pub use crate::ballot::{Ballot, ProposalNum};
     pub use crate::client::{
         ClientCore, CompletedOp, ShardRouter, TxnDriver, TxnOutcome, TxnScript,

@@ -173,6 +173,26 @@ pub enum Msg {
         /// Leader's chosen prefix (entries/snapshot reach this point).
         upto: Instance,
     },
+    /// One chunk of a chunked snapshot transfer (incremental-checkpoint
+    /// path). When the leader's latest checkpoint was taken in chunks it
+    /// streams those chunks to the lagging replica instead of one giant
+    /// [`Msg::CatchUp`] snapshot; the receiver reassembles `total` chunks
+    /// (matched by `upto`) and installs the result. Chunk 0 carries the
+    /// snapshot's dedup table; the rest leave it empty.
+    CatchUpChunk {
+        /// Leader's ballot.
+        ballot: Ballot,
+        /// Snapshot coverage: state reflects every instance `<= upto`.
+        upto: Instance,
+        /// This chunk's index, `0..total`.
+        seq: u32,
+        /// Total chunks in the transfer.
+        total: u32,
+        /// Snapshot dedup table (chunk 0 only; empty otherwise).
+        dedup: Vec<crate::command::DedupEntry>,
+        /// Raw snapshot bytes: chunk `seq` of the canonical encoding.
+        data: bytes::Bytes,
+    },
 
     // ----- multi-group sharding (extension) --------------------------------
     /// Envelope tagging `inner` with the consensus group it belongs to.
@@ -208,6 +228,7 @@ impl Msg {
             Msg::HeartbeatAck { .. } => "heartbeat_ack",
             Msg::CatchUpReq { .. } => "catchup_req",
             Msg::CatchUp { .. } => "catchup",
+            Msg::CatchUpChunk { .. } => "catchup_chunk",
             // The envelope is transparent for tracing: what matters is the
             // protocol message it carries.
             Msg::Grouped { inner, .. } => inner.tag(),
@@ -235,7 +256,8 @@ impl Msg {
             | Msg::Heartbeat { .. }
             | Msg::HeartbeatAck { .. }
             | Msg::CatchUpReq { .. }
-            | Msg::CatchUp { .. } => true,
+            | Msg::CatchUp { .. }
+            | Msg::CatchUpChunk { .. } => true,
         }
     }
 
@@ -317,6 +339,8 @@ impl Msg {
                     .sum::<usize>()
                     + snapshot_len(snapshot)
             }
+            // ballot (12) + upto (8) + seq/total (8) + dedup + data.
+            Msg::CatchUpChunk { dedup, data, .. } => 28 + dedup.len() * 34 + 4 + data.len(),
             // The envelope adds its group id on top of the inner message's
             // own length (whose HDR already covers the frame).
             Msg::Grouped { inner, .. } => 4 + inner.approx_wire_len() - HDR,

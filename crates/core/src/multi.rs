@@ -70,13 +70,23 @@ impl MultiReplica {
         now: Time,
     ) -> MultiReplica {
         assert!(n_groups >= 1, "at least one group");
+        // Apply pipeline (`cfg.apply_workers > 0`): one worker pool per
+        // process, each group's app wrapped so chosen decrees apply off
+        // the drive thread and groups apply in parallel. The default (0)
+        // applies inline — fully deterministic, byte-identical to the
+        // unwrapped replica.
+        let pool = (cfg.apply_workers > 0).then(|| crate::apply::ApplyPool::new(cfg.apply_workers));
         let groups = (0..n_groups)
             .map(|g| {
                 let g = GroupId(g as u32);
+                let app = match &pool {
+                    Some(p) => p.wrap(app_factory()),
+                    None => app_factory(),
+                };
                 Replica::new(
                     id,
                     group_config(&cfg, g),
-                    app_factory(),
+                    app,
                     storage_factory(),
                     group_seed(seed, g),
                     now,
@@ -98,15 +108,20 @@ impl MultiReplica {
         now: Time,
     ) -> MultiReplica {
         assert!(!storages.is_empty(), "at least one group");
+        let pool = (cfg.apply_workers > 0).then(|| crate::apply::ApplyPool::new(cfg.apply_workers));
         let groups = storages
             .into_iter()
             .enumerate()
             .map(|(g, storage)| {
                 let g = GroupId(g as u32);
+                let app = match &pool {
+                    Some(p) => p.wrap(app_factory()),
+                    None => app_factory(),
+                };
                 Replica::recover(
                     id,
                     group_config(&cfg, g),
-                    app_factory(),
+                    app,
                     storage,
                     group_seed(seed, g),
                     now,

@@ -833,9 +833,14 @@ impl Replica {
     }
 
     fn execute_and_propose(&mut self, batch: Vec<Request>, now: Time, out: &mut Vec<Action>) {
-        // Snapshot committed state first so a lost leadership can roll the
-        // tentative executions back.
-        self.pre_exec = Some(self.app.snapshot());
+        // Arm rollback for the tentative executions below before running
+        // them. Apps with an undo log take the O(1) path; everything else
+        // falls back to snapshotting committed state — O(state), which is
+        // exactly the hot-path cost `tentative_begin` exists to remove.
+        self.tentative = self.app.tentative_begin();
+        if !self.tentative {
+            self.pre_exec = Some(self.app.snapshot());
+        }
         let decree = Decree {
             entries: batch
                 .into_iter()
@@ -846,8 +851,13 @@ impl Replica {
         let (ballot, instance) = {
             let Role::Leader(l) = &mut self.role else {
                 // Role changed under us (cannot happen in a single-threaded
-                // handler, but stay defensive).
+                // handler, but stay defensive). Keep the executed effects,
+                // as the snapshot-drop path always has.
                 self.pre_exec = None;
+                if self.tentative {
+                    self.tentative = false;
+                    self.app.tentative_commit();
+                }
                 return;
             };
             let i = l.next_instance;

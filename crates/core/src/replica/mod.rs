@@ -113,12 +113,49 @@ pub struct ReplicaStats {
     pub applied: u64,
     /// Checkpoints taken.
     pub checkpoints: u64,
+    /// Total bytes written across all checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Total chunks emitted across all checkpoints (a monolithic
+    /// checkpoint counts as one chunk).
+    pub checkpoint_chunks: u64,
+    /// Size of the most recent checkpoint, in bytes.
+    pub last_checkpoint_bytes: u64,
+    /// Chunk count of the most recent checkpoint.
+    pub last_checkpoint_chunks: u64,
+    /// Wall time from freeze to commit of the most recent checkpoint (as
+    /// observed via the drive clock; zero when taken inline).
+    pub last_checkpoint_dur: Dur,
     /// Catch-up requests served.
     pub catchups_served: u64,
     /// T-Paxos transactions committed by this replica as leader.
     pub txns_committed: u64,
     /// Transactions aborted (any reason) by this replica as leader.
     pub txns_aborted: u64,
+}
+
+/// Progress of an in-flight incremental checkpoint: the service state is
+/// frozen (`App::snapshot_begin`) and chunks stream to storage across drive
+/// cycles via [`Replica::pump_checkpoint`].
+struct CkptProgress {
+    /// Chosen prefix the frozen state reflects.
+    upto: Instance,
+    /// Total chunks the app promised at freeze.
+    total: usize,
+    /// Next chunk index to emit.
+    next: usize,
+    /// Bytes emitted so far.
+    bytes: u64,
+    /// Drive-clock time at freeze, for duration metrics.
+    started: Time,
+}
+
+/// Reassembly buffer for a chunked snapshot transfer
+/// ([`Msg::CatchUpChunk`]). Keyed by `upto`: chunks for a different
+/// snapshot reset the buffer (the newer transfer supersedes).
+struct CatchUpBuf {
+    upto: Instance,
+    dedup: Vec<DedupEntry>,
+    chunks: Vec<Option<bytes::Bytes>>,
 }
 
 /// A replicated-service process.
@@ -142,9 +179,23 @@ pub struct Replica {
     /// executed it ourselves as leader (skip re-applying on commit).
     pub(crate) self_executed: Option<Instance>,
     /// Service snapshot taken just before a tentative leader-side
-    /// execution; restored if leadership is lost before commit.
+    /// execution; restored if leadership is lost before commit. Only used
+    /// when the app does not support undo-log tentative execution
+    /// ([`App::tentative_begin`] returned `false`).
     pub(crate) pre_exec: Option<bytes::Bytes>,
+    /// A tentative leader-side execution is tracked by the app's own undo
+    /// log ([`App::tentative_begin`] returned `true`): commit/rollback go
+    /// through the `tentative_*` hooks instead of a `pre_exec` snapshot.
+    pub(crate) tentative: bool,
     pub(crate) last_checkpoint: Instance,
+    /// In-flight incremental checkpoint, if any (at most one at a time).
+    ckpt: Option<CkptProgress>,
+    /// Chunked catch-up reassembly buffer.
+    catchup_buf: Option<CatchUpBuf>,
+    /// Drive-loop clock: the `now` of the most recent entry point. Only
+    /// used for observability (checkpoint durations) — never for protocol
+    /// decisions — and excluded from [`Replica::fingerprint`].
+    clock: Time,
     /// Last catch-up request we sent: `(our prefix then, when)`. Suppresses
     /// duplicates while one is outstanding, but ages out after a
     /// retransmission timeout so a lost request or response is retried.
@@ -186,7 +237,11 @@ impl Replica {
             role: Role::Follower,
             self_executed: None,
             pre_exec: None,
+            tentative: false,
             last_checkpoint: Instance::ZERO,
+            ckpt: None,
+            catchup_buf: None,
+            clock: now,
             catchup_requested_at: None,
             confirm_suppressed: false,
             stats: ReplicaStats::default(),
@@ -231,7 +286,11 @@ impl Replica {
             role: Role::Follower,
             self_executed: None,
             pre_exec: None,
+            tentative: false,
             last_checkpoint: replay_from,
+            ckpt: None,
+            catchup_buf: None,
+            clock: now,
             catchup_requested_at: None,
             confirm_suppressed: false,
             stats: ReplicaStats::default(),
@@ -422,6 +481,17 @@ impl Replica {
         self.confirm_suppressed.hash(&mut h);
         self.last_checkpoint.hash(&mut h);
         self.self_executed.hash(&mut h);
+        self.tentative.hash(&mut h);
+        // Incremental-checkpoint and chunked catch-up progress (shape
+        // only; the drive clock stays excluded like all raw timestamps).
+        if let Some(ck) = &self.ckpt {
+            (ck.upto, ck.total, ck.next, ck.bytes).hash(&mut h);
+        }
+        if let Some(buf) = &self.catchup_buf {
+            buf.upto.hash(&mut h);
+            buf.dedup.hash(&mut h);
+            buf.chunks.hash(&mut h);
+        }
         self.fd.leader_ballot().hash(&mut h);
         // Log: prefix, retained entries, out-of-order chosen marks.
         self.log.chosen_prefix().hash(&mut h);
@@ -539,6 +609,7 @@ impl Replica {
 
     /// Handle an incoming message.
     pub fn on_message(&mut self, from: Addr, msg: Msg, now: Time) -> Vec<Action> {
+        self.clock = self.clock.max(now);
         let mut out = Vec::new();
         match msg {
             Msg::Request(req) => self.handle_request(req, now, &mut out),
@@ -613,6 +684,14 @@ impl Replica {
                 snapshot,
                 upto,
             } => self.handle_catchup(ballot, entries, snapshot, upto, now, &mut out),
+            Msg::CatchUpChunk {
+                ballot,
+                upto,
+                seq,
+                total,
+                dedup,
+                data,
+            } => self.handle_catchup_chunk(ballot, upto, seq, total, dedup, data, now, &mut out),
             Msg::Reply(_) => {} // replicas never receive replies
             // A bare replica is a single-group deployment; the envelope can
             // only mean group 0, so unwrap it. Multi-group routing happens
@@ -624,6 +703,10 @@ impl Replica {
 
     /// Handle a timer firing.
     pub fn on_timer(&mut self, kind: TimerKind, now: Time) -> Vec<Action> {
+        self.clock = self.clock.max(now);
+        // Timers double as a progress guarantee for incremental
+        // checkpoints on otherwise-idle replicas.
+        self.pump_checkpoint(1);
         let mut out = Vec::new();
         match kind {
             TimerKind::LeaderCheck => {
@@ -877,14 +960,123 @@ impl Replica {
                 snapshot: None,
                 upto,
             },
-            None => Msg::CatchUp {
-                ballot,
-                entries: Vec::new(),
-                snapshot: Some(self.make_snapshot()),
-                upto,
-            },
+            None => {
+                // The log no longer reaches back to `have`. Prefer
+                // streaming the retained chunked checkpoint (refcounted
+                // clones; zero serialization work) over re-snapshotting
+                // the whole service inline.
+                if let Some(ck) = self.storage.checkpoint_chunks() {
+                    if ck.upto > have {
+                        let total = u32::try_from(ck.chunks.len()).unwrap_or(u32::MAX);
+                        for (i, data) in ck.chunks.iter().enumerate() {
+                            out.push(Action::send(
+                                from,
+                                Msg::CatchUpChunk {
+                                    ballot,
+                                    upto: ck.upto,
+                                    seq: i as u32,
+                                    total,
+                                    dedup: if i == 0 { ck.dedup.clone() } else { Vec::new() },
+                                    data: data.clone(),
+                                },
+                            ));
+                        }
+                        // Entries above the checkpoint ride a normal
+                        // CatchUp (the log retains everything above it).
+                        let entries = self.log.chosen_range(ck.upto, upto).unwrap_or_default();
+                        out.push(Action::send(
+                            from,
+                            Msg::CatchUp {
+                                ballot,
+                                entries,
+                                snapshot: None,
+                                upto,
+                            },
+                        ));
+                        return;
+                    }
+                }
+                Msg::CatchUp {
+                    ballot,
+                    entries: Vec::new(),
+                    snapshot: Some(self.make_snapshot()),
+                    upto,
+                }
+            }
         };
         out.push(Action::send(from, msg));
+    }
+
+    /// Receive one chunk of a chunked snapshot transfer. Chunks are
+    /// buffered per `upto`; once all `total` arrive, the reassembled
+    /// snapshot installs exactly like a monolithic [`Msg::CatchUp`] one.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_catchup_chunk(
+        &mut self,
+        ballot: Ballot,
+        upto: Instance,
+        seq: u32,
+        total: u32,
+        dedup: Vec<DedupEntry>,
+        data: bytes::Bytes,
+        now: Time,
+        out: &mut Vec<Action>,
+    ) {
+        /// Defensive bound on the reassembly buffer (chunk slots); a
+        /// hostile or corrupt `total` must not drive a huge allocation.
+        const MAX_CHUNKS: u32 = 1 << 16;
+        self.note_ballot(ballot);
+        if ballot < self.promised {
+            return;
+        }
+        self.fd.observe(ballot, now);
+        if total == 0 || total > MAX_CHUNKS || seq >= total {
+            return;
+        }
+        if upto <= self.log.chosen_prefix() {
+            // Already caught up past this snapshot; drop the transfer.
+            self.catchup_buf = None;
+            return;
+        }
+        let stale = !matches!(
+            &self.catchup_buf,
+            Some(b) if b.upto == upto && b.chunks.len() == total as usize
+        );
+        if stale {
+            self.catchup_buf = Some(CatchUpBuf {
+                upto,
+                dedup: Vec::new(),
+                chunks: vec![None; total as usize],
+            });
+        }
+        let Some(buf) = self.catchup_buf.as_mut() else {
+            return;
+        };
+        if seq == 0 {
+            buf.dedup = dedup;
+        }
+        buf.chunks[seq as usize] = Some(data);
+        if !buf.chunks.iter().all(Option::is_some) {
+            return;
+        }
+        let Some(buf) = self.catchup_buf.take() else {
+            return;
+        };
+        let len: usize = buf.chunks.iter().flatten().map(|c| c.len()).sum();
+        let mut app = bytes::BytesMut::with_capacity(len);
+        for c in buf.chunks.iter().flatten() {
+            app.extend_from_slice(c);
+        }
+        let snap = SnapshotBlob {
+            upto: buf.upto,
+            app: app.freeze(),
+            dedup: buf.dedup,
+        };
+        self.catchup_requested_at = None;
+        if snap.upto > self.log.chosen_prefix() {
+            self.install_snapshot(&snap);
+        }
+        self.drain_apply(now, out);
     }
 
     fn handle_catchup(
@@ -950,6 +1142,9 @@ impl Replica {
             }
             self.maybe_checkpoint(i);
         }
+        // Make incremental-checkpoint progress on the apply path too: one
+        // chunk per drain keeps the per-cycle cost O(chunk), not O(state).
+        self.pump_checkpoint(1);
         // Leader: an advance may unblock deferred reads and queued writes.
         if matches!(self.role, Role::Leader(_)) {
             self.leader_after_advance(now, out);
@@ -964,6 +1159,10 @@ impl Replica {
         if skip_app {
             self.self_executed = None;
             self.pre_exec = None;
+            if self.tentative {
+                self.tentative = false;
+                self.app.tentative_commit();
+            }
         }
         for entry in &decree.entries {
             match &entry.cmd {
@@ -1009,14 +1208,97 @@ impl Replica {
         if self.cfg.checkpoint_every == 0 {
             return;
         }
-        if prefix.0 - self.last_checkpoint.0 >= self.cfg.checkpoint_every {
-            let snap = self.make_snapshot();
-            self.storage.save_checkpoint(&snap);
-            self.storage.truncate_upto(snap.upto);
-            self.log.truncate_upto(snap.upto);
-            self.last_checkpoint = snap.upto;
-            self.stats.checkpoints += 1;
+        if self.ckpt.is_some() {
+            return; // one incremental checkpoint at a time
         }
+        if prefix.0 - self.last_checkpoint.0 < self.cfg.checkpoint_every {
+            return;
+        }
+        let chunk_bytes = self.cfg.checkpoint_chunk_bytes;
+        if chunk_bytes > 0
+            && self.storage.supports_chunked_checkpoint()
+            // Never freeze while a tentative leader-side execution is
+            // outstanding: the frozen image must be committed state only.
+            && self.self_executed.is_none()
+        {
+            let total = self.app.snapshot_begin(chunk_bytes);
+            let mut dedup: Vec<DedupEntry> = self
+                .dedup
+                .iter()
+                .map(|(c, (s, r))| DedupEntry {
+                    client: *c,
+                    seq: *s,
+                    reply: r.clone(),
+                })
+                .collect();
+            dedup.sort_unstable_by_key(|e| e.client);
+            self.storage.checkpoint_begin(prefix, &dedup, total);
+            self.ckpt = Some(CkptProgress {
+                upto: prefix,
+                total,
+                next: 0,
+                bytes: 0,
+                started: self.clock,
+            });
+            // An app that did not override chunking reports one chunk and
+            // does not freeze — its single chunk must be emitted before
+            // any further decree applies, so drain it right here. Real
+            // chunked apps stream across drive cycles instead.
+            if total <= 1 {
+                self.pump_checkpoint(usize::MAX);
+            }
+            return;
+        }
+        // Legacy stop-the-world checkpoint.
+        let snap = self.make_snapshot();
+        let bytes = snap.app.len() as u64;
+        self.storage.save_checkpoint(&snap);
+        self.storage.truncate_upto(snap.upto);
+        self.log.truncate_upto(snap.upto);
+        self.last_checkpoint = snap.upto;
+        self.stats.checkpoints += 1;
+        self.stats.checkpoint_bytes += bytes;
+        self.stats.checkpoint_chunks += 1;
+        self.stats.last_checkpoint_bytes = bytes;
+        self.stats.last_checkpoint_chunks = 1;
+        self.stats.last_checkpoint_dur = Dur::ZERO;
+    }
+
+    /// Emit up to `budget` chunks of the in-flight incremental checkpoint,
+    /// completing it (commit + WAL compaction) when the last chunk lands.
+    /// Returns whether a checkpoint is still in flight. Drive loops call
+    /// this once per cycle; it is a no-op when nothing is in progress.
+    pub fn pump_checkpoint(&mut self, budget: usize) -> bool {
+        let Some(mut ck) = self.ckpt.take() else {
+            return false;
+        };
+        let mut emitted = 0;
+        while ck.next < ck.total && emitted < budget {
+            let data = self.app.snapshot_chunk(ck.next);
+            ck.bytes += data.len() as u64;
+            self.storage.checkpoint_chunk(ck.next, data);
+            ck.next += 1;
+            emitted += 1;
+        }
+        if ck.next < ck.total {
+            self.ckpt = Some(ck);
+            return true;
+        }
+        self.app.snapshot_end();
+        self.storage.checkpoint_commit();
+        // Bounded disk: WAL compaction is keyed to *completed* chunked
+        // checkpoints — the log shrinks only once the replacement state
+        // is fully durable.
+        self.storage.truncate_upto(ck.upto);
+        self.log.truncate_upto(ck.upto);
+        self.last_checkpoint = ck.upto;
+        self.stats.checkpoints += 1;
+        self.stats.checkpoint_bytes += ck.bytes;
+        self.stats.checkpoint_chunks += ck.total as u64;
+        self.stats.last_checkpoint_bytes = ck.bytes;
+        self.stats.last_checkpoint_chunks = ck.total as u64;
+        self.stats.last_checkpoint_dur = self.clock.since(ck.started);
+        false
     }
 
     pub(crate) fn make_snapshot(&self) -> SnapshotBlob {
@@ -1042,6 +1324,19 @@ impl Replica {
 
     pub(crate) fn install_snapshot(&mut self, snap: &SnapshotBlob) {
         debug_assert!(snap.upto >= self.log.chosen_prefix());
+        // The incoming state obliterates local service state: abort any
+        // in-flight incremental checkpoint (its frozen image is now moot)
+        // and unwind a tentative execution overlay first so `restore` sees
+        // a quiesced app.
+        if self.ckpt.take().is_some() {
+            self.app.snapshot_end();
+            self.storage.checkpoint_abort();
+        }
+        if self.tentative {
+            self.tentative = false;
+            self.app.tentative_rollback();
+        }
+        self.pre_exec = None;
         self.app.restore(&snap.app);
         self.dedup.clear();
         for e in &snap.dedup {
@@ -1079,11 +1374,20 @@ impl Replica {
                     self.stats.txns_aborted += 1;
                 }
                 // Roll back a tentative execution that never committed.
-                if let Some(snap) = self.pre_exec.take() {
-                    if self.self_executed.take().is_some() {
+                let outstanding = self.self_executed.take().is_some();
+                if self.tentative {
+                    self.tentative = false;
+                    if outstanding {
+                        self.app.tentative_rollback();
+                    } else {
+                        self.app.tentative_commit();
+                    }
+                } else if let Some(snap) = self.pre_exec.take() {
+                    if outstanding {
                         self.app.restore(&snap);
                     }
                 }
+                self.pre_exec = None;
                 out.push(Action::CancelTimer {
                     kind: TimerKind::Heartbeat,
                 });

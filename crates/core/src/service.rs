@@ -113,6 +113,51 @@ pub trait App: Send {
     /// Abort `txn`, discarding staged effects (leader only).
     fn txn_abort(&mut self, _txn: TxnId) {}
 
+    /// Begin an undo-logged tentative execution (leader only). The replica
+    /// layer calls this immediately before [`App::execute`]-ing a proposal
+    /// it may later have to abandon (a lost leadership race, §3.3). A
+    /// service that returns `true` promises that a later
+    /// [`App::tentative_rollback`] restores the exact pre-`execute` state
+    /// and that [`App::tentative_commit`] makes the execution permanent.
+    /// The default returns `false`, and the replica falls back to taking a
+    /// full [`App::snapshot`] before executing — correct for any service,
+    /// but O(state size) per decree.
+    fn tentative_begin(&mut self) -> bool {
+        false
+    }
+
+    /// Discard the effects of the tentative execution opened by the last
+    /// [`App::tentative_begin`], restoring the pre-execution state.
+    fn tentative_rollback(&mut self) {}
+
+    /// Make the tentative execution permanent (its decree was chosen).
+    fn tentative_commit(&mut self) {}
+
+    /// Freeze the current state for incremental (chunked) snapshot
+    /// emission and return the number of chunks. The frozen image must
+    /// equal what [`App::snapshot`] would have returned at the moment of
+    /// the freeze, and the concatenation of
+    /// `snapshot_chunk(0) .. snapshot_chunk(n-1)` must reproduce those
+    /// bytes exactly. While frozen, `apply`/`execute` may continue to
+    /// mutate live state without disturbing the frozen image, and
+    /// [`App::snapshot`] keeps returning the *live* state. `chunk_bytes`
+    /// is the target chunk size; the default freezes nothing and reports a
+    /// single chunk (emitted by the default [`App::snapshot_chunk`], which
+    /// falls back to a monolithic [`App::snapshot`]).
+    fn snapshot_begin(&mut self, _chunk_bytes: usize) -> usize {
+        1
+    }
+
+    /// Emit chunk `idx` (ascending from 0, each index exactly once) of the
+    /// image frozen by the last [`App::snapshot_begin`].
+    fn snapshot_chunk(&mut self, idx: usize) -> Bytes {
+        debug_assert_eq!(idx, 0, "default chunking emits a single chunk");
+        self.snapshot()
+    }
+
+    /// Release the frozen image (after the last chunk, or on abort).
+    fn snapshot_end(&mut self) {}
+
     /// Apply a replicated T-Paxos transaction commit (all replicas). The
     /// default simply applies the combined update as a write; services with
     /// richer staging semantics may override.

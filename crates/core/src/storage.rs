@@ -8,9 +8,43 @@
 //! files.
 
 use crate::ballot::Ballot;
-use crate::command::{Decree, SnapshotBlob};
+use crate::command::{Decree, DedupEntry, SnapshotBlob};
 use crate::types::Instance;
+use bytes::Bytes;
 use std::collections::BTreeMap;
+
+/// A chunked checkpoint as held by a [`Storage`] backend: the frozen
+/// apply epoch, the dedup table at that epoch and the app-state chunks
+/// (whose concatenation is the canonical `App::snapshot()` encoding).
+/// Chunks are refcounted [`Bytes`], so cloning one of these to serve a
+/// catch-up costs O(chunks), not O(state bytes).
+#[derive(Clone, Debug)]
+pub struct ChunkedCheckpoint {
+    /// Instances `<= upto` are covered by this checkpoint.
+    pub upto: Instance,
+    /// Dedup table at the frozen epoch.
+    pub dedup: Vec<DedupEntry>,
+    /// App-state chunks, in emission order.
+    pub chunks: Vec<Bytes>,
+}
+
+impl ChunkedCheckpoint {
+    /// Reassemble the monolithic [`SnapshotBlob`] (recovery-time cost
+    /// only: one concatenation of the chunk bytes).
+    #[must_use]
+    pub fn assemble(&self) -> SnapshotBlob {
+        let total: usize = self.chunks.iter().map(|c| c.len()).sum();
+        let mut app = bytes::BytesMut::with_capacity(total);
+        for c in &self.chunks {
+            app.extend_from_slice(c);
+        }
+        SnapshotBlob {
+            upto: self.upto,
+            app: app.freeze(),
+            dedup: self.dedup.clone(),
+        }
+    }
+}
 
 /// Everything a replica reloads after a crash.
 #[derive(Clone, Debug, Default)]
@@ -69,6 +103,42 @@ pub trait Storage: Send {
     fn write_count(&self) -> u64 {
         0
     }
+
+    /// Whether this backend implements the incremental checkpoint calls
+    /// below. The replica probes this before starting a chunked
+    /// checkpoint and falls back to the monolithic
+    /// [`Storage::save_checkpoint`] when unsupported, so third-party
+    /// backends that only implement the required methods stay correct.
+    fn supports_chunked_checkpoint(&self) -> bool {
+        false
+    }
+
+    /// Open an incremental checkpoint at apply epoch `upto` with the given
+    /// dedup table; `total` chunks will follow. Replaces any prior pending
+    /// (uncommitted) chunked checkpoint.
+    fn checkpoint_begin(&mut self, upto: Instance, dedup: &[DedupEntry], total: usize) {
+        let _ = (upto, dedup, total);
+    }
+
+    /// Append chunk `idx` (ascending from 0) of the pending checkpoint.
+    fn checkpoint_chunk(&mut self, idx: usize, data: Bytes) {
+        let _ = (idx, data);
+    }
+
+    /// Atomically commit the pending chunked checkpoint: after this
+    /// returns, [`Storage::load`] reflects the new checkpoint.
+    fn checkpoint_commit(&mut self) {}
+
+    /// Discard the pending chunked checkpoint (e.g. superseded by an
+    /// installed catch-up snapshot).
+    fn checkpoint_abort(&mut self) {}
+
+    /// The latest *committed* chunked checkpoint, if this backend holds
+    /// one. Serving replicas stream these chunks to lagging peers without
+    /// re-serializing O(state) (the chunks are refcounted).
+    fn checkpoint_chunks(&self) -> Option<ChunkedCheckpoint> {
+        None
+    }
 }
 
 /// In-memory [`Storage`]. "Durability" means surviving a *simulated* crash:
@@ -77,6 +147,11 @@ pub trait Storage: Send {
 #[derive(Clone, Debug, Default)]
 pub struct MemStorage {
     state: DurableState,
+    /// Latest committed chunked checkpoint (authoritative over
+    /// `state.checkpoint` when present; `load` assembles it lazily).
+    chunked: Option<ChunkedCheckpoint>,
+    /// Chunked checkpoint under construction: `(partial, expected_total)`.
+    pending: Option<(ChunkedCheckpoint, usize)>,
     /// Number of persist operations performed (observability for tests
     /// and the write-amplification ablation bench).
     pub writes: u64,
@@ -109,6 +184,9 @@ impl Storage for MemStorage {
 
     fn save_checkpoint(&mut self, snap: &SnapshotBlob) {
         self.state.checkpoint = Some(snap.clone());
+        // A monolithic save supersedes any chunked image (e.g. a catch-up
+        // snapshot installed over a half-streamed checkpoint).
+        self.chunked = None;
         self.writes += 1;
     }
 
@@ -118,7 +196,13 @@ impl Storage for MemStorage {
     }
 
     fn load(&self) -> DurableState {
-        self.state.clone()
+        let mut d = self.state.clone();
+        if let Some(ck) = &self.chunked {
+            // Assemble lazily: recovery is the only reader that needs the
+            // monolithic blob.
+            d.checkpoint = Some(ck.assemble());
+        }
+        d
     }
 
     // `flush` stays the default no-op: a MemStorage write is "durable"
@@ -127,6 +211,49 @@ impl Storage for MemStorage {
 
     fn write_count(&self) -> u64 {
         self.writes
+    }
+
+    fn supports_chunked_checkpoint(&self) -> bool {
+        true
+    }
+
+    fn checkpoint_begin(&mut self, upto: Instance, dedup: &[DedupEntry], total: usize) {
+        self.pending = Some((
+            ChunkedCheckpoint {
+                upto,
+                dedup: dedup.to_vec(),
+                chunks: Vec::with_capacity(total),
+            },
+            total,
+        ));
+        self.writes += 1;
+    }
+
+    fn checkpoint_chunk(&mut self, idx: usize, data: Bytes) {
+        if let Some((ck, _)) = &mut self.pending {
+            debug_assert_eq!(idx, ck.chunks.len(), "chunks arrive in order");
+            ck.chunks.push(data);
+        }
+        self.writes += 1;
+    }
+
+    fn checkpoint_commit(&mut self) {
+        if let Some((ck, total)) = self.pending.take() {
+            debug_assert_eq!(ck.chunks.len(), total, "commit of a complete image");
+            self.chunked = Some(ck);
+            // The chunked image is now authoritative; drop a stale
+            // monolithic blob so `load` can't resurrect it.
+            self.state.checkpoint = None;
+        }
+        self.writes += 1;
+    }
+
+    fn checkpoint_abort(&mut self) {
+        self.pending = None;
+    }
+
+    fn checkpoint_chunks(&self) -> Option<ChunkedCheckpoint> {
+        self.chunked.clone()
     }
 }
 
@@ -198,6 +325,52 @@ mod tests {
         s.save_chosen_prefix(Instance(0));
         assert_eq!(s.writes, 2);
         assert_eq!(s.write_count(), 2);
+    }
+
+    #[test]
+    fn chunked_checkpoint_commit_is_visible_to_load() {
+        let mut s = MemStorage::new();
+        assert!(s.supports_chunked_checkpoint());
+        s.checkpoint_begin(Instance(9), &[], 3);
+        for (i, part) in [b"aa".as_slice(), b"bbb", b"c"].iter().enumerate() {
+            s.checkpoint_chunk(i, Bytes::copy_from_slice(part));
+        }
+        // Uncommitted: load sees nothing.
+        assert!(s.load().checkpoint.is_none());
+        s.checkpoint_commit();
+        let d = s.load();
+        let snap = d.checkpoint.expect("committed checkpoint");
+        assert_eq!(snap.upto, Instance(9));
+        assert_eq!(&snap.app[..], b"aabbbc", "chunks concatenate in order");
+        let ck = s.checkpoint_chunks().expect("chunks retained");
+        assert_eq!(ck.chunks.len(), 3);
+        assert_eq!(ck.assemble().app, snap.app);
+    }
+
+    #[test]
+    fn chunked_checkpoint_abort_discards_pending() {
+        let mut s = MemStorage::new();
+        s.checkpoint_begin(Instance(4), &[], 2);
+        s.checkpoint_chunk(0, Bytes::from_static(b"xy"));
+        s.checkpoint_abort();
+        s.checkpoint_commit(); // nothing pending: a no-op
+        assert!(s.load().checkpoint.is_none());
+        assert!(s.checkpoint_chunks().is_none());
+    }
+
+    #[test]
+    fn monolithic_save_supersedes_chunked() {
+        let mut s = MemStorage::new();
+        s.checkpoint_begin(Instance(2), &[], 1);
+        s.checkpoint_chunk(0, Bytes::from_static(b"old"));
+        s.checkpoint_commit();
+        s.save_checkpoint(&SnapshotBlob {
+            upto: Instance(5),
+            app: bytes::Bytes::from_static(b"new"),
+            dedup: vec![],
+        });
+        assert!(s.checkpoint_chunks().is_none());
+        assert_eq!(s.load().checkpoint.unwrap().upto, Instance(5));
     }
 
     #[test]

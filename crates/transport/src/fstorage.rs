@@ -41,13 +41,13 @@
 
 use crate::framing::{read_frame, write_frame};
 use crate::wire::{
-    get_ballot, get_decree, get_instance, get_snapshot, put_ballot, put_decree, put_instance,
-    put_snapshot,
+    get_ballot, get_decree, get_dedup_table, get_instance, get_snapshot, put_ballot, put_decree,
+    put_dedup_table, put_instance, put_snapshot,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gridpaxos_core::ballot::Ballot;
-use gridpaxos_core::command::{Decree, SnapshotBlob};
-use gridpaxos_core::storage::{DurableState, Storage};
+use gridpaxos_core::command::{Decree, DedupEntry, SnapshotBlob};
+use gridpaxos_core::storage::{ChunkedCheckpoint, DurableState, Storage};
 use gridpaxos_core::types::Instance;
 use parking_lot::Mutex;
 use std::fs::{self, File, OpenOptions};
@@ -90,6 +90,14 @@ fn fatal_io<T>(what: &str, r: io::Result<T>) -> T {
     }
 }
 
+/// A chunked checkpoint mid-stream: the temp file being written plus the
+/// in-memory mirror of the chunks that have passed through it.
+struct PendingChunked {
+    file: File,
+    ck: ChunkedCheckpoint,
+    total: usize,
+}
+
 /// Shared state of one data directory's WAL (all groups).
 struct WalInner {
     dir: PathBuf,
@@ -97,6 +105,11 @@ struct WalInner {
     /// In-memory mirror per group (authoritative for `load`, kept in sync
     /// with disk).
     states: Vec<DurableState>,
+    /// Pending (uncommitted) chunked checkpoint per group.
+    pending_chunks: Vec<Option<PendingChunked>>,
+    /// Latest committed chunked checkpoint per group (mirrors the
+    /// `checkpoint*.chunks` file).
+    chunked: Vec<Option<ChunkedCheckpoint>>,
     mode: SyncMode,
     /// Records appended since the last `sync_data` barrier.
     dirty: bool,
@@ -113,6 +126,18 @@ impl WalInner {
             self.dir.join("checkpoint.bin")
         } else {
             self.dir.join(format!("checkpoint-g{group}.bin"))
+        }
+    }
+
+    fn chunked_path(&self, group: u32) -> PathBuf {
+        chunked_path(&self.dir, group)
+    }
+
+    fn chunked_tmp_path(&self, group: u32) -> PathBuf {
+        if group == 0 {
+            self.dir.join("checkpoint.chunks.tmp")
+        } else {
+            self.dir.join(format!("checkpoint-g{group}.chunks.tmp"))
         }
     }
 
@@ -210,7 +235,99 @@ impl WalInner {
         if self.mode != SyncMode::Never {
             sync_dir(&self.dir);
         }
+        // A monolithic save supersedes any committed chunked image; drop
+        // its file so a stale (lower-`upto`) one can't win on reopen.
+        self.chunked[group as usize] = None;
+        let _ = fs::remove_file(self.chunked_path(group));
     }
+
+    fn chunked_begin(&mut self, group: u32, upto: Instance, dedup: &[DedupEntry], total: usize) {
+        let tmp = self.chunked_tmp_path(group);
+        let mut file = fatal_io("create chunks.tmp", File::create(&tmp));
+        // Header frame: apply epoch, expected chunk count, dedup table.
+        let mut out = BytesMut::new();
+        put_instance(&mut out, &upto);
+        out.put_u32_le(u32::try_from(total).unwrap_or(u32::MAX));
+        put_dedup_table(&mut out, dedup);
+        fatal_io("write chunks header", write_frame(&mut file, &out));
+        self.pending_chunks[group as usize] = Some(PendingChunked {
+            file,
+            ck: ChunkedCheckpoint {
+                upto,
+                dedup: dedup.to_vec(),
+                chunks: Vec::with_capacity(total),
+            },
+            total,
+        });
+    }
+
+    fn chunked_chunk(&mut self, group: u32, idx: usize, data: Bytes) {
+        if let Some(p) = &mut self.pending_chunks[group as usize] {
+            debug_assert_eq!(idx, p.ck.chunks.len(), "chunks arrive in order");
+            fatal_io("write chunk frame", write_frame(&mut p.file, &data));
+            p.ck.chunks.push(data);
+        }
+    }
+
+    fn chunked_commit(&mut self, group: u32) {
+        let Some(p) = self.pending_chunks[group as usize].take() else {
+            return;
+        };
+        debug_assert_eq!(p.ck.chunks.len(), p.total, "commit of a complete image");
+        if self.mode != SyncMode::Never {
+            fatal_io("fsync chunks", p.file.sync_data());
+        }
+        fatal_io(
+            "swap chunked checkpoint",
+            fs::rename(self.chunked_tmp_path(group), self.chunked_path(group)),
+        );
+        if self.mode != SyncMode::Never {
+            sync_dir(&self.dir);
+        }
+        // The chunked image is now authoritative; the stale monolithic
+        // file (and its mirror) must not resurrect an older state.
+        self.states[group as usize].checkpoint = None;
+        let _ = fs::remove_file(self.checkpoint_path(group));
+        self.chunked[group as usize] = Some(p.ck);
+    }
+
+    fn chunked_abort(&mut self, group: u32) {
+        if self.pending_chunks[group as usize].take().is_some() {
+            let _ = fs::remove_file(self.chunked_tmp_path(group));
+        }
+    }
+}
+
+fn chunked_path(dir: &Path, group: u32) -> PathBuf {
+    if group == 0 {
+        dir.join("checkpoint.chunks")
+    } else {
+        dir.join(format!("checkpoint-g{group}.chunks"))
+    }
+}
+
+/// Parse a committed `*.chunks` file: a header frame (`upto`, chunk
+/// count, dedup table) followed by one frame per chunk. Returns `None`
+/// on any inconsistency — commit renames atomically, so a malformed file
+/// is corruption and the WAL-replayed state stands on its own.
+fn read_chunked(path: &Path) -> Option<ChunkedCheckpoint> {
+    let mut r = BufReader::new(File::open(path).ok()?);
+    let mut header = read_frame(&mut r).ok()??;
+    let upto = get_instance(&mut header).ok()?;
+    if header.remaining() < 4 {
+        return None;
+    }
+    let total = header.get_u32_le() as usize;
+    let dedup = get_dedup_table(&mut header).ok()?;
+    let mut chunks = Vec::with_capacity(total);
+    while let Ok(Some(frame)) = read_frame(&mut r) {
+        chunks.push(frame);
+    }
+    (chunks.len() == total).then_some(ChunkedCheckpoint {
+        upto,
+        dedup,
+        chunks,
+    })
 }
 
 fn write_compacted(f: &mut File, group: u32, record: &[u8]) {
@@ -391,7 +508,14 @@ impl Storage for FileStorage {
     }
 
     fn load(&self) -> DurableState {
-        self.inner.lock().states[self.group as usize].clone()
+        let inner = self.inner.lock();
+        let mut d = inner.states[self.group as usize].clone();
+        if let Some(ck) = &inner.chunked[self.group as usize] {
+            if d.checkpoint.as_ref().is_none_or(|c| c.upto < ck.upto) {
+                d.checkpoint = Some(ck.assemble());
+            }
+        }
+        d
     }
 
     fn flush(&mut self) {
@@ -404,6 +528,32 @@ impl Storage for FileStorage {
 
     fn write_count(&self) -> u64 {
         self.inner.lock().appends
+    }
+
+    fn supports_chunked_checkpoint(&self) -> bool {
+        true
+    }
+
+    fn checkpoint_begin(&mut self, upto: Instance, dedup: &[DedupEntry], total: usize) {
+        self.inner
+            .lock()
+            .chunked_begin(self.group, upto, dedup, total);
+    }
+
+    fn checkpoint_chunk(&mut self, idx: usize, data: Bytes) {
+        self.inner.lock().chunked_chunk(self.group, idx, data);
+    }
+
+    fn checkpoint_commit(&mut self) {
+        self.inner.lock().chunked_commit(self.group);
+    }
+
+    fn checkpoint_abort(&mut self) {
+        self.inner.lock().chunked_abort(self.group);
+    }
+
+    fn checkpoint_chunks(&self) -> Option<ChunkedCheckpoint> {
+        self.inner.lock().chunked[self.group as usize].clone()
     }
 }
 
@@ -434,6 +584,7 @@ impl FlushCoordinator {
             (0..n_groups).map(|_| DurableState::default()).collect();
 
         // Checkpoints first (they are the base the WAL builds on).
+        let mut chunked: Vec<Option<ChunkedCheckpoint>> = (0..n_groups).map(|_| None).collect();
         for (g, state) in states.iter_mut().enumerate() {
             let path = if g == 0 {
                 dir.join("checkpoint.bin")
@@ -446,6 +597,19 @@ impl FlushCoordinator {
                 if let Ok(snap) = get_snapshot(&mut buf) {
                     state.chosen_prefix = state.chosen_prefix.max(snap.upto);
                     state.checkpoint = Some(snap);
+                }
+            }
+            let cpath = chunked_path(&dir, g as u32);
+            if cpath.exists() {
+                if let Some(ck) = read_chunked(&cpath) {
+                    // Whichever image covers more instances wins; commit
+                    // deletes the loser's file, so a tie is impossible
+                    // short of a crash between rename and unlink.
+                    if state.checkpoint.as_ref().is_none_or(|c| c.upto < ck.upto) {
+                        state.chosen_prefix = state.chosen_prefix.max(ck.upto);
+                        state.checkpoint = None;
+                        chunked[g] = Some(ck);
+                    }
                 }
             }
         }
@@ -478,6 +642,8 @@ impl FlushCoordinator {
                 dir,
                 wal,
                 states,
+                pending_chunks: (0..n_groups).map(|_| None).collect(),
+                chunked,
                 mode,
                 dirty: false,
                 appends: 0,
@@ -609,6 +775,80 @@ mod tests {
         assert_eq!(d.accepted.len(), 2, "only instances 19, 20 retained");
         assert_eq!(d.checkpoint.as_ref().unwrap().upto, Instance(18));
         assert_eq!(d.chosen_prefix, Instance(20));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn chunked_checkpoint_survives_reopen_and_supersedes_monolithic() {
+        let dir = tmpdir("chunked");
+        {
+            let mut s = FileStorage::open_with_sync(&dir, false).unwrap();
+            for i in 1..=8u64 {
+                s.save_accepted(Instance(i), ballot(1), &decree(i));
+            }
+            s.save_chosen_prefix(Instance(8));
+            // An older monolithic checkpoint that the chunked image must
+            // supersede.
+            s.save_checkpoint(&SnapshotBlob {
+                upto: Instance(2),
+                app: Bytes::from_static(b"old"),
+                dedup: vec![],
+            });
+            assert!(s.supports_chunked_checkpoint());
+            s.checkpoint_begin(Instance(6), &[], 3);
+            s.checkpoint_chunk(0, Bytes::from_static(b"aa"));
+            s.checkpoint_chunk(1, Bytes::from_static(b"bbb"));
+            // Uncommitted: load still sees the monolithic image.
+            assert_eq!(s.load().checkpoint.unwrap().upto, Instance(2));
+            s.checkpoint_chunk(2, Bytes::from_static(b"c"));
+            s.checkpoint_commit();
+            let d = s.load();
+            assert_eq!(d.checkpoint.as_ref().unwrap().upto, Instance(6));
+            assert_eq!(&d.checkpoint.unwrap().app[..], b"aabbbc");
+            assert!(!dir.join("checkpoint.bin").exists(), "stale file removed");
+            let ck = s.checkpoint_chunks().unwrap();
+            assert_eq!(ck.chunks.len(), 3, "chunks retained for catch-up");
+            s.truncate_upto(Instance(6));
+        } // crash
+        let s = FileStorage::open_with_sync(&dir, false).unwrap();
+        let d = s.load();
+        assert_eq!(d.checkpoint.as_ref().unwrap().upto, Instance(6));
+        assert_eq!(&d.checkpoint.unwrap().app[..], b"aabbbc");
+        assert_eq!(d.accepted.len(), 2, "only instances 7, 8 retained");
+        assert_eq!(d.chosen_prefix, Instance(8));
+        let ck = s.checkpoint_chunks().unwrap();
+        assert_eq!(ck.upto, Instance(6));
+        assert_eq!(
+            ck.chunks,
+            vec![
+                Bytes::from_static(b"aa"),
+                Bytes::from_static(b"bbb"),
+                Bytes::from_static(b"c")
+            ]
+        );
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn monolithic_save_supersedes_chunked_on_disk() {
+        let dir = tmpdir("chunked-supersede");
+        {
+            let mut s = FileStorage::open_with_sync(&dir, false).unwrap();
+            s.checkpoint_begin(Instance(3), &[], 1);
+            s.checkpoint_chunk(0, Bytes::from_static(b"chunked"));
+            s.checkpoint_commit();
+            s.save_checkpoint(&SnapshotBlob {
+                upto: Instance(5),
+                app: Bytes::from_static(b"mono"),
+                dedup: vec![],
+            });
+            assert!(s.checkpoint_chunks().is_none());
+            assert!(!dir.join("checkpoint.chunks").exists());
+        }
+        let s = FileStorage::open_with_sync(&dir, false).unwrap();
+        let d = s.load();
+        assert_eq!(d.checkpoint.as_ref().unwrap().upto, Instance(5));
+        assert_eq!(&d.checkpoint.unwrap().app[..], b"mono");
         fs::remove_dir_all(dir).ok();
     }
 

@@ -214,6 +214,9 @@ impl<T: Transport> ReplicaNode<T> {
         self.flush_and_transmit();
         'outer: while !self.stop.load(Ordering::Relaxed) {
             self.fire_due_timers();
+            // One incremental-checkpoint chunk per cycle: serialization
+            // rides the drive loop in O(chunk) slices.
+            self.replica.pump_checkpoint(1);
             self.flush_and_transmit();
             let wait = self
                 .timers

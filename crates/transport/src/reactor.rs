@@ -793,6 +793,12 @@ impl Reactor {
             }
             self.process_inbox();
             self.fire_due_timers();
+            // One incremental-checkpoint chunk per group per cycle: state
+            // serialization rides the drive loop in O(chunk) slices
+            // instead of one stop-the-world O(state) pause.
+            for core in &mut self.cores {
+                core.pump_checkpoint(1);
+            }
             self.flush_and_transmit();
         }
         self.flush_and_transmit();
@@ -968,11 +974,20 @@ impl ReactorCluster {
         for (id, listener) in listeners {
             let storages = storage_factory(id);
             assert_eq!(storages.len(), n_groups, "one storage per group");
+            // One apply-worker pool per *node*: groups are the units of
+            // parallelism, so a node's G cores share `apply_workers`
+            // threads rather than spawning G pools.
+            let pool = (cfg.apply_workers > 0)
+                .then(|| gridpaxos_core::apply::ApplyPool::new(cfg.apply_workers));
             let group_replicas = storages
                 .into_iter()
                 .enumerate()
                 .map(|(gi, storage)| {
                     let g = GroupId(gi as u32);
+                    let app = match &pool {
+                        Some(p) => p.wrap(app_factory()),
+                        None => app_factory(),
+                    };
                     let prior = storage.load();
                     let has_prior = !prior.promised.is_zero()
                         || !prior.accepted.is_empty()
@@ -982,7 +997,7 @@ impl ReactorCluster {
                         Replica::recover(
                             id,
                             group_config(&cfg, g),
-                            app_factory(),
+                            app,
                             storage,
                             group_seed(0xace0 + u64::from(id.0), g),
                             Time::ZERO,
@@ -991,7 +1006,7 @@ impl ReactorCluster {
                         Replica::new(
                             id,
                             group_config(&cfg, g),
-                            app_factory(),
+                            app,
                             storage,
                             group_seed(0xace0 + u64::from(id.0), g),
                             Time::ZERO,
@@ -1195,12 +1210,53 @@ mod tests {
         let leader = cluster.addrs[&ProcessId(0)];
         let mut sock = TcpStream::connect(leader).expect("connect");
         let base = cluster.next_client_id().0;
+        let burst = 256u64;
         let mut hello = BytesMut::new();
         put_addr(&mut hello, &Addr::Client(ClientId(base)));
         let mut batch = Vec::new();
         write_frame(&mut batch, &hello).expect("hello");
-        let burst = 256u64;
+        sock.write_all(&batch).expect("send hello");
+        let mut reader = BufReader::new(sock.try_clone().expect("clone"));
         let mut scratch = BytesMut::new();
+
+        // This test talks to a single node, but a replica without
+        // leadership silently ignores client writes (the protocol has
+        // clients broadcast, so the leader's own copy answers). Retry a
+        // probe write until node 0 answers it, so the burst below races
+        // neither the bootstrap election nor a gate latched by it.
+        let probe_client = ClientId(base + burst);
+        sock.set_read_timeout(Some(Duration::from_millis(200))).ok();
+        let mut warm = false;
+        for _ in 0..100 {
+            let req = Request::new(
+                RequestId::new(probe_client, Seq(1)),
+                RequestKind::Write,
+                Bytes::new(),
+            );
+            let frame = encode_with_scratch(&Msg::Request(req), &mut scratch);
+            let mut wire = Vec::new();
+            write_frame(&mut wire, frame).expect("frame");
+            sock.write_all(&wire).expect("send probe");
+            match read_frame(&mut reader) {
+                Ok(Some(mut f)) => {
+                    if let Ok(Msg::Reply(r)) = decode_msg(&mut f) {
+                        if r.id.client == probe_client && !r.body.is_busy() {
+                            warm = true;
+                            break;
+                        }
+                    }
+                }
+                Ok(None) => panic!("connection closed during warm-up"),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("warm-up read: {e}"),
+            }
+        }
+        assert!(warm, "node 0 never answered the warm-up write");
+        let shed_before = cluster.metrics(0).stats().busy_shed;
+
+        let mut batch = Vec::new();
         for v in 0..burst {
             let req = Request::new(
                 RequestId::new(ClientId(base + v), Seq(1)),
@@ -1214,23 +1270,27 @@ mod tests {
 
         let mut busy = 0u64;
         let mut ok = 0u64;
-        let mut reader = BufReader::new(sock.try_clone().expect("clone"));
         sock.set_read_timeout(Some(Duration::from_secs(10))).ok();
         while busy + ok < burst {
-            let mut frame = read_frame(&mut reader)
-                .expect("read reply")
-                .expect("conn open");
+            let mut frame = match read_frame(&mut reader) {
+                Ok(f) => f.expect("conn open"),
+                Err(e) => panic!("read reply after busy={busy} ok={ok}: {e}"),
+            };
             if let Ok(Msg::Reply(r)) = decode_msg(&mut frame) {
-                if r.body.is_busy() {
-                    busy += 1;
-                } else {
-                    ok += 1;
+                // Stray duplicate probe replies route here too; count
+                // only the burst's clients.
+                if r.id.client.0 < base + burst {
+                    if r.body.is_busy() {
+                        busy += 1;
+                    } else {
+                        ok += 1;
+                    }
                 }
             }
         }
         assert!(busy > 0, "a 256-burst past high-water=4 must shed");
         assert!(ok > 0, "admitted requests still complete");
-        let shed = cluster.metrics(0).stats().busy_shed;
+        let shed = cluster.metrics(0).stats().busy_shed - shed_before;
         assert_eq!(shed, busy, "metric matches observed Busy replies");
         cluster.shutdown();
     }

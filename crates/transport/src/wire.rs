@@ -418,27 +418,35 @@ fn get_accepted_entry(buf: &mut Bytes) -> Result<AcceptedEntry> {
     })
 }
 
-pub(crate) fn put_snapshot(out: &mut BytesMut, s: &SnapshotBlob) {
-    put_instance(out, &s.upto);
-    put_bytes(out, &s.app);
-    put_vec(out, &s.dedup, |o, e: &DedupEntry| {
+pub(crate) fn put_dedup_table(out: &mut BytesMut, dedup: &[DedupEntry]) {
+    put_vec(out, dedup, |o, e: &DedupEntry| {
         o.put_u64_le(e.client.0);
         o.put_u64_le(e.seq.0);
         put_reply_body(o, &e.reply);
     });
 }
 
+pub(crate) fn get_dedup_table(buf: &mut Bytes) -> Result<Vec<DedupEntry>> {
+    get_vec(buf, |b| {
+        Ok(DedupEntry {
+            client: ClientId(get_u64(b)?),
+            seq: Seq(get_u64(b)?),
+            reply: get_reply_body(b)?,
+        })
+    })
+}
+
+pub(crate) fn put_snapshot(out: &mut BytesMut, s: &SnapshotBlob) {
+    put_instance(out, &s.upto);
+    put_bytes(out, &s.app);
+    put_dedup_table(out, &s.dedup);
+}
+
 pub(crate) fn get_snapshot(buf: &mut Bytes) -> Result<SnapshotBlob> {
     Ok(SnapshotBlob {
         upto: get_instance(buf)?,
         app: get_bytes(buf)?,
-        dedup: get_vec(buf, |b| {
-            Ok(DedupEntry {
-                client: ClientId(get_u64(b)?),
-                seq: Seq(get_u64(b)?),
-                reply: get_reply_body(b)?,
-            })
-        })?,
+        dedup: get_dedup_table(buf)?,
     })
 }
 
@@ -566,6 +574,22 @@ pub fn encode_msg(msg: &Msg, out: &mut BytesMut) {
             put_opt(out, snapshot, put_snapshot);
             put_instance(out, upto);
         }
+        Msg::CatchUpChunk {
+            ballot,
+            upto,
+            seq,
+            total,
+            dedup,
+            data,
+        } => {
+            out.put_u8(17);
+            put_ballot(out, ballot);
+            put_instance(out, upto);
+            out.put_u32_le(*seq);
+            out.put_u32_le(*total);
+            put_dedup_table(out, dedup);
+            put_bytes(out, data);
+        }
         Msg::Grouped { group, inner } => {
             debug_assert!(
                 !matches!(**inner, Msg::Grouped { .. }),
@@ -648,6 +672,14 @@ pub fn decode_msg(buf: &mut Bytes) -> Result<Msg> {
             entries: get_vec(buf, get_inst_decree)?,
             snapshot: get_opt(buf, get_snapshot)?,
             upto: get_instance(buf)?,
+        }),
+        17 => Ok(Msg::CatchUpChunk {
+            ballot: get_ballot(buf)?,
+            upto: get_instance(buf)?,
+            seq: get_u32(buf)?,
+            total: get_u32(buf)?,
+            dedup: get_dedup_table(buf)?,
+            data: get_bytes(buf)?,
         }),
         14 => {
             let group = GroupId(get_u32(buf)?);
@@ -1150,6 +1182,29 @@ mod tests {
                     entries: es.into_iter().map(|(i, d)| (Instance(i), d)).collect(),
                     snapshot: snap,
                     upto: Instance(u),
+                }),
+            (
+                arb_ballot(),
+                any::<u64>(),
+                any::<u32>(),
+                any::<u32>(),
+                proptest::collection::vec((any::<u64>(), any::<u64>(), arb_reply_body()), 0..4),
+                arb_bytes()
+            )
+                .prop_map(|(b, u, s, t, d, data)| Msg::CatchUpChunk {
+                    ballot: b,
+                    upto: Instance(u),
+                    seq: s,
+                    total: t,
+                    dedup: d
+                        .into_iter()
+                        .map(|(c, sq, r)| DedupEntry {
+                            client: ClientId(c),
+                            seq: Seq(sq),
+                            reply: r,
+                        })
+                        .collect(),
+                    data,
                 }),
             // Group envelope around the message shapes that actually cross
             // the wire enveloped in multi-group deployments.

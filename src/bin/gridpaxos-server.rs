@@ -41,7 +41,13 @@ fn usage() -> ! {
                    epoll readiness loop multiplexing every connection,\n\
                    with admission control — Linux only)\n\
          --tpaxos  enable T-Paxos transaction mode (default: per-op)\n\
-         --wan     use WAN-tuned timeouts (default: cluster-tuned)"
+         --wan     use WAN-tuned timeouts (default: cluster-tuned)\n\
+         --apply-workers <N>  per-node apply-worker pool size (default: 0,\n\
+                   apply inline; N>0 hands chosen decrees to N workers —\n\
+                   groups apply in parallel, reads fence on applied index)\n\
+         --checkpoint-chunk-kb <N>  stream checkpoints in N-KiB chunks\n\
+                   against a frozen apply epoch instead of a\n\
+                   stop-the-world snapshot (default: 64; 0 = monolithic)"
     );
     exit(2)
 }
@@ -112,6 +118,8 @@ fn main() {
     let mut data_dir: Option<String> = None;
     let mut sync_mode = SyncMode::PerRecord;
     let mut transport = TransportKind::Threads;
+    let mut apply_workers: usize = 0;
+    let mut checkpoint_chunk_kb: usize = 64;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -157,6 +165,20 @@ fn main() {
             }
             "--tpaxos" => tpaxos = true,
             "--wan" => wan = true,
+            "--apply-workers" => {
+                i += 1;
+                apply_workers = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(w) => w,
+                    None => usage(),
+                };
+            }
+            "--checkpoint-chunk-kb" => {
+                i += 1;
+                checkpoint_chunk_kb = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(k) => k,
+                    None => usage(),
+                };
+            }
             _ => usage(),
         }
         i += 1;
@@ -177,6 +199,8 @@ fn main() {
     if tpaxos {
         cfg.txn_mode = TxnMode::TPaxos;
     }
+    cfg.apply_workers = apply_workers;
+    cfg.checkpoint_chunk_bytes = checkpoint_chunk_kb * 1024;
 
     // Wall-clock-derived seed: replicas must differ (that is the
     // nondeterminism the protocol exists to handle).
@@ -185,6 +209,17 @@ fn main() {
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(42)
         ^ u64::from(id);
+
+    // The pool handle must outlive the replica: workers shut down when
+    // the last handle and every pipelined app are gone.
+    let pool = (apply_workers > 0).then(|| ApplyPool::new(apply_workers));
+    let mk_app = || {
+        let app: Box<dyn App> = Box::new(KvStore::new());
+        match &pool {
+            Some(p) => p.wrap(app),
+            None => app,
+        }
+    };
 
     let replica = match &data_dir {
         Some(dir) => {
@@ -202,7 +237,7 @@ fn main() {
                 Replica::new(
                     ProcessId(id),
                     cfg,
-                    Box::new(KvStore::new()),
+                    mk_app(),
                     Box::new(storage),
                     seed,
                     Time::ZERO,
@@ -212,7 +247,7 @@ fn main() {
                 Replica::recover(
                     ProcessId(id),
                     cfg,
-                    Box::new(KvStore::new()),
+                    mk_app(),
                     Box::new(storage),
                     seed,
                     Time::ZERO,
@@ -222,7 +257,7 @@ fn main() {
         None => Replica::new(
             ProcessId(id),
             cfg,
-            Box::new(KvStore::new()),
+            mk_app(),
             Box::new(MemStorage::new()),
             seed,
             Time::ZERO,

@@ -223,6 +223,31 @@ fn arb_plain_msg() -> impl Strategy<Value = Msg> {
                 snapshot,
                 upto,
             }),
+        (
+            arb_ballot(),
+            arb_instance(),
+            any::<u32>(),
+            any::<u32>(),
+            proptest::collection::vec((any::<u64>(), any::<u64>(), arb_reply_body()), 0..3),
+            arb_bytes(),
+        )
+            .prop_map(
+                |(ballot, upto, seq, total, dedup, data)| Msg::CatchUpChunk {
+                    ballot,
+                    upto,
+                    seq,
+                    total,
+                    dedup: dedup
+                        .into_iter()
+                        .map(|(c, s, reply)| DedupEntry {
+                            client: ClientId(c),
+                            seq: Seq(s),
+                            reply,
+                        })
+                        .collect(),
+                    data,
+                }
+            ),
     ]
 }
 
